@@ -1,0 +1,52 @@
+//! Ablation of the Section 6 mixed strategy and of the lookahead choices: how
+//! much scheduling cost does each lookahead add, and what does the mixed
+//! strategy cost compared to always running a single heuristic?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridcast_bench::random_problem;
+use gridcast_core::heuristics::{Ecef, Heuristic, Lookahead};
+use gridcast_core::MixedStrategy;
+use gridcast_experiments::{figures, ExperimentConfig};
+use std::hint::black_box;
+
+fn print_mixed_rows() {
+    let config = ExperimentConfig::quick().with_iterations(200);
+    let figure = figures::mixed::run(&config);
+    println!("\n{}", figure.to_ascii_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_mixed_rows();
+    let mut group = c.benchmark_group("ablation_mixed");
+    for clusters in [10usize, 50] {
+        let problem = random_problem(clusters, 1);
+        for lookahead in [
+            Lookahead::None,
+            Lookahead::MinEdge,
+            Lookahead::AvgEdge,
+            Lookahead::MinEdgePlusIntra,
+            Lookahead::MaxEdgePlusIntra,
+        ] {
+            let heuristic = Ecef::with_lookahead(lookahead);
+            group.bench_with_input(
+                BenchmarkId::new(format!("lookahead/{}", heuristic.name()), clusters),
+                &problem,
+                |b, problem| b.iter(|| black_box(heuristic.schedule(black_box(problem)))),
+            );
+        }
+        let mixed = MixedStrategy::default();
+        group.bench_with_input(
+            BenchmarkId::new("mixed_strategy", clusters),
+            &problem,
+            |b, problem| b.iter(|| black_box(mixed.schedule(black_box(problem)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = gridcast_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 1 workload: scheduling a 1 MB broadcast on grids of 2–10 clusters with
+//! every heuristic. The bench measures the scheduling cost per heuristic; the
+//! mean completion times themselves are printed once at start-up so the bench
+//! run also regenerates the figure's rows (at a reduced iteration count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridcast_bench::problem_batch;
+use gridcast_core::HeuristicKind;
+use gridcast_experiments::{figures, ExperimentConfig};
+use std::hint::black_box;
+
+fn print_figure_rows() {
+    let config = ExperimentConfig::quick().with_iterations(300);
+    let figure = figures::fig1::run(&config);
+    println!("\n{}", figure.to_ascii_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_rows();
+    let mut group = c.benchmark_group("fig1_small_grids");
+    for clusters in [2usize, 6, 10] {
+        let problems = problem_batch(clusters, 20);
+        for kind in HeuristicKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), clusters),
+                &problems,
+                |b, problems| {
+                    b.iter(|| {
+                        for problem in problems {
+                            black_box(kind.schedule(black_box(problem)).makespan());
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = gridcast_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

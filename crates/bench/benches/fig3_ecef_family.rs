@@ -1,0 +1,41 @@
+//! Figure 3 workload: the ECEF family in isolation on large grids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridcast_bench::problem_batch;
+use gridcast_core::HeuristicKind;
+use gridcast_experiments::{figures, ExperimentConfig};
+use std::hint::black_box;
+
+fn print_figure_rows() {
+    let config = ExperimentConfig::quick().with_iterations(150);
+    let figure = figures::fig3::run(&config);
+    println!("\n{}", figure.to_ascii_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_rows();
+    let mut group = c.benchmark_group("fig3_ecef_family");
+    group.sample_size(20);
+    let problems = problem_batch(30, 5);
+    for kind in HeuristicKind::ecef_family() {
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), 30),
+            &problems,
+            |b, problems| {
+                b.iter(|| {
+                    for problem in problems {
+                        black_box(kind.schedule(black_box(problem)).makespan());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = gridcast_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 4 workload: the Monte-Carlo hit-rate computation (schedule the same
+//! random instance with every ECEF-like heuristic and compare to the global
+//! minimum).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridcast_bench::problem_batch;
+use gridcast_core::{global_minimum, HeuristicKind};
+use gridcast_experiments::{figures, ExperimentConfig};
+use std::hint::black_box;
+
+fn print_figure_rows() {
+    let config = ExperimentConfig::quick().with_iterations(300);
+    let figure = figures::fig4::run(&config);
+    println!("\n{}", figure.to_ascii_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_rows();
+    let mut group = c.benchmark_group("fig4_hit_rate");
+    group.sample_size(20);
+    for clusters in [10usize, 50] {
+        let problems = problem_batch(clusters, 5);
+        group.bench_with_input(
+            BenchmarkId::new("global_minimum", clusters),
+            &problems,
+            |b, problems| {
+                b.iter(|| {
+                    for problem in problems {
+                        black_box(global_minimum(
+                            black_box(problem),
+                            &HeuristicKind::ecef_family(),
+                        ));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = gridcast_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

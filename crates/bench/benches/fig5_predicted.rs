@@ -1,0 +1,44 @@
+//! Figure 5 workload: pLogP-predicted completion times on the 88-machine
+//! GRID'5000 grid across message sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridcast_core::HeuristicKind;
+use gridcast_experiments::{figures, ExperimentConfig};
+use gridcast_plogp::MessageSize;
+use gridcast_simulator::Simulator;
+use gridcast_topology::{grid5000_table3, ClusterId};
+use std::hint::black_box;
+
+fn print_figure_rows() {
+    let figure = figures::fig5::run(&ExperimentConfig::quick());
+    println!("\n{}", figure.to_ascii_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_rows();
+    let grid = grid5000_table3();
+    let mut group = c.benchmark_group("fig5_predicted");
+    for mib in [1u64, 4] {
+        let sim = Simulator::new(&grid, MessageSize::from_mib(mib));
+        for kind in [
+            HeuristicKind::FlatTree,
+            HeuristicKind::EcefLa,
+            HeuristicKind::EcefLaMax,
+            HeuristicKind::BottomUp,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("{mib}MiB")),
+                &sim,
+                |b, sim| b.iter(|| black_box(sim.predict_heuristic(kind, ClusterId(0)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = gridcast_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

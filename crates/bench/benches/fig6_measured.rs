@@ -1,0 +1,52 @@
+//! Figure 6 workload: discrete-event execution of the scheduled broadcasts on
+//! the 88-machine GRID'5000 grid, including the grid-unaware binomial baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridcast_core::HeuristicKind;
+use gridcast_experiments::{figures, ExperimentConfig};
+use gridcast_plogp::{MessageSize, Time};
+use gridcast_simulator::Simulator;
+use gridcast_topology::{grid5000_table3, ClusterId};
+use std::hint::black_box;
+
+fn print_figure_rows() {
+    let figure = figures::fig6::run(&ExperimentConfig::quick());
+    println!("\n{}", figure.to_ascii_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_rows();
+    let grid = grid5000_table3();
+    let sim = Simulator::new(&grid, MessageSize::from_mib(4));
+    let root = ClusterId(0);
+    let mut group = c.benchmark_group("fig6_measured");
+
+    group.bench_function("default_lam_binomial", |b| {
+        b.iter(|| black_box(sim.run_default_mpi(root).completion))
+    });
+
+    for kind in [
+        HeuristicKind::FlatTree,
+        HeuristicKind::Fef,
+        HeuristicKind::EcefLa,
+        HeuristicKind::EcefLaMax,
+        HeuristicKind::BottomUp,
+    ] {
+        let schedule = kind.schedule(&sim.problem(root));
+        group.bench_with_input(
+            BenchmarkId::new("execute", kind.name()),
+            &schedule,
+            |b, schedule| {
+                b.iter(|| black_box(sim.execute_schedule(schedule, Time::ZERO).completion))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = gridcast_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

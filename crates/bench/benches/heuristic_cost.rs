@@ -1,0 +1,31 @@
+//! The Section 7 "algorithm complexity" concern: how long does each heuristic
+//! take to compute a schedule as the grid grows? This is the scheduling overhead
+//! the simulator charges before the first message leaves the root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridcast_bench::random_problem;
+use gridcast_core::HeuristicKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_cost");
+    for clusters in [6usize, 10, 25, 50, 100] {
+        let problem = random_problem(clusters, 0);
+        group.throughput(Throughput::Elements(clusters as u64));
+        for kind in HeuristicKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), clusters),
+                &problem,
+                |b, problem| b.iter(|| black_box(kind.schedule(black_box(problem)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = gridcast_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

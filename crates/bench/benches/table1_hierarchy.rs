@@ -1,0 +1,28 @@
+//! Table 1 workload: classifying links into communication levels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridcast_experiments::tables;
+use gridcast_plogp::Time;
+use gridcast_topology::classify_latency;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", tables::table1());
+    let latencies: Vec<Time> = (0..1000)
+        .map(|i| Time::from_micros(0.5 * f64::from(i) * f64::from(i % 17 + 1)))
+        .collect();
+    c.bench_function("table1_classify_1000_links", |b| {
+        b.iter(|| {
+            for &l in &latencies {
+                black_box(classify_latency(black_box(l)));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = gridcast_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

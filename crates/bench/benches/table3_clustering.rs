@@ -1,0 +1,29 @@
+//! Table 3 workload: Lowekamp-style logical-cluster detection over the 88
+//! GRID'5000 machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridcast_experiments::tables;
+use gridcast_topology::clustering::synthesize_node_matrix;
+use gridcast_topology::{detect_logical_clusters, Grid5000Spec, LowekampConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", tables::table3());
+    let spec = Grid5000Spec::table3();
+    let matrix = synthesize_node_matrix(&spec.sizes, &spec.latency_us);
+    c.bench_function("table3_detect_clusters_88_nodes", |b| {
+        b.iter(|| {
+            black_box(detect_logical_clusters(
+                black_box(&matrix),
+                LowekampConfig { tolerance: 0.30 },
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = gridcast_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Shared workload helpers for the criterion benchmarks.
+//!
+//! Every bench regenerates one of the paper's tables or figures (see DESIGN.md's
+//! per-experiment index). The helpers here build the deterministic problem
+//! instances the benches operate on so that all benches agree on the workloads
+//! and stay reproducible across runs.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use criterion::Criterion;
+use gridcast_core::BroadcastProblem;
+use gridcast_plogp::MessageSize;
+use gridcast_topology::{ClusterId, Grid, GridGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// Criterion configuration shared by every bench: small sample counts and short
+/// measurement windows so that the full `cargo bench --workspace` sweep (ten
+/// bench binaries, several dozen benchmark ids) completes in minutes while still
+/// producing stable medians for the scheduling micro-costs.
+pub fn criterion_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .configure_from_args()
+}
+
+/// The deterministic seed every bench derives its instances from.
+pub const BENCH_SEED: u64 = 0xB0B5_CA7;
+
+/// A random Table 2 grid with `clusters` clusters, deterministic in `index`.
+pub fn random_grid(clusters: usize, index: u64) -> Grid {
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED.wrapping_add(index));
+    GridGenerator::table2().generate(clusters, &mut rng)
+}
+
+/// A broadcast problem (1 MB, rooted at cluster 0) on a random Table 2 grid.
+pub fn random_problem(clusters: usize, index: u64) -> BroadcastProblem {
+    BroadcastProblem::from_grid(&random_grid(clusters, index), ClusterId(0), MessageSize::from_mib(1))
+}
+
+/// A batch of problems for averaging across instances inside one bench
+/// iteration.
+pub fn problem_batch(clusters: usize, count: u64) -> Vec<BroadcastProblem> {
+    (0..count).map(|i| random_problem(clusters, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic() {
+        let a = problem_batch(6, 3);
+        let b = problem_batch(6, 3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a, b);
+        assert_ne!(random_problem(6, 0), random_problem(6, 1));
+    }
+}

@@ -1,0 +1,272 @@
+//! Tree shapes and algorithm selection for intra-cluster broadcasts.
+
+use crate::tree::BroadcastTree;
+use gridcast_plogp::{MessageSize, PLogP, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The intra-cluster broadcast algorithms known to the library.
+///
+/// The paper's clusters use binomial trees (the MagPIe default); the other
+/// shapes are provided both as baselines and because the authors' companion work
+/// on intra-cluster collective tuning selects among several algorithms depending
+/// on message size and cluster size — which is exactly what
+/// [`crate::best_algorithm`] does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BroadcastAlgorithm {
+    /// The coordinator sends to every other rank sequentially.
+    FlatTree,
+    /// Classic binomial (recursive doubling) tree, ⌈log₂ P⌉ rounds.
+    BinomialTree,
+    /// A linear chain: rank `i` forwards to rank `i + 1`.
+    Chain,
+    /// A segmented chain: the message is split into segments that are pipelined
+    /// along the chain.
+    Pipeline {
+        /// Number of segments the message is split into.
+        segments: u32,
+    },
+    /// Scatter (binomial) followed by a ring allgather — the van de Geijn
+    /// algorithm, efficient for large messages on large clusters.
+    ScatterAllgather,
+}
+
+impl BroadcastAlgorithm {
+    /// Every algorithm considered by [`crate::best_algorithm`], with a couple of
+    /// representative pipeline segment counts.
+    pub fn candidates() -> Vec<BroadcastAlgorithm> {
+        vec![
+            BroadcastAlgorithm::FlatTree,
+            BroadcastAlgorithm::BinomialTree,
+            BroadcastAlgorithm::Chain,
+            BroadcastAlgorithm::Pipeline { segments: 8 },
+            BroadcastAlgorithm::Pipeline { segments: 32 },
+            BroadcastAlgorithm::ScatterAllgather,
+        ]
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> String {
+        match self {
+            BroadcastAlgorithm::FlatTree => "flat".into(),
+            BroadcastAlgorithm::BinomialTree => "binomial".into(),
+            BroadcastAlgorithm::Chain => "chain".into(),
+            BroadcastAlgorithm::Pipeline { segments } => format!("pipeline({segments})"),
+            BroadcastAlgorithm::ScatterAllgather => "scatter-allgather".into(),
+        }
+    }
+
+    /// Predicted completion time for broadcasting `m` bytes among `size` ranks
+    /// that all share the pLogP parameters `plogp`.
+    pub fn predict(&self, plogp: &PLogP, size: u32, m: MessageSize) -> Time {
+        if size <= 1 {
+            return Time::ZERO;
+        }
+        match self {
+            BroadcastAlgorithm::FlatTree => {
+                flat_tree(size as usize).completion_time(plogp, m)
+            }
+            BroadcastAlgorithm::BinomialTree => {
+                binomial_tree(size as usize).completion_time(plogp, m)
+            }
+            BroadcastAlgorithm::Chain => {
+                chain_tree(size as usize).completion_time(plogp, m)
+            }
+            BroadcastAlgorithm::Pipeline { segments } => {
+                pipeline_time(plogp, size, m, *segments)
+            }
+            BroadcastAlgorithm::ScatterAllgather => scatter_allgather_time(plogp, size, m),
+        }
+    }
+}
+
+impl fmt::Display for BroadcastAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Builds a flat tree over `size` ranks rooted at rank 0.
+pub fn flat_tree(size: usize) -> BroadcastTree {
+    assert!(size >= 1);
+    let mut children = vec![Vec::new(); size];
+    children[0] = (1..size).collect();
+    BroadcastTree::new(0, children).expect("flat tree construction is always valid")
+}
+
+/// Builds the classic binomial tree over `size` ranks rooted at rank 0: at round
+/// `k` every rank `r < 2^k` that holds the message sends it to rank `r + 2^k`.
+pub fn binomial_tree(size: usize) -> BroadcastTree {
+    assert!(size >= 1);
+    let mut children = vec![Vec::new(); size];
+    let mut offset = 1usize;
+    while offset < size {
+        for r in 0..offset.min(size) {
+            let target = r + offset;
+            if target < size {
+                children[r].push(target);
+            }
+        }
+        offset *= 2;
+    }
+    BroadcastTree::new(0, children).expect("binomial tree construction is always valid")
+}
+
+/// Builds a linear chain over `size` ranks rooted at rank 0.
+pub fn chain_tree(size: usize) -> BroadcastTree {
+    assert!(size >= 1);
+    let mut children = vec![Vec::new(); size];
+    for r in 0..size.saturating_sub(1) {
+        children[r].push(r + 1);
+    }
+    BroadcastTree::new(0, children).expect("chain construction is always valid")
+}
+
+/// Completion time of a segmented (pipelined) chain broadcast: the message is
+/// split into `segments` pieces forwarded along the chain as soon as they
+/// arrive. With `P` ranks and segment gap `g_s = g(m / segments)`, the last rank
+/// holds the last segment after `(P - 2 + segments)` forwarding steps of
+/// `g_s + L` (the classic store-and-forward pipelining bound).
+pub fn pipeline_time(plogp: &PLogP, size: u32, m: MessageSize, segments: u32) -> Time {
+    if size <= 1 {
+        return Time::ZERO;
+    }
+    let segments = segments.max(1);
+    let segment_size = MessageSize::from_bytes(
+        (m.as_bytes() + u64::from(segments) - 1) / u64::from(segments),
+    );
+    let hop = plogp.gap(segment_size) + plogp.latency();
+    hop * (size - 2 + segments)
+}
+
+/// Completion time of the scatter–allgather (van de Geijn) broadcast: a binomial
+/// scatter of `m / P` blocks followed by a ring allgather. Efficient when the
+/// per-byte cost dominates, because every rank only sends ~`2·m/P·(P-1)/P` bytes.
+pub fn scatter_allgather_time(plogp: &PLogP, size: u32, m: MessageSize) -> Time {
+    if size <= 1 {
+        return Time::ZERO;
+    }
+    let p = u64::from(size);
+    let block = MessageSize::from_bytes((m.as_bytes() + p - 1) / p);
+    // Binomial scatter: at round k the transmitted block halves; ⌈log₂ P⌉ rounds.
+    let rounds = (f64::from(size)).log2().ceil() as u32;
+    let mut scatter = Time::ZERO;
+    let mut blocks_in_flight = p;
+    for _ in 0..rounds {
+        blocks_in_flight = (blocks_in_flight + 1) / 2;
+        let chunk = MessageSize::from_bytes(block.as_bytes() * blocks_in_flight);
+        scatter += plogp.latency() + plogp.gap(chunk);
+    }
+    // Ring allgather: P−1 steps, one block each.
+    let allgather = (plogp.latency() + plogp.gap(block)) * (size - 1);
+    scatter + allgather
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lan() -> PLogP {
+        // 50 µs latency, 9 µs/KiB-ish gap via constant-rate affine model.
+        PLogP::affine(Time::from_micros(50.0), Time::from_micros(20.0), 110e6)
+    }
+
+    #[test]
+    fn binomial_tree_shape_for_power_of_two() {
+        let t = binomial_tree(8);
+        assert_eq!(t.children(0), &[1, 2, 4]);
+        assert_eq!(t.children(1), &[3, 5]);
+        assert_eq!(t.children(2), &[6]);
+        assert_eq!(t.children(3), &[7]);
+        assert_eq!(t.height(), 3);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn binomial_tree_covers_non_power_of_two() {
+        // With unit gap and zero latency, the completion time of a binomial
+        // broadcast equals its number of communication rounds, ⌈log₂ P⌉.
+        let unit = PLogP::constant(Time::ZERO, Time::from_secs(1.0));
+        for size in [1usize, 2, 3, 5, 6, 7, 20, 29, 31, 88] {
+            let t = binomial_tree(size);
+            assert_eq!(t.size(), size);
+            assert!(t.validate().is_ok(), "size {size}");
+            let expected_rounds = if size == 1 {
+                0.0
+            } else {
+                (size as f64).log2().ceil()
+            };
+            let completion = t.completion_time(&unit, MessageSize::from_kib(1));
+            assert!(
+                (completion.as_secs() - expected_rounds).abs() < 1e-9,
+                "size {size}: completion {completion}, expected {expected_rounds} rounds"
+            );
+            assert!(t.height() <= expected_rounds as usize);
+        }
+    }
+
+    #[test]
+    fn flat_and_chain_shapes() {
+        let f = flat_tree(5);
+        assert_eq!(f.children(0), &[1, 2, 3, 4]);
+        assert_eq!(f.height(), 1);
+        let c = chain_tree(5);
+        assert_eq!(c.children(0), &[1]);
+        assert_eq!(c.children(3), &[4]);
+        assert_eq!(c.height(), 4);
+    }
+
+    #[test]
+    fn binomial_beats_flat_and_chain_for_small_messages() {
+        let p = lan();
+        let m = MessageSize::from_kib(1);
+        let size = 32;
+        let binomial = BroadcastAlgorithm::BinomialTree.predict(&p, size, m);
+        let flat = BroadcastAlgorithm::FlatTree.predict(&p, size, m);
+        let chain = BroadcastAlgorithm::Chain.predict(&p, size, m);
+        assert!(binomial < flat, "binomial {binomial} vs flat {flat}");
+        assert!(binomial < chain, "binomial {binomial} vs chain {chain}");
+    }
+
+    #[test]
+    fn pipelining_helps_large_messages_on_long_chains() {
+        let p = lan();
+        let m = MessageSize::from_mib(4);
+        let size = 32;
+        let chain = BroadcastAlgorithm::Chain.predict(&p, size, m);
+        let pipe = BroadcastAlgorithm::Pipeline { segments: 32 }.predict(&p, size, m);
+        assert!(pipe < chain, "pipeline {pipe} should beat plain chain {chain}");
+    }
+
+    #[test]
+    fn scatter_allgather_wins_for_large_messages_on_large_clusters() {
+        let p = lan();
+        let m = MessageSize::from_mib(4);
+        let size = 64;
+        let binomial = BroadcastAlgorithm::BinomialTree.predict(&p, size, m);
+        let vdg = BroadcastAlgorithm::ScatterAllgather.predict(&p, size, m);
+        assert!(vdg < binomial, "scatter-allgather {vdg} vs binomial {binomial}");
+    }
+
+    #[test]
+    fn single_rank_broadcast_is_free_for_every_algorithm() {
+        let p = lan();
+        let m = MessageSize::from_mib(1);
+        for algo in BroadcastAlgorithm::candidates() {
+            assert_eq!(algo.predict(&p, 1, m), Time::ZERO, "{algo}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<String> = BroadcastAlgorithm::candidates()
+            .iter()
+            .map(|a| a.name())
+            .collect();
+        let mut deduped = names.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(names.len(), deduped.len());
+        assert_eq!(BroadcastAlgorithm::BinomialTree.to_string(), "binomial");
+    }
+}

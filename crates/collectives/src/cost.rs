@@ -1,0 +1,104 @@
+//! The `T_i(m)` predictor used by the grid-aware scheduling heuristics.
+
+use crate::algorithms::BroadcastAlgorithm;
+use gridcast_plogp::{MessageSize, PLogP, Time};
+use gridcast_topology::{Cluster, IntraClusterParams};
+
+/// Predicts the completion time of a broadcast among `size` ranks sharing the
+/// pLogP parameters `plogp`, using a specific algorithm.
+pub fn predict_broadcast_time(
+    algorithm: BroadcastAlgorithm,
+    plogp: &PLogP,
+    size: u32,
+    m: MessageSize,
+) -> Time {
+    algorithm.predict(plogp, size, m)
+}
+
+/// Selects the fastest predicted intra-cluster broadcast algorithm for a cluster
+/// of `size` ranks, returning the algorithm and its predicted time.
+///
+/// This mirrors the authors' companion work on intra-cluster collective tuning:
+/// the library measures the cluster's pLogP parameters once and then picks the
+/// best algorithm per message size from the model, instead of hard-coding a
+/// single strategy.
+pub fn best_algorithm(plogp: &PLogP, size: u32, m: MessageSize) -> (BroadcastAlgorithm, Time) {
+    BroadcastAlgorithm::candidates()
+        .into_iter()
+        .map(|algo| (algo, algo.predict(plogp, size, m)))
+        .min_by_key(|&(_, t)| t)
+        .expect("candidate list is never empty")
+}
+
+/// The intra-cluster broadcast time `T_i(m)` of a cluster, as used by the
+/// grid-aware heuristics (ECEF-LAt, ECEF-LAT, BottomUp) and by the makespan
+/// computation of every schedule.
+///
+/// * singleton clusters broadcast instantly,
+/// * clusters with a fixed time (the Monte-Carlo simulation mode) return it
+///   unchanged,
+/// * modelled clusters return the best predicted algorithm time.
+pub fn intra_broadcast_time(cluster: &Cluster, m: MessageSize) -> Time {
+    if cluster.is_singleton() {
+        return Time::ZERO;
+    }
+    match &cluster.intra {
+        IntraClusterParams::Fixed { broadcast_time } => *broadcast_time,
+        IntraClusterParams::Modelled { plogp } => best_algorithm(plogp, cluster.size, m).1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_topology::ClusterId;
+
+    fn lan() -> PLogP {
+        PLogP::affine(Time::from_micros(50.0), Time::from_micros(20.0), 110e6)
+    }
+
+    #[test]
+    fn best_algorithm_never_worse_than_binomial() {
+        let p = lan();
+        for &size in &[2u32, 4, 8, 20, 31, 64, 128] {
+            for &mib in &[1u64, 4] {
+                let m = MessageSize::from_mib(mib);
+                let (_, best) = best_algorithm(&p, size, m);
+                let binomial = predict_broadcast_time(BroadcastAlgorithm::BinomialTree, &p, size, m);
+                assert!(best <= binomial, "size {size}, {mib} MiB");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_time_cluster_returns_configured_value() {
+        let c = Cluster::with_fixed_time(ClusterId(0), "sim", 16, Time::from_millis(1234.0));
+        assert_eq!(
+            intra_broadcast_time(&c, MessageSize::from_mib(1)),
+            Time::from_millis(1234.0)
+        );
+    }
+
+    #[test]
+    fn singleton_cluster_is_free_even_with_fixed_time() {
+        let c = Cluster::with_fixed_time(ClusterId(1), "solo", 1, Time::from_millis(500.0));
+        assert_eq!(intra_broadcast_time(&c, MessageSize::from_mib(1)), Time::ZERO);
+    }
+
+    #[test]
+    fn modelled_cluster_time_grows_with_message_size() {
+        let c = Cluster::with_plogp(ClusterId(2), "orsay", 31, lan());
+        let small = intra_broadcast_time(&c, MessageSize::from_kib(1));
+        let large = intra_broadcast_time(&c, MessageSize::from_mib(4));
+        assert!(small < large);
+        assert!(small > Time::ZERO);
+    }
+
+    #[test]
+    fn modelled_cluster_time_grows_with_cluster_size() {
+        let small = Cluster::with_plogp(ClusterId(0), "small", 4, lan());
+        let big = Cluster::with_plogp(ClusterId(1), "big", 128, lan());
+        let m = MessageSize::from_mib(1);
+        assert!(intra_broadcast_time(&small, m) < intra_broadcast_time(&big, m));
+    }
+}

@@ -1,0 +1,35 @@
+//! # gridcast-collectives
+//!
+//! Intra-cluster collective communication algorithms and their pLogP cost models.
+//!
+//! Once a cluster coordinator has received the broadcast message from another
+//! cluster, it must disseminate it to the machines of its own cluster. The paper
+//! (following MagPIe and the authors' earlier work on intra-cluster collective
+//! tuning) uses efficient local strategies — typically binomial trees — and, more
+//! importantly, *predicts* the time `T_i(m)` this local broadcast takes, because
+//! the grid-aware heuristics (ECEF-LAt, ECEF-LAT, BottomUp) feed that prediction
+//! into their scheduling decisions.
+//!
+//! This crate provides:
+//!
+//! * [`BroadcastTree`] — an explicit tree of local ranks with a generic pLogP
+//!   completion-time evaluator,
+//! * the classical tree shapes: [`binomial_tree`], [`flat_tree`], [`chain_tree`],
+//!   plus the segmented/pipelined chain and the scatter–allgather (van de Geijn)
+//!   algorithm for large messages,
+//! * [`intra_broadcast_time`] — the `T_i(m)` predictor used by the scheduler: the
+//!   best predicted time over all available algorithms for a given cluster,
+//! * cost models for the *scatter* and *all-to-all* patterns mentioned as future
+//!   work in the paper's conclusion ([`patterns`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod algorithms;
+pub mod cost;
+pub mod patterns;
+pub mod tree;
+
+pub use algorithms::{binomial_tree, chain_tree, flat_tree, BroadcastAlgorithm};
+pub use cost::{best_algorithm, intra_broadcast_time, predict_broadcast_time};
+pub use tree::{BroadcastTree, TreeError};

@@ -1,0 +1,111 @@
+//! Cost models for the other collective patterns mentioned by the paper.
+//!
+//! The conclusion of the paper announces follow-up work on grid-aware *scatter*
+//! and *all-to-all* schedules. This module provides the intra-cluster cost models
+//! for those patterns so that the scheduling layer can be extended to them: the
+//! inter-cluster scheduling formalism (sets A/B, ready times) is pattern-agnostic
+//! once the per-cluster completion time of the pattern is known.
+
+use gridcast_plogp::{MessageSize, PLogP, Time};
+
+/// Predicted completion time of a binomial-tree **scatter** of `m` bytes *per
+/// rank* among `size` ranks: at round `k` the transmitted block halves, so the
+/// root pushes `m·(P−1)/P ≈ m` bytes in total but the critical path only carries
+/// `⌈log₂ P⌉` latencies.
+pub fn scatter_time(plogp: &PLogP, size: u32, per_rank: MessageSize) -> Time {
+    if size <= 1 {
+        return Time::ZERO;
+    }
+    let mut remaining = u64::from(size);
+    let mut total = Time::ZERO;
+    while remaining > 1 {
+        let half = remaining / 2;
+        let chunk = MessageSize::from_bytes(per_rank.as_bytes() * half);
+        total += plogp.latency() + plogp.gap(chunk);
+        remaining -= half;
+    }
+    total
+}
+
+/// Predicted completion time of a **gather** — symmetric to [`scatter_time`]
+/// under the pLogP model.
+pub fn gather_time(plogp: &PLogP, size: u32, per_rank: MessageSize) -> Time {
+    scatter_time(plogp, size, per_rank)
+}
+
+/// Predicted completion time of an **all-to-all** personalised exchange of `m`
+/// bytes per rank pair, implemented as `P − 1` pairwise exchange rounds (the
+/// classic linear algorithm used for large messages).
+pub fn alltoall_time(plogp: &PLogP, size: u32, per_pair: MessageSize) -> Time {
+    if size <= 1 {
+        return Time::ZERO;
+    }
+    (plogp.latency() + plogp.gap(per_pair)) * (size - 1)
+}
+
+/// Predicted completion time of an **allgather** implemented as a ring: `P − 1`
+/// steps, each forwarding one rank's block.
+pub fn allgather_time(plogp: &PLogP, size: u32, per_rank: MessageSize) -> Time {
+    if size <= 1 {
+        return Time::ZERO;
+    }
+    (plogp.latency() + plogp.gap(per_rank)) * (size - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lan() -> PLogP {
+        PLogP::affine(Time::from_micros(50.0), Time::from_micros(20.0), 110e6)
+    }
+
+    #[test]
+    fn single_rank_patterns_are_free() {
+        let p = lan();
+        let m = MessageSize::from_kib(64);
+        assert_eq!(scatter_time(&p, 1, m), Time::ZERO);
+        assert_eq!(alltoall_time(&p, 1, m), Time::ZERO);
+        assert_eq!(allgather_time(&p, 1, m), Time::ZERO);
+        assert_eq!(gather_time(&p, 1, m), Time::ZERO);
+    }
+
+    #[test]
+    fn scatter_is_cheaper_than_broadcasting_everything() {
+        // Scattering P blocks of m/P bytes moves less data on the critical path
+        // than broadcasting the full m bytes along a binomial tree.
+        let p = lan();
+        let size = 32u32;
+        let total = MessageSize::from_mib(4);
+        let per_rank = MessageSize::from_bytes(total.as_bytes() / u64::from(size));
+        let scatter = scatter_time(&p, size, per_rank);
+        let bcast = crate::algorithms::BroadcastAlgorithm::BinomialTree.predict(&p, size, total);
+        assert!(scatter < bcast);
+    }
+
+    #[test]
+    fn alltoall_grows_linearly_with_cluster_size() {
+        let p = lan();
+        let m = MessageSize::from_kib(256);
+        let t8 = alltoall_time(&p, 8, m);
+        let t16 = alltoall_time(&p, 16, m);
+        let ratio = t16 / t8;
+        assert!((ratio - 15.0 / 7.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gather_matches_scatter() {
+        let p = lan();
+        let m = MessageSize::from_kib(32);
+        assert_eq!(gather_time(&p, 20, m), scatter_time(&p, 20, m));
+    }
+
+    #[test]
+    fn scatter_critical_path_has_log_rounds_of_latency() {
+        // With a zero-bandwidth-cost model the scatter cost is exactly
+        // ⌈log₂ P⌉ · L.
+        let p = PLogP::constant(Time::from_millis(1.0), Time::ZERO);
+        let t = scatter_time(&p, 16, MessageSize::from_kib(1));
+        assert_eq!(t, Time::from_millis(4.0));
+    }
+}

@@ -1,0 +1,268 @@
+//! Explicit broadcast trees over the local ranks of a cluster.
+
+use gridcast_plogp::{MessageSize, PLogP, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors raised when validating a broadcast tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The tree has no nodes.
+    Empty,
+    /// A rank appears as the child of more than one parent.
+    DuplicateChild {
+        /// The rank in question.
+        rank: usize,
+    },
+    /// A rank is never reached from the root.
+    Unreachable {
+        /// The rank in question.
+        rank: usize,
+    },
+    /// A child index is outside `0..size`.
+    OutOfRange {
+        /// The rank in question.
+        rank: usize,
+    },
+    /// The root appears as somebody's child.
+    RootHasParent,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "broadcast tree has no nodes"),
+            TreeError::DuplicateChild { rank } => {
+                write!(f, "rank {rank} has more than one parent")
+            }
+            TreeError::Unreachable { rank } => {
+                write!(f, "rank {rank} is not reachable from the root")
+            }
+            TreeError::OutOfRange { rank } => write!(f, "rank {rank} is out of range"),
+            TreeError::RootHasParent => write!(f, "the root rank appears as a child"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A broadcast tree over local ranks `0..size`, rooted at `root`.
+///
+/// `children[r]` lists the ranks `r` sends the message to, **in sending order** —
+/// the order matters because each send occupies the sender for one gap `g(m)`
+/// before the next can start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BroadcastTree {
+    root: usize,
+    children: Vec<Vec<usize>>,
+}
+
+impl BroadcastTree {
+    /// Creates a tree from explicit children lists and validates it.
+    pub fn new(root: usize, children: Vec<Vec<usize>>) -> Result<Self, TreeError> {
+        let tree = BroadcastTree { root, children };
+        tree.validate()?;
+        Ok(tree)
+    }
+
+    /// Number of ranks covered by the tree.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.children.len()
+    }
+
+    /// The root rank.
+    #[inline]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The ordered children of `rank`.
+    #[inline]
+    pub fn children(&self, rank: usize) -> &[usize] {
+        &self.children[rank]
+    }
+
+    /// The parent of each rank (`None` for the root).
+    pub fn parents(&self) -> Vec<Option<usize>> {
+        let mut parents = vec![None; self.size()];
+        for (p, kids) in self.children.iter().enumerate() {
+            for &k in kids {
+                parents[k] = Some(p);
+            }
+        }
+        parents
+    }
+
+    /// Depth (number of hops from the root) of every rank.
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![usize::MAX; self.size()];
+        depth[self.root] = 0;
+        let mut queue = VecDeque::from([self.root]);
+        while let Some(r) = queue.pop_front() {
+            for &c in &self.children[r] {
+                if depth[c] == usize::MAX {
+                    depth[c] = depth[r] + 1;
+                    queue.push_back(c);
+                }
+            }
+        }
+        depth
+    }
+
+    /// The height of the tree (maximum depth).
+    pub fn height(&self) -> usize {
+        self.depths().into_iter().max().unwrap_or(0)
+    }
+
+    /// Checks that the tree spans every rank exactly once.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        let n = self.size();
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        if self.root >= n {
+            return Err(TreeError::OutOfRange { rank: self.root });
+        }
+        let mut seen = vec![false; n];
+        for kids in &self.children {
+            for &k in kids {
+                if k >= n {
+                    return Err(TreeError::OutOfRange { rank: k });
+                }
+                if k == self.root {
+                    return Err(TreeError::RootHasParent);
+                }
+                if seen[k] {
+                    return Err(TreeError::DuplicateChild { rank: k });
+                }
+                seen[k] = true;
+            }
+        }
+        // Reachability from the root.
+        let depths = self.depths();
+        if let Some(rank) = (0..n).find(|&r| depths[r] == usize::MAX) {
+            return Err(TreeError::Unreachable { rank });
+        }
+        Ok(())
+    }
+
+    /// Predicts the completion time of broadcasting a message of size `m` along
+    /// this tree when every rank pair shares the same pLogP parameters (the
+    /// *logical homogeneous cluster* assumption of the paper).
+    ///
+    /// Each rank forwards the message to its children in listed order; a send
+    /// occupies the sender for `g(m)` and the child holds the full message
+    /// `L + g(m)` after the send began. The returned time is the moment the last
+    /// rank holds the message, the `T_i(m)` of the paper.
+    pub fn completion_time(&self, plogp: &PLogP, m: MessageSize) -> Time {
+        let ready = self.ready_times(plogp, m);
+        ready.into_iter().max().unwrap_or(Time::ZERO)
+    }
+
+    /// Per-rank times at which the message becomes available, under the same
+    /// model as [`BroadcastTree::completion_time`].
+    pub fn ready_times(&self, plogp: &PLogP, m: MessageSize) -> Vec<Time> {
+        let gap = plogp.gap(m);
+        let latency = plogp.latency();
+        let mut ready = vec![Time::ZERO; self.size()];
+        // Traverse in BFS order so parents are processed before children.
+        let mut queue = VecDeque::from([self.root]);
+        while let Some(r) = queue.pop_front() {
+            let mut send_start = ready[r];
+            for &c in &self.children[r] {
+                ready[c] = send_start + gap + latency;
+                send_start += gap;
+                queue.push_back(c);
+            }
+        }
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plogp_ms(latency: f64, gap: f64) -> PLogP {
+        PLogP::constant(Time::from_millis(latency), Time::from_millis(gap))
+    }
+
+    #[test]
+    fn validation_catches_malformed_trees() {
+        assert_eq!(BroadcastTree::new(0, vec![]), Err(TreeError::Empty));
+        // Child index 5 does not exist in a 2-rank tree.
+        assert_eq!(
+            BroadcastTree::new(0, vec![vec![5], vec![]]),
+            Err(TreeError::OutOfRange { rank: 5 })
+        );
+        // Root index outside the tree.
+        assert_eq!(
+            BroadcastTree::new(9, vec![vec![], vec![]]),
+            Err(TreeError::OutOfRange { rank: 9 })
+        );
+    }
+
+    #[test]
+    fn validation_catches_duplicates_and_unreachable() {
+        // Rank 2 has two parents.
+        let dup = BroadcastTree::new(0, vec![vec![1, 2], vec![2], vec![]]);
+        assert_eq!(dup, Err(TreeError::DuplicateChild { rank: 2 }));
+        // Rank 2 unreachable.
+        let unreachable = BroadcastTree::new(0, vec![vec![1], vec![], vec![]]);
+        assert_eq!(unreachable, Err(TreeError::Unreachable { rank: 2 }));
+        // Root as child.
+        let root_child = BroadcastTree::new(0, vec![vec![1], vec![0]]);
+        assert_eq!(root_child, Err(TreeError::RootHasParent));
+    }
+
+    #[test]
+    fn two_node_tree_cost_is_one_transfer() {
+        let tree = BroadcastTree::new(0, vec![vec![1], vec![]]).unwrap();
+        let p = plogp_ms(1.0, 10.0);
+        assert_eq!(
+            tree.completion_time(&p, MessageSize::from_mib(1)),
+            Time::from_millis(11.0)
+        );
+    }
+
+    #[test]
+    fn sequential_sends_occupy_the_sender() {
+        // A 4-node flat tree: root sends to 1, then 2, then 3.
+        let tree = BroadcastTree::new(0, vec![vec![1, 2, 3], vec![], vec![], vec![]]).unwrap();
+        let p = plogp_ms(1.0, 10.0);
+        let ready = tree.ready_times(&p, MessageSize::from_mib(1));
+        assert_eq!(ready[1], Time::from_millis(11.0));
+        assert_eq!(ready[2], Time::from_millis(21.0));
+        assert_eq!(ready[3], Time::from_millis(31.0));
+        assert_eq!(
+            tree.completion_time(&p, MessageSize::from_mib(1)),
+            Time::from_millis(31.0)
+        );
+    }
+
+    #[test]
+    fn depths_parents_and_height() {
+        let tree =
+            BroadcastTree::new(0, vec![vec![1, 2], vec![3], vec![], vec![]]).unwrap();
+        assert_eq!(tree.depths(), vec![0, 1, 1, 2]);
+        assert_eq!(tree.height(), 2);
+        assert_eq!(tree.parents(), vec![None, Some(0), Some(0), Some(1)]);
+        assert_eq!(tree.children(0), &[1, 2]);
+        assert_eq!(tree.root(), 0);
+    }
+
+    #[test]
+    fn child_order_changes_completion() {
+        // Sending to the deep subtree first finishes earlier than sending to it
+        // last: the classic motivation for largest-subtree-first ordering.
+        let p = plogp_ms(0.0, 10.0);
+        let m = MessageSize::from_mib(1);
+        let deep_first =
+            BroadcastTree::new(0, vec![vec![1, 3], vec![2], vec![], vec![]]).unwrap();
+        let deep_last =
+            BroadcastTree::new(0, vec![vec![3, 1], vec![2], vec![], vec![]]).unwrap();
+        assert!(deep_first.completion_time(&p, m) < deep_last.completion_time(&p, m));
+    }
+}

@@ -1,0 +1,80 @@
+//! The per-instance "global minimum" used by the paper's hit-rate metric.
+//!
+//! Figure 4 of the paper compares heuristics by *hit rate*: over 10 000 random
+//! instances, how often does a heuristic's makespan match the best makespan found
+//! by **any** of the evaluated heuristics on that instance? (The true optimum is
+//! too expensive at 50 clusters, so the cross-heuristic minimum stands in for
+//! it.) This module computes that reference value.
+
+use crate::{BroadcastProblem, HeuristicKind};
+use gridcast_plogp::Time;
+
+/// Schedules `problem` with every heuristic in `kinds` and returns the makespans
+/// in the same order.
+pub fn per_heuristic_makespans(
+    problem: &BroadcastProblem,
+    kinds: &[HeuristicKind],
+) -> Vec<(HeuristicKind, Time)> {
+    kinds
+        .iter()
+        .map(|&kind| (kind, kind.schedule(problem).makespan()))
+        .collect()
+}
+
+/// The smallest makespan any of the given heuristics achieves on `problem` — the
+/// paper's "global minimum" for one simulation iteration.
+pub fn global_minimum(problem: &BroadcastProblem, kinds: &[HeuristicKind]) -> Time {
+    per_heuristic_makespans(problem, kinds)
+        .into_iter()
+        .map(|(_, t)| t)
+        .min()
+        .unwrap_or(Time::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::MessageSize;
+    use gridcast_topology::{ClusterId, GridGenerator};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_problem(clusters: usize, seed: u64) -> BroadcastProblem {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1))
+    }
+
+    #[test]
+    fn global_minimum_is_the_minimum_of_the_per_heuristic_values() {
+        let problem = random_problem(10, 5);
+        let kinds = HeuristicKind::all();
+        let per = per_heuristic_makespans(&problem, &kinds);
+        assert_eq!(per.len(), kinds.len());
+        let min = per.iter().map(|&(_, t)| t).min().unwrap();
+        assert_eq!(global_minimum(&problem, &kinds), min);
+    }
+
+    #[test]
+    fn global_minimum_never_below_true_optimum() {
+        for seed in 0..5u64 {
+            let problem = random_problem(5, seed);
+            let optimum = crate::optimal_schedule(&problem).unwrap().makespan();
+            let gm = global_minimum(&problem, &HeuristicKind::all());
+            assert!(gm >= optimum - gridcast_plogp::Time::from_micros(1.0));
+        }
+    }
+
+    #[test]
+    fn restricting_the_heuristic_set_cannot_lower_the_minimum() {
+        let problem = random_problem(12, 7);
+        let all = global_minimum(&problem, &HeuristicKind::all());
+        let family_only = global_minimum(&problem, &HeuristicKind::ecef_family());
+        assert!(family_only >= all);
+    }
+
+    #[test]
+    fn empty_heuristic_set_yields_zero() {
+        let problem = random_problem(3, 1);
+        assert_eq!(global_minimum(&problem, &[]), Time::ZERO);
+    }
+}

@@ -1,0 +1,311 @@
+//! The ECEF family: Early Completion Edge First and its lookahead variants
+//! (Sections 4.3, 4.4, 5.1 and 5.2).
+
+use crate::heuristics::Heuristic;
+use crate::{BroadcastProblem, Schedule, ScheduleState};
+use gridcast_plogp::Time;
+use gridcast_topology::ClusterId;
+use serde::{Deserialize, Serialize};
+
+/// The lookahead function `F_j` attached to a candidate receiver `j`.
+///
+/// ECEF selects the pair minimising `RT_i + g_ij + L_ij`; the lookahead variants
+/// add `F_j` to that sum so that the chosen receiver is also *useful* once it
+/// becomes a sender. The paper's two grid-aware variants differ from Bhat's
+/// original by folding the intra-cluster broadcast time `T_k` of the clusters
+/// still waiting into the lookahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Lookahead {
+    /// No lookahead: plain ECEF.
+    None,
+    /// Bhat's ECEF-LA: `F_j = min_{k ∈ B} (g_jk + L_jk)` — how quickly `j` could
+    /// serve its best remaining cluster.
+    MinEdge,
+    /// Bhat's alternative lookahead: the *average* transfer time from `j` to the
+    /// remaining clusters (mentioned in Section 4.4 as one of the other options).
+    AvgEdge,
+    /// ECEF-LAt (Section 5.1): `F_j = min_{k ∈ B} (g_jk + L_jk + T_k)` — the
+    /// receiver should be able to finish some remaining cluster, *including its
+    /// internal broadcast*, quickly.
+    MinEdgePlusIntra,
+    /// ECEF-LAT (Section 5.2): `F_j = max_{k ∈ B} (g_jk + L_jk + T_k)` — the
+    /// selection accounts for the *worst* remaining obligation, which steers the
+    /// schedule towards serving slow clusters early and overlapping their long
+    /// internal broadcasts with the rest of the operation.
+    MaxEdgePlusIntra,
+}
+
+impl Lookahead {
+    /// Evaluates `F_j` for candidate receiver `j` given the clusters still in B.
+    ///
+    /// `remaining` must not include `j` itself; if no other cluster remains the
+    /// lookahead is zero (the last receiver needs no forwarding ability).
+    fn evaluate(
+        &self,
+        problem: &BroadcastProblem,
+        j: ClusterId,
+        remaining: &[ClusterId],
+    ) -> Time {
+        if remaining.is_empty() || matches!(self, Lookahead::None) {
+            return Time::ZERO;
+        }
+        let edge = |k: ClusterId| problem.transfer(j, k);
+        match self {
+            Lookahead::None => Time::ZERO,
+            Lookahead::MinEdge => remaining.iter().map(|&k| edge(k)).min().unwrap(),
+            Lookahead::AvgEdge => {
+                let total: Time = remaining.iter().map(|&k| edge(k)).sum();
+                total / remaining.len() as f64
+            }
+            Lookahead::MinEdgePlusIntra => remaining
+                .iter()
+                .map(|&k| edge(k) + problem.intra_time(k))
+                .min()
+                .unwrap(),
+            Lookahead::MaxEdgePlusIntra => remaining
+                .iter()
+                .map(|&k| edge(k) + problem.intra_time(k))
+                .max()
+                .unwrap(),
+        }
+    }
+}
+
+/// Early Completion Edge First, optionally with a lookahead function.
+///
+/// At each round the heuristic selects the (sender, receiver) pair minimising
+///
+/// ```text
+/// RT_i + g_ij(m) + L_ij + F_j
+/// ```
+///
+/// where `RT_i` is the sender's ready time (when its coordinator can start the
+/// transfer) and `F_j` the configured [`Lookahead`]. The receiver then joins set
+/// A with its arrival time as ready time.
+#[derive(Debug, Clone, Copy)]
+pub struct Ecef {
+    lookahead: Lookahead,
+    name: &'static str,
+}
+
+impl Ecef {
+    /// Plain ECEF (no lookahead).
+    pub fn plain() -> Self {
+        Ecef {
+            lookahead: Lookahead::None,
+            name: "ECEF",
+        }
+    }
+
+    /// ECEF with the given lookahead function.
+    pub fn with_lookahead(lookahead: Lookahead) -> Self {
+        let name = match lookahead {
+            Lookahead::None => "ECEF",
+            Lookahead::MinEdge => "ECEF-LA",
+            Lookahead::AvgEdge => "ECEF-LA(avg)",
+            Lookahead::MinEdgePlusIntra => "ECEF-LAt",
+            Lookahead::MaxEdgePlusIntra => "ECEF-LAT",
+        };
+        Ecef { lookahead, name }
+    }
+
+    /// The configured lookahead.
+    pub fn lookahead(&self) -> Lookahead {
+        self.lookahead
+    }
+}
+
+impl Heuristic for Ecef {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn schedule(&self, problem: &BroadcastProblem) -> Schedule {
+        let mut state = ScheduleState::new(problem);
+        while !state.is_complete() {
+            let (sender, receiver) = self.select(&state);
+            state.commit(sender, receiver);
+        }
+        state.finish(self.name)
+    }
+}
+
+impl Ecef {
+    fn select(&self, state: &ScheduleState<'_>) -> (ClusterId, ClusterId) {
+        let problem = state.problem();
+        let set_b: Vec<ClusterId> = state.set_b().collect();
+        let mut best: Option<(ClusterId, ClusterId)> = None;
+        let mut best_score = Time::INFINITY;
+        for &receiver in &set_b {
+            // Clusters that would remain in B if `receiver` were chosen.
+            let remaining: Vec<ClusterId> =
+                set_b.iter().copied().filter(|&k| k != receiver).collect();
+            let lookahead = self.lookahead.evaluate(problem, receiver, &remaining);
+            for sender in state.set_a() {
+                let score = state.completion_estimate(sender, receiver) + lookahead;
+                if score < best_score {
+                    best_score = score;
+                    best = Some((sender, receiver));
+                }
+            }
+        }
+        best.expect("set B is non-empty while the schedule is incomplete")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::MessageSize;
+    use gridcast_topology::SquareMatrix;
+
+    fn ms(v: f64) -> Time {
+        Time::from_millis(v)
+    }
+
+    /// 3-cluster instance where relaying beats root-only sending: the root's
+    /// second send would have to wait for its first gap, while cluster 1 can
+    /// forward immediately after receiving.
+    fn relay_problem() -> BroadcastProblem {
+        let mut latency = SquareMatrix::filled(3, ms(1.0));
+        let mut gap = SquareMatrix::filled(3, ms(100.0));
+        for i in 0..3 {
+            latency[(i, i)] = Time::ZERO;
+            gap[(i, i)] = Time::ZERO;
+        }
+        // Make 1 → 2 cheap (20 ms) so that relaying through 1 wins.
+        gap[(1, 2)] = ms(20.0);
+        gap[(2, 1)] = ms(20.0);
+        BroadcastProblem::from_parts(
+            ClusterId(0),
+            MessageSize::from_mib(1),
+            latency,
+            gap,
+            vec![Time::ZERO; 3],
+        )
+    }
+
+    #[test]
+    fn ecef_prefers_the_earliest_completion() {
+        let problem = relay_problem();
+        let schedule = Ecef::plain().schedule(&problem);
+        assert!(schedule.validate(&problem).is_ok());
+        // First transfer: 0 → 1 (both edges from the root cost the same, the
+        // first receiver in iteration order wins).
+        assert_eq!(schedule.events[0].receiver, ClusterId(1));
+        // Second transfer: relaying 1 → 2 completes at 101 + 21 = 122 ms, while
+        // 0 → 2 would complete at 100 + 101 = 201 ms; ECEF must pick the relay.
+        assert_eq!(schedule.events[1].sender, ClusterId(1));
+        assert_eq!(schedule.events[1].receiver, ClusterId(2));
+        assert!(schedule.makespan().approx_eq(ms(122.0), Time::from_micros(1.0)));
+    }
+
+    #[test]
+    fn lookahead_avoids_dead_end_receivers() {
+        // Two candidate receivers: cluster 1 is slightly cheaper to reach but is
+        // a terrible forwarder (its outgoing edges are huge); cluster 2 costs a
+        // bit more but forwards cheaply. Plain ECEF grabs cluster 1 first; the
+        // lookahead variant must start with cluster 2.
+        let mut latency = SquareMatrix::filled(4, ms(1.0));
+        let mut gap = SquareMatrix::filled(4, ms(100.0));
+        for i in 0..4 {
+            latency[(i, i)] = Time::ZERO;
+            gap[(i, i)] = Time::ZERO;
+        }
+        // Reaching 1 is marginally cheaper than reaching 2.
+        gap[(0, 1)] = ms(90.0);
+        gap[(0, 2)] = ms(95.0);
+        // 1 forwards terribly, 2 forwards well.
+        gap[(1, 2)] = ms(500.0);
+        gap[(1, 3)] = ms(500.0);
+        gap[(2, 3)] = ms(30.0);
+        gap[(2, 1)] = ms(30.0);
+        let problem = BroadcastProblem::from_parts(
+            ClusterId(0),
+            MessageSize::from_mib(1),
+            latency,
+            gap,
+            vec![Time::ZERO; 4],
+        );
+
+        let plain = Ecef::plain().schedule(&problem);
+        let lookahead = Ecef::with_lookahead(Lookahead::MinEdge).schedule(&problem);
+        assert_eq!(plain.events[0].receiver, ClusterId(1));
+        assert_eq!(lookahead.events[0].receiver, ClusterId(2));
+        assert!(lookahead.makespan() <= plain.makespan());
+        assert!(lookahead.validate(&problem).is_ok());
+    }
+
+    #[test]
+    fn intra_aware_lookaheads_account_for_cluster_broadcast_times() {
+        // Clusters 1 and 2 are fast, cluster 3 needs a huge internal broadcast;
+        // every inter-cluster link is identical. ECEF-LAT (max lookahead) must
+        // contact the slow cluster first so its internal broadcast overlaps with
+        // the remaining wide-area traffic; ECEF-LAt keeps the fast-first
+        // behaviour because its lookahead only rewards cheap *future* targets.
+        let mut latency = SquareMatrix::filled(4, ms(1.0));
+        let mut gap = SquareMatrix::filled(4, ms(100.0));
+        for i in 0..4 {
+            latency[(i, i)] = Time::ZERO;
+            gap[(i, i)] = Time::ZERO;
+        }
+        let problem = BroadcastProblem::from_parts(
+            ClusterId(0),
+            MessageSize::from_mib(1),
+            latency,
+            gap,
+            vec![Time::ZERO, Time::ZERO, Time::ZERO, ms(1000.0)],
+        );
+        let lat_max = Ecef::with_lookahead(Lookahead::MaxEdgePlusIntra).schedule(&problem);
+        assert_eq!(lat_max.events[0].receiver, ClusterId(3));
+        let lat_min = Ecef::with_lookahead(Lookahead::MinEdgePlusIntra).schedule(&problem);
+        assert_eq!(lat_min.events[0].receiver, ClusterId(1));
+        // Serving the slow cluster first never hurts here.
+        assert!(lat_max.makespan() <= lat_min.makespan());
+        assert!(lat_max.validate(&problem).is_ok());
+        assert!(lat_min.validate(&problem).is_ok());
+    }
+
+    #[test]
+    fn avg_lookahead_is_between_min_and_max_behaviour() {
+        let problem = relay_problem();
+        let avg = Ecef::with_lookahead(Lookahead::AvgEdge).schedule(&problem);
+        assert!(avg.validate(&problem).is_ok());
+        assert_eq!(avg.heuristic, "ECEF-LA(avg)");
+    }
+
+    #[test]
+    fn names_follow_the_paper() {
+        assert_eq!(Ecef::plain().name(), "ECEF");
+        assert_eq!(Ecef::with_lookahead(Lookahead::MinEdge).name(), "ECEF-LA");
+        assert_eq!(
+            Ecef::with_lookahead(Lookahead::MinEdgePlusIntra).name(),
+            "ECEF-LAt"
+        );
+        assert_eq!(
+            Ecef::with_lookahead(Lookahead::MaxEdgePlusIntra).name(),
+            "ECEF-LAT"
+        );
+        assert_eq!(
+            Ecef::with_lookahead(Lookahead::MinEdge).lookahead(),
+            Lookahead::MinEdge
+        );
+    }
+
+    #[test]
+    fn last_receiver_has_zero_lookahead() {
+        // With a single remaining receiver every lookahead evaluates to zero, so
+        // all variants agree on the final transfer.
+        let problem = relay_problem();
+        for lookahead in [
+            Lookahead::None,
+            Lookahead::MinEdge,
+            Lookahead::AvgEdge,
+            Lookahead::MinEdgePlusIntra,
+            Lookahead::MaxEdgePlusIntra,
+        ] {
+            let f = lookahead.evaluate(&problem, ClusterId(2), &[]);
+            assert_eq!(f, Time::ZERO, "{lookahead:?}");
+        }
+    }
+}

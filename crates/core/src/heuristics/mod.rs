@@ -1,0 +1,202 @@
+//! The scheduling heuristics compared in the paper.
+
+pub mod bottom_up;
+pub mod ecef;
+pub mod fef;
+pub mod flat_tree;
+
+pub use bottom_up::BottomUp;
+pub use ecef::{Ecef, Lookahead};
+pub use fef::FastestEdgeFirst;
+pub use flat_tree::FlatTree;
+
+use crate::{BroadcastProblem, Schedule};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A broadcast scheduling heuristic: given a problem instance, produce a
+/// complete inter-cluster schedule.
+pub trait Heuristic {
+    /// The display name used by the paper's figures.
+    fn name(&self) -> &str;
+
+    /// Produces a schedule for `problem`.
+    fn schedule(&self, problem: &BroadcastProblem) -> Schedule;
+}
+
+/// The heuristics evaluated by the paper, as a value type convenient for
+/// sweeps, benches and serialisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeuristicKind {
+    /// Flat tree (ECO / MagPIe baseline): the root contacts every cluster itself.
+    FlatTree,
+    /// Fastest Edge First (Bhat et al.): smallest latency edge out of set A.
+    Fef,
+    /// Early Completion Edge First (Bhat et al.): minimise `RT_i + g_ij + L_ij`.
+    Ecef,
+    /// ECEF with Bhat's lookahead `F_j = min_k (g_jk + L_jk)`.
+    EcefLa,
+    /// ECEF-LAt (this paper): lookahead `F_j = min_k (g_jk + L_jk + T_k)`.
+    EcefLaMin,
+    /// ECEF-LAT (this paper): lookahead `F_j = max_k (g_jk + L_jk + T_k)`.
+    EcefLaMax,
+    /// BottomUp (this paper): `max_j min_i (g_ij + L_ij + T_j)`.
+    BottomUp,
+}
+
+impl HeuristicKind {
+    /// The seven heuristics of Figures 1 and 2, in the paper's legend order.
+    pub fn all() -> [HeuristicKind; 7] {
+        [
+            HeuristicKind::FlatTree,
+            HeuristicKind::Fef,
+            HeuristicKind::Ecef,
+            HeuristicKind::EcefLa,
+            HeuristicKind::EcefLaMax,
+            HeuristicKind::EcefLaMin,
+            HeuristicKind::BottomUp,
+        ]
+    }
+
+    /// The four ECEF-like heuristics of Figures 3 and 4.
+    pub fn ecef_family() -> [HeuristicKind; 4] {
+        [
+            HeuristicKind::Ecef,
+            HeuristicKind::EcefLa,
+            HeuristicKind::EcefLaMax,
+            HeuristicKind::EcefLaMin,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HeuristicKind::FlatTree => "Flat Tree",
+            HeuristicKind::Fef => "FEF",
+            HeuristicKind::Ecef => "ECEF",
+            HeuristicKind::EcefLa => "ECEF-LA",
+            HeuristicKind::EcefLaMin => "ECEF-LAt",
+            HeuristicKind::EcefLaMax => "ECEF-LAT",
+            HeuristicKind::BottomUp => "BottomUp",
+        }
+    }
+
+    /// Schedules `problem` with this heuristic.
+    pub fn schedule(&self, problem: &BroadcastProblem) -> Schedule {
+        match self {
+            HeuristicKind::FlatTree => FlatTree.schedule(problem),
+            HeuristicKind::Fef => FastestEdgeFirst.schedule(problem),
+            HeuristicKind::Ecef => Ecef::plain().schedule(problem),
+            HeuristicKind::EcefLa => Ecef::with_lookahead(Lookahead::MinEdge).schedule(problem),
+            HeuristicKind::EcefLaMin => {
+                Ecef::with_lookahead(Lookahead::MinEdgePlusIntra).schedule(problem)
+            }
+            HeuristicKind::EcefLaMax => {
+                Ecef::with_lookahead(Lookahead::MaxEdgePlusIntra).schedule(problem)
+            }
+            HeuristicKind::BottomUp => BottomUp.schedule(problem),
+        }
+    }
+
+    /// Whether the heuristic is one of the three grid-aware strategies proposed
+    /// by the paper (Section 5) as opposed to the prior art of Section 4.
+    pub fn is_grid_aware(&self) -> bool {
+        matches!(
+            self,
+            HeuristicKind::EcefLaMin | HeuristicKind::EcefLaMax | HeuristicKind::BottomUp
+        )
+    }
+}
+
+impl fmt::Display for HeuristicKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::{MessageSize, Time};
+    use gridcast_topology::{ClusterId, GridGenerator};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_problem(clusters: usize, seed: u64) -> BroadcastProblem {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1))
+    }
+
+    #[test]
+    fn every_heuristic_produces_a_valid_schedule() {
+        for clusters in [2usize, 3, 5, 10, 25] {
+            let problem = random_problem(clusters, clusters as u64);
+            for kind in HeuristicKind::all() {
+                let schedule = kind.schedule(&problem);
+                assert!(
+                    schedule.validate(&problem).is_ok(),
+                    "{kind} produced an invalid schedule for {clusters} clusters: {:?}",
+                    schedule.validate(&problem)
+                );
+                assert_eq!(schedule.num_transfers(), clusters - 1, "{kind}");
+                assert!(schedule.makespan() >= problem.lower_bound(), "{kind}");
+                assert_eq!(schedule.heuristic, kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = HeuristicKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Flat Tree",
+                "FEF",
+                "ECEF",
+                "ECEF-LA",
+                "ECEF-LAT",
+                "ECEF-LAt",
+                "BottomUp"
+            ]
+        );
+        assert_eq!(HeuristicKind::BottomUp.to_string(), "BottomUp");
+    }
+
+    #[test]
+    fn grid_aware_flags() {
+        assert!(HeuristicKind::EcefLaMin.is_grid_aware());
+        assert!(HeuristicKind::EcefLaMax.is_grid_aware());
+        assert!(HeuristicKind::BottomUp.is_grid_aware());
+        assert!(!HeuristicKind::Ecef.is_grid_aware());
+        assert!(!HeuristicKind::FlatTree.is_grid_aware());
+        assert_eq!(HeuristicKind::ecef_family().len(), 4);
+    }
+
+    #[test]
+    fn ecef_family_beats_flat_tree_on_average() {
+        // Statistical sanity check on a handful of random instances: the average
+        // makespan of ECEF-like schedules must not exceed the flat tree's.
+        let mut flat_total = Time::ZERO;
+        let mut ecef_total = Time::ZERO;
+        for seed in 0..50u64 {
+            let problem = random_problem(8, seed);
+            flat_total += HeuristicKind::FlatTree.schedule(&problem).makespan();
+            ecef_total += HeuristicKind::Ecef.schedule(&problem).makespan();
+        }
+        assert!(
+            ecef_total < flat_total,
+            "ECEF ({ecef_total}) should beat Flat Tree ({flat_total}) on average"
+        );
+    }
+
+    #[test]
+    fn two_cluster_grids_are_handled() {
+        let problem = random_problem(2, 99);
+        for kind in HeuristicKind::all() {
+            let schedule = kind.schedule(&problem);
+            assert_eq!(schedule.num_transfers(), 1);
+            assert!(schedule.validate(&problem).is_ok());
+        }
+    }
+}

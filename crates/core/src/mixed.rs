@@ -1,0 +1,115 @@
+//! The mixed strategy recommended in Section 6.
+//!
+//! The simulations show that the performance-oriented heuristics (ECEF, ECEF-LA,
+//! ECEF-LAt) give the best schedules when the grid has few clusters, but their
+//! hit rate degrades as the cluster count grows, while ECEF-LAT's hit rate stays
+//! roughly constant. The paper therefore suggests switching heuristic based on
+//! the problem size; [`MixedStrategy`] implements exactly that rule.
+
+use crate::heuristics::Heuristic;
+use crate::{BroadcastProblem, HeuristicKind, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Heuristic-selection policy switching on the number of clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MixedStrategy {
+    /// Largest cluster count for which the performance-oriented heuristic is
+    /// used; above it the balanced ECEF-LAT takes over.
+    pub small_grid_threshold: usize,
+    /// Heuristic used for small grids (the paper suggests ECEF or ECEF-LA).
+    pub small_grid_heuristic: HeuristicKind,
+    /// Heuristic used for large grids (the paper suggests ECEF-LAT).
+    pub large_grid_heuristic: HeuristicKind,
+}
+
+impl Default for MixedStrategy {
+    fn default() -> Self {
+        MixedStrategy {
+            small_grid_threshold: 10,
+            small_grid_heuristic: HeuristicKind::EcefLa,
+            large_grid_heuristic: HeuristicKind::EcefLaMax,
+        }
+    }
+}
+
+impl MixedStrategy {
+    /// The heuristic the strategy selects for a grid with `num_clusters`.
+    pub fn select(&self, num_clusters: usize) -> HeuristicKind {
+        if num_clusters <= self.small_grid_threshold {
+            self.small_grid_heuristic
+        } else {
+            self.large_grid_heuristic
+        }
+    }
+}
+
+impl Heuristic for MixedStrategy {
+    fn name(&self) -> &str {
+        "Mixed"
+    }
+
+    fn schedule(&self, problem: &BroadcastProblem) -> Schedule {
+        let kind = self.select(problem.num_clusters());
+        let mut schedule = kind.schedule(problem);
+        schedule.heuristic = format!("Mixed({})", kind.name());
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::MessageSize;
+    use gridcast_topology::{ClusterId, GridGenerator};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn selection_switches_at_the_threshold() {
+        let strategy = MixedStrategy::default();
+        assert_eq!(strategy.select(2), HeuristicKind::EcefLa);
+        assert_eq!(strategy.select(10), HeuristicKind::EcefLa);
+        assert_eq!(strategy.select(11), HeuristicKind::EcefLaMax);
+        assert_eq!(strategy.select(50), HeuristicKind::EcefLaMax);
+    }
+
+    #[test]
+    fn schedule_matches_the_selected_heuristic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let small = GridGenerator::table2().generate(6, &mut rng);
+        let large = GridGenerator::table2().generate(30, &mut rng);
+        let strategy = MixedStrategy::default();
+        let m = MessageSize::from_mib(1);
+
+        let p_small = BroadcastProblem::from_grid(&small, ClusterId(0), m);
+        let p_large = BroadcastProblem::from_grid(&large, ClusterId(0), m);
+
+        let s_small = strategy.schedule(&p_small);
+        assert_eq!(
+            s_small.makespan(),
+            HeuristicKind::EcefLa.schedule(&p_small).makespan()
+        );
+        assert_eq!(s_small.heuristic, "Mixed(ECEF-LA)");
+        assert!(s_small.validate(&p_small).is_ok());
+
+        let s_large = strategy.schedule(&p_large);
+        assert_eq!(
+            s_large.makespan(),
+            HeuristicKind::EcefLaMax.schedule(&p_large).makespan()
+        );
+        assert_eq!(s_large.heuristic, "Mixed(ECEF-LAT)");
+        assert!(s_large.validate(&p_large).is_ok());
+    }
+
+    #[test]
+    fn custom_thresholds_and_heuristics() {
+        let strategy = MixedStrategy {
+            small_grid_threshold: 4,
+            small_grid_heuristic: HeuristicKind::Ecef,
+            large_grid_heuristic: HeuristicKind::BottomUp,
+        };
+        assert_eq!(strategy.select(4), HeuristicKind::Ecef);
+        assert_eq!(strategy.select(5), HeuristicKind::BottomUp);
+        assert_eq!(strategy.name(), "Mixed");
+    }
+}

@@ -1,0 +1,220 @@
+//! Exhaustive (branch-and-bound) search for the optimal schedule on small grids.
+//!
+//! Finding the optimal broadcast schedule is NP-complete, which is why the paper
+//! relies on heuristics and, for its hit-rate metric (Figure 4), on the "global
+//! minimum" across heuristics rather than the true optimum. For *small* grids the
+//! optimum is nevertheless computable by enumerating the possible sender/receiver
+//! sequences, and having it available is valuable for tests (no heuristic may
+//! ever beat it) and for calibrating how far the heuristics are from optimal.
+
+use crate::{BroadcastProblem, Schedule, ScheduleEvent};
+use gridcast_plogp::Time;
+use gridcast_topology::ClusterId;
+
+/// Branch-and-bound searcher for the optimal inter-cluster schedule.
+#[derive(Debug, Clone)]
+pub struct OptimalSearch {
+    /// Maximum number of clusters the search accepts; beyond this the search
+    /// space (roughly `(n-1)!·n!/2^n` schedules) is too large and
+    /// [`OptimalSearch::search`] returns `None`.
+    pub max_clusters: usize,
+}
+
+impl Default for OptimalSearch {
+    fn default() -> Self {
+        OptimalSearch { max_clusters: 8 }
+    }
+}
+
+struct SearchCtx<'p> {
+    problem: &'p BroadcastProblem,
+    best_makespan: Time,
+    best_events: Vec<ScheduleEvent>,
+}
+
+impl OptimalSearch {
+    /// Runs the search. Returns `None` if the problem exceeds `max_clusters`.
+    pub fn search(&self, problem: &BroadcastProblem) -> Option<Schedule> {
+        let n = problem.num_clusters();
+        if n > self.max_clusters {
+            return None;
+        }
+        if n == 1 {
+            return Some(Schedule::from_events(problem, "Optimal", vec![]));
+        }
+        let mut ctx = SearchCtx {
+            problem,
+            best_makespan: Time::INFINITY,
+            best_events: Vec::new(),
+        };
+        // Seed the incumbent with a decent heuristic schedule so pruning bites
+        // immediately.
+        let seed = crate::HeuristicKind::EcefLa.schedule(problem);
+        ctx.best_makespan = seed.makespan();
+        ctx.best_events = seed.events.clone();
+
+        let mut in_a = vec![false; n];
+        in_a[problem.root.index()] = true;
+        let mut ready = vec![Time::ZERO; n];
+        let mut events = Vec::with_capacity(n - 1);
+        explore(&mut ctx, &mut in_a, &mut ready, &mut events);
+
+        let schedule = Schedule::from_events(problem, "Optimal", ctx.best_events);
+        Some(schedule)
+    }
+}
+
+/// Convenience wrapper: optimal schedule with the default cluster cap.
+pub fn optimal_schedule(problem: &BroadcastProblem) -> Option<Schedule> {
+    OptimalSearch::default().search(problem)
+}
+
+fn explore(
+    ctx: &mut SearchCtx<'_>,
+    in_a: &mut Vec<bool>,
+    ready: &mut Vec<Time>,
+    events: &mut Vec<ScheduleEvent>,
+) {
+    let problem = ctx.problem;
+    let n = problem.num_clusters();
+    if events.len() + 1 == n {
+        let schedule = Schedule::from_events(problem, "Optimal", events.clone());
+        let makespan = schedule.makespan();
+        if makespan < ctx.best_makespan {
+            ctx.best_makespan = makespan;
+            ctx.best_events = events.clone();
+        }
+        return;
+    }
+
+    if lower_bound(problem, in_a, ready) >= ctx.best_makespan {
+        return;
+    }
+
+    for receiver_idx in 0..n {
+        if in_a[receiver_idx] {
+            continue;
+        }
+        let receiver = ClusterId(receiver_idx);
+        for sender_idx in 0..n {
+            if !in_a[sender_idx] {
+                continue;
+            }
+            let sender = ClusterId(sender_idx);
+            let start = ready[sender_idx];
+            let arrival = start + problem.transfer(sender, receiver);
+            let saved_sender_ready = ready[sender_idx];
+            ready[sender_idx] = start + problem.gap(sender, receiver);
+            ready[receiver_idx] = arrival;
+            in_a[receiver_idx] = true;
+            events.push(ScheduleEvent {
+                sender,
+                receiver,
+                start,
+                arrival,
+            });
+
+            explore(ctx, in_a, ready, events);
+
+            events.pop();
+            in_a[receiver_idx] = false;
+            ready[receiver_idx] = Time::ZERO;
+            ready[sender_idx] = saved_sender_ready;
+        }
+    }
+}
+
+/// A safe lower bound on the makespan reachable from a partial state: every
+/// cluster already in A must still run its internal broadcast after its current
+/// ready time, and every cluster still in B must receive the message over at
+/// least its cheapest incoming edge, starting no earlier than the earliest ready
+/// time in A.
+fn lower_bound(problem: &BroadcastProblem, in_a: &[bool], ready: &[Time]) -> Time {
+    let n = problem.num_clusters();
+    let earliest_sender = (0..n)
+        .filter(|&i| in_a[i])
+        .map(|i| ready[i])
+        .min()
+        .unwrap_or(Time::ZERO);
+    let mut bound = Time::ZERO;
+    for i in 0..n {
+        let cluster = ClusterId(i);
+        if in_a[i] {
+            bound = bound.max(ready[i] + problem.intra_time(cluster));
+        } else {
+            let cheapest_in = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| problem.transfer(ClusterId(j), cluster))
+                .min()
+                .unwrap_or(Time::ZERO);
+            bound = bound.max(earliest_sender + cheapest_in + problem.intra_time(cluster));
+        }
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeuristicKind;
+    use gridcast_plogp::MessageSize;
+    use gridcast_topology::{ClusterId, GridGenerator};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_problem(clusters: usize, seed: u64) -> BroadcastProblem {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1))
+    }
+
+    #[test]
+    fn optimal_is_never_beaten_by_any_heuristic() {
+        for clusters in [2usize, 3, 4, 5] {
+            for seed in 0..10u64 {
+                let problem = random_problem(clusters, seed * 31 + clusters as u64);
+                let optimal = optimal_schedule(&problem).expect("within cluster cap");
+                assert!(optimal.validate(&problem).is_ok());
+                for kind in HeuristicKind::all() {
+                    let heuristic = kind.schedule(&problem).makespan();
+                    assert!(
+                        optimal.makespan() <= heuristic + gridcast_plogp::Time::from_micros(1.0),
+                        "{kind} beat the optimal search on {clusters} clusters, seed {seed}: \
+                         optimal {} vs heuristic {heuristic}",
+                        optimal.makespan()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_respects_the_lower_bound() {
+        for seed in 0..10u64 {
+            let problem = random_problem(5, seed);
+            let optimal = optimal_schedule(&problem).unwrap();
+            assert!(optimal.makespan() >= problem.lower_bound());
+        }
+    }
+
+    #[test]
+    fn refuses_oversized_problems() {
+        let problem = random_problem(12, 1);
+        assert!(optimal_schedule(&problem).is_none());
+        let search = OptimalSearch { max_clusters: 12 };
+        // With an explicit larger cap it still works (slowly, so only run once
+        // with a small instance here).
+        assert!(search.search(&random_problem(4, 2)).is_some());
+    }
+
+    #[test]
+    fn single_and_two_cluster_grids() {
+        let problem = random_problem(2, 3);
+        let optimal = optimal_schedule(&problem).unwrap();
+        assert_eq!(optimal.num_transfers(), 1);
+        // With two clusters every heuristic is optimal.
+        assert_eq!(
+            optimal.makespan(),
+            HeuristicKind::FlatTree.schedule(&problem).makespan()
+        );
+    }
+}

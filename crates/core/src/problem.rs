@@ -1,0 +1,253 @@
+//! The broadcast problem instance handed to the scheduling heuristics.
+
+use gridcast_collectives::intra_broadcast_time;
+use gridcast_plogp::{MessageSize, Time};
+use gridcast_topology::{ClusterId, Grid, SquareMatrix};
+use serde::{Deserialize, Serialize};
+
+/// A fully evaluated broadcast problem instance.
+///
+/// The heuristics of the paper never look at raw pLogP models: they work with
+/// the three quantities the formalism needs, already evaluated for the message
+/// size at hand —
+///
+/// * `L_{i,j}`: inter-cluster latency,
+/// * `g_{i,j}(m)`: inter-cluster gap for the message,
+/// * `T_i(m)`: intra-cluster broadcast time of each cluster.
+///
+/// Pre-evaluating them keeps the heuristics allocation-free and makes the
+/// Monte-Carlo simulations (10 000 schedules per configuration) cheap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BroadcastProblem {
+    /// The cluster whose coordinator initially holds the message.
+    pub root: ClusterId,
+    /// The broadcast payload size.
+    pub message: MessageSize,
+    latency: SquareMatrix<Time>,
+    gap: SquareMatrix<Time>,
+    intra_time: Vec<Time>,
+}
+
+impl BroadcastProblem {
+    /// Builds a problem instance from a [`Grid`], evaluating gaps and
+    /// intra-cluster broadcast times for `message`.
+    pub fn from_grid(grid: &Grid, root: ClusterId, message: MessageSize) -> Self {
+        let n = grid.num_clusters();
+        assert!(root.index() < n, "root cluster {root} outside the grid");
+        let mut latency = SquareMatrix::filled(n, Time::ZERO);
+        let mut gap = SquareMatrix::filled(n, Time::ZERO);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                latency[(i, j)] = grid.latency(ClusterId(i), ClusterId(j));
+                gap[(i, j)] = grid.gap(ClusterId(i), ClusterId(j), message);
+            }
+        }
+        let intra_time = grid
+            .clusters()
+            .iter()
+            .map(|c| intra_broadcast_time(c, message))
+            .collect();
+        BroadcastProblem {
+            root,
+            message,
+            latency,
+            gap,
+            intra_time,
+        }
+    }
+
+    /// Builds a problem instance from raw matrices. `latency` and `gap` must be
+    /// square matrices of the same dimension and `intra_time` must have one entry
+    /// per cluster.
+    pub fn from_parts(
+        root: ClusterId,
+        message: MessageSize,
+        latency: SquareMatrix<Time>,
+        gap: SquareMatrix<Time>,
+        intra_time: Vec<Time>,
+    ) -> Self {
+        let n = latency.dim();
+        assert_eq!(gap.dim(), n, "gap matrix dimension mismatch");
+        assert_eq!(intra_time.len(), n, "intra-cluster time vector length mismatch");
+        assert!(root.index() < n, "root cluster {root} outside the problem");
+        BroadcastProblem {
+            root,
+            message,
+            latency,
+            gap,
+            intra_time,
+        }
+    }
+
+    /// Number of clusters.
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.intra_time.len()
+    }
+
+    /// Inter-cluster latency `L_{from,to}`.
+    #[inline]
+    pub fn latency(&self, from: ClusterId, to: ClusterId) -> Time {
+        self.latency[(from.index(), to.index())]
+    }
+
+    /// Inter-cluster gap `g_{from,to}(m)`.
+    #[inline]
+    pub fn gap(&self, from: ClusterId, to: ClusterId) -> Time {
+        self.gap[(from.index(), to.index())]
+    }
+
+    /// The transfer cost `g_{from,to}(m) + L_{from,to}` used by every heuristic.
+    #[inline]
+    pub fn transfer(&self, from: ClusterId, to: ClusterId) -> Time {
+        self.gap(from, to) + self.latency(from, to)
+    }
+
+    /// Intra-cluster broadcast time `T_i(m)`.
+    #[inline]
+    pub fn intra_time(&self, cluster: ClusterId) -> Time {
+        self.intra_time[cluster.index()]
+    }
+
+    /// All cluster identifiers.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        (0..self.num_clusters()).map(ClusterId)
+    }
+
+    /// A simple lower bound on the achievable makespan: every non-root cluster
+    /// must receive the message over at least one inter-cluster transfer from
+    /// somewhere and then run its own internal broadcast, and the root must run
+    /// its internal broadcast too. Useful for sanity checks and tests; it is not
+    /// tight.
+    pub fn lower_bound(&self) -> Time {
+        let mut bound = self.intra_time(self.root);
+        for j in self.cluster_ids() {
+            if j == self.root {
+                continue;
+            }
+            let cheapest_in = self
+                .cluster_ids()
+                .filter(|&i| i != j)
+                .map(|i| self.transfer(i, j))
+                .min()
+                .unwrap_or(Time::ZERO);
+            bound = bound.max(cheapest_in + self.intra_time(j));
+        }
+        bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_topology::{grid5000_table3, Cluster, Grid};
+
+    fn tiny_problem() -> BroadcastProblem {
+        // 3 clusters; transfer costs chosen by hand.
+        let latency = SquareMatrix::from_rows(
+            3,
+            vec![
+                Time::ZERO,
+                Time::from_millis(1.0),
+                Time::from_millis(2.0),
+                Time::from_millis(1.0),
+                Time::ZERO,
+                Time::from_millis(3.0),
+                Time::from_millis(2.0),
+                Time::from_millis(3.0),
+                Time::ZERO,
+            ],
+        );
+        let gap = SquareMatrix::from_rows(
+            3,
+            vec![
+                Time::ZERO,
+                Time::from_millis(100.0),
+                Time::from_millis(200.0),
+                Time::from_millis(100.0),
+                Time::ZERO,
+                Time::from_millis(300.0),
+                Time::from_millis(200.0),
+                Time::from_millis(300.0),
+                Time::ZERO,
+            ],
+        );
+        let intra = vec![
+            Time::from_millis(50.0),
+            Time::from_millis(500.0),
+            Time::from_millis(20.0),
+        ];
+        BroadcastProblem::from_parts(
+            ClusterId(0),
+            MessageSize::from_mib(1),
+            latency,
+            gap,
+            intra,
+        )
+    }
+
+    #[test]
+    fn accessors_return_the_configured_values() {
+        let p = tiny_problem();
+        assert_eq!(p.num_clusters(), 3);
+        assert_eq!(p.latency(ClusterId(0), ClusterId(2)), Time::from_millis(2.0));
+        assert_eq!(p.gap(ClusterId(1), ClusterId(2)), Time::from_millis(300.0));
+        assert_eq!(p.transfer(ClusterId(0), ClusterId(1)), Time::from_millis(101.0));
+        assert_eq!(p.intra_time(ClusterId(1)), Time::from_millis(500.0));
+    }
+
+    #[test]
+    fn from_grid_uses_collective_predictions() {
+        let grid = grid5000_table3();
+        let p = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1));
+        assert_eq!(p.num_clusters(), 6);
+        // Singleton IDPOT clusters broadcast instantly.
+        assert_eq!(p.intra_time(ClusterId(3)), Time::ZERO);
+        assert_eq!(p.intra_time(ClusterId(4)), Time::ZERO);
+        // The 31-machine Orsay cluster needs real time.
+        assert!(p.intra_time(ClusterId(0)) > Time::ZERO);
+        // Latency matches Table 3.
+        assert!((p.latency(ClusterId(0), ClusterId(5)).as_micros() - 5210.99).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_bound_reflects_cheapest_incoming_edge_plus_intra() {
+        let p = tiny_problem();
+        // Cluster 1: cheapest incoming transfer is 101 ms (from 0), plus 500 ms intra.
+        // Cluster 2: cheapest incoming is 202 ms (from 0), plus 20 ms.
+        // Root intra: 50 ms. Max = 601 ms.
+        assert_eq!(p.lower_bound(), Time::from_millis(601.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the problem")]
+    fn invalid_root_is_rejected() {
+        let p = tiny_problem();
+        let _ = BroadcastProblem::from_parts(
+            ClusterId(7),
+            p.message,
+            SquareMatrix::filled(3, Time::ZERO),
+            SquareMatrix::filled(3, Time::ZERO),
+            vec![Time::ZERO; 3],
+        );
+    }
+
+    #[test]
+    fn single_cluster_problem_has_intra_only_lower_bound() {
+        let grid = Grid::builder()
+            .cluster(Cluster::with_fixed_time(
+                ClusterId(0),
+                "only",
+                8,
+                Time::from_millis(40.0),
+            ))
+            .build()
+            .unwrap();
+        let p = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1));
+        assert_eq!(p.num_clusters(), 1);
+        assert_eq!(p.lower_bound(), Time::from_millis(40.0));
+    }
+}

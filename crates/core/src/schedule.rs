@@ -1,0 +1,400 @@
+//! Inter-cluster broadcast schedules and their makespan.
+
+use crate::BroadcastProblem;
+use gridcast_plogp::Time;
+use gridcast_topology::ClusterId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One inter-cluster transfer of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleEvent {
+    /// Cluster whose coordinator sends the message.
+    pub sender: ClusterId,
+    /// Cluster whose coordinator receives the message.
+    pub receiver: ClusterId,
+    /// Time the sender starts pushing the message (its interface is busy for the
+    /// gap `g(m)` from this instant).
+    pub start: Time,
+    /// Time the receiver holds the complete message: `start + g(m) + L`.
+    pub arrival: Time,
+}
+
+/// Errors found while validating a schedule against its problem instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// A cluster other than the root never receives the message.
+    NotCovered {
+        /// The cluster left out.
+        cluster: ClusterId,
+    },
+    /// A cluster receives the message more than once.
+    DuplicateReceive {
+        /// The cluster in question.
+        cluster: ClusterId,
+    },
+    /// The root appears as a receiver.
+    RootReceives,
+    /// A sender transmits before it holds the message itself.
+    SendsBeforeReady {
+        /// The offending event index.
+        event: usize,
+    },
+    /// An event's arrival time is inconsistent with the problem's link
+    /// parameters.
+    WrongArrival {
+        /// The offending event index.
+        event: usize,
+    },
+    /// Two sends from the same coordinator overlap (the gap constraint is
+    /// violated).
+    OverlappingSends {
+        /// The cluster whose coordinator is oversubscribed.
+        cluster: ClusterId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NotCovered { cluster } => {
+                write!(f, "cluster {cluster} never receives the message")
+            }
+            ScheduleError::DuplicateReceive { cluster } => {
+                write!(f, "cluster {cluster} receives the message more than once")
+            }
+            ScheduleError::RootReceives => write!(f, "the root cluster appears as a receiver"),
+            ScheduleError::SendsBeforeReady { event } => {
+                write!(f, "event #{event}: sender transmits before holding the message")
+            }
+            ScheduleError::WrongArrival { event } => {
+                write!(f, "event #{event}: arrival time inconsistent with link parameters")
+            }
+            ScheduleError::OverlappingSends { cluster } => {
+                write!(f, "cluster {cluster} has overlapping outgoing transfers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete inter-cluster broadcast schedule, together with the per-cluster
+/// completion times (arrival at the coordinator, then intra-cluster broadcast
+/// once the coordinator has finished forwarding).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// The root cluster.
+    pub root: ClusterId,
+    /// Inter-cluster transfers, in the order they were scheduled.
+    pub events: Vec<ScheduleEvent>,
+    /// For every cluster, the time at which all of its machines hold the message.
+    pub cluster_completion: Vec<Time>,
+    /// Name of the heuristic that produced the schedule (for reports).
+    pub heuristic: String,
+}
+
+impl Schedule {
+    /// Builds a schedule from its events, computing per-cluster completion times
+    /// from the problem's intra-cluster broadcast times.
+    ///
+    /// A cluster's internal broadcast starts only once its coordinator has both
+    /// received the message and finished every outgoing transfer assigned to it
+    /// (the paper's formalism: "when a cluster does not participate in any other
+    /// inter-cluster communication, it can finally broadcast the message among
+    /// the cluster processes").
+    pub fn from_events(
+        problem: &BroadcastProblem,
+        heuristic: impl Into<String>,
+        events: Vec<ScheduleEvent>,
+    ) -> Self {
+        let n = problem.num_clusters();
+        let mut arrival = vec![Time::ZERO; n];
+        let mut busy_until = vec![Time::ZERO; n];
+        for event in &events {
+            arrival[event.receiver.index()] = event.arrival;
+            // The sender's interface is occupied for the gap of this transfer.
+            let send_end = event.start + problem.gap(event.sender, event.receiver);
+            let cell = &mut busy_until[event.sender.index()];
+            *cell = (*cell).max(send_end);
+        }
+        let cluster_completion = (0..n)
+            .map(|i| {
+                let coordinator_free = arrival[i].max(busy_until[i]);
+                coordinator_free + problem.intra_time(ClusterId(i))
+            })
+            .collect();
+        Schedule {
+            root: problem.root,
+            events,
+            cluster_completion,
+            heuristic: heuristic.into(),
+        }
+    }
+
+    /// The makespan: the moment every machine of every cluster holds the message.
+    pub fn makespan(&self) -> Time {
+        self.cluster_completion
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// The completion time of one cluster.
+    pub fn completion_of(&self, cluster: ClusterId) -> Time {
+        self.cluster_completion[cluster.index()]
+    }
+
+    /// Number of inter-cluster transfers (always `num_clusters - 1`).
+    pub fn num_transfers(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The arrival time of the message at a cluster coordinator (zero for the
+    /// root).
+    pub fn arrival_at(&self, cluster: ClusterId) -> Time {
+        self.events
+            .iter()
+            .find(|e| e.receiver == cluster)
+            .map(|e| e.arrival)
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Validates the schedule against the problem: full coverage, unique
+    /// reception, causality (senders hold the message before sending), correct
+    /// arrival arithmetic and no overlapping sends from one coordinator.
+    pub fn validate(&self, problem: &BroadcastProblem) -> Result<(), ScheduleError> {
+        let n = problem.num_clusters();
+        let mut received = vec![false; n];
+        received[self.root.index()] = true;
+
+        // Uniqueness and root checks first.
+        let mut seen = vec![false; n];
+        for event in &self.events {
+            if event.receiver == self.root {
+                return Err(ScheduleError::RootReceives);
+            }
+            if seen[event.receiver.index()] {
+                return Err(ScheduleError::DuplicateReceive {
+                    cluster: event.receiver,
+                });
+            }
+            seen[event.receiver.index()] = true;
+        }
+
+        // Causality, arithmetic and gap occupancy.
+        let tolerance = Time::from_micros(0.5);
+        let mut ready = vec![Time::INFINITY; n];
+        ready[self.root.index()] = Time::ZERO;
+        let mut intervals: Vec<Vec<(Time, Time)>> = vec![Vec::new(); n];
+        for (idx, event) in self.events.iter().enumerate() {
+            let sender_ready = ready[event.sender.index()];
+            if !sender_ready.is_finite() || event.start + tolerance < sender_ready {
+                return Err(ScheduleError::SendsBeforeReady { event: idx });
+            }
+            let expected = event.start + problem.transfer(event.sender, event.receiver);
+            if event.arrival.abs_diff(expected) > tolerance {
+                return Err(ScheduleError::WrongArrival { event: idx });
+            }
+            ready[event.receiver.index()] = event.arrival;
+            received[event.receiver.index()] = true;
+            intervals[event.sender.index()].push((
+                event.start,
+                event.start + problem.gap(event.sender, event.receiver),
+            ));
+        }
+
+        for (i, got) in received.iter().enumerate() {
+            if !got {
+                return Err(ScheduleError::NotCovered {
+                    cluster: ClusterId(i),
+                });
+            }
+        }
+
+        for (i, list) in intervals.iter_mut().enumerate() {
+            list.sort_by_key(|&(start, _)| start);
+            for w in list.windows(2) {
+                if w[1].0 + tolerance < w[0].1 {
+                    return Err(ScheduleError::OverlappingSends {
+                        cluster: ClusterId(i),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::MessageSize;
+    use gridcast_topology::SquareMatrix;
+
+    /// 3-cluster problem where every transfer costs 10 ms gap + 1 ms latency and
+    /// intra-cluster broadcasts take 5 ms (root), 7 ms, 0 ms.
+    fn problem() -> BroadcastProblem {
+        let n = 3;
+        let mut latency = SquareMatrix::filled(n, Time::from_millis(1.0));
+        let mut gap = SquareMatrix::filled(n, Time::from_millis(10.0));
+        for i in 0..n {
+            latency[(i, i)] = Time::ZERO;
+            gap[(i, i)] = Time::ZERO;
+        }
+        BroadcastProblem::from_parts(
+            ClusterId(0),
+            MessageSize::from_mib(1),
+            latency,
+            gap,
+            vec![
+                Time::from_millis(5.0),
+                Time::from_millis(7.0),
+                Time::ZERO,
+            ],
+        )
+    }
+
+    fn event(sender: usize, receiver: usize, start_ms: f64, arrival_ms: f64) -> ScheduleEvent {
+        ScheduleEvent {
+            sender: ClusterId(sender),
+            receiver: ClusterId(receiver),
+            start: Time::from_millis(start_ms),
+            arrival: Time::from_millis(arrival_ms),
+        }
+    }
+
+    #[test]
+    fn completion_accounts_for_forwarding_and_intra_broadcast() {
+        let p = problem();
+        // Root sends to 1 at t=0 (arrival 11), then to 2 at t=10 (arrival 21).
+        let s = Schedule::from_events(
+            &p,
+            "manual",
+            vec![event(0, 1, 0.0, 11.0), event(0, 2, 10.0, 21.0)],
+        );
+        let eps = Time::from_micros(1.0);
+        // Root coordinator is busy until 20 ms, then 5 ms intra: 25 ms.
+        assert!(s.completion_of(ClusterId(0)).approx_eq(Time::from_millis(25.0), eps));
+        // Cluster 1 receives at 11, no forwarding, 7 ms intra: 18 ms.
+        assert!(s.completion_of(ClusterId(1)).approx_eq(Time::from_millis(18.0), eps));
+        // Cluster 2 receives at 21, no intra time: 21 ms.
+        assert!(s.completion_of(ClusterId(2)).approx_eq(Time::from_millis(21.0), eps));
+        assert!(s.makespan().approx_eq(Time::from_millis(25.0), eps));
+        assert_eq!(s.num_transfers(), 2);
+        assert_eq!(s.arrival_at(ClusterId(2)), Time::from_millis(21.0));
+        assert_eq!(s.arrival_at(ClusterId(0)), Time::ZERO);
+        assert!(s.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn relay_schedule_validates() {
+        let p = problem();
+        // 0 → 1 (arrival 11), then 1 → 2 starting at 11 (arrival 22).
+        let s = Schedule::from_events(
+            &p,
+            "relay",
+            vec![event(0, 1, 0.0, 11.0), event(1, 2, 11.0, 22.0)],
+        );
+        assert!(s.validate(&p).is_ok());
+        let eps = Time::from_micros(1.0);
+        // Cluster 1 forwards until 21 ms and only then broadcasts internally.
+        assert!(s.completion_of(ClusterId(1)).approx_eq(Time::from_millis(28.0), eps));
+        assert!(s.makespan().approx_eq(Time::from_millis(28.0), eps));
+    }
+
+    #[test]
+    fn validation_rejects_missing_cluster() {
+        let p = problem();
+        let s = Schedule::from_events(&p, "broken", vec![event(0, 1, 0.0, 11.0)]);
+        assert_eq!(
+            s.validate(&p),
+            Err(ScheduleError::NotCovered {
+                cluster: ClusterId(2)
+            })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_and_root_receiver() {
+        let p = problem();
+        let dup = Schedule::from_events(
+            &p,
+            "dup",
+            vec![
+                event(0, 1, 0.0, 11.0),
+                event(0, 1, 10.0, 21.0),
+                event(0, 2, 20.0, 31.0),
+            ],
+        );
+        assert_eq!(
+            dup.validate(&p),
+            Err(ScheduleError::DuplicateReceive {
+                cluster: ClusterId(1)
+            })
+        );
+        let root_rx = Schedule::from_events(
+            &p,
+            "root-rx",
+            vec![event(1, 0, 0.0, 11.0), event(0, 2, 0.0, 11.0)],
+        );
+        assert_eq!(root_rx.validate(&p), Err(ScheduleError::RootReceives));
+    }
+
+    #[test]
+    fn validation_rejects_causality_violations() {
+        let p = problem();
+        // Cluster 1 sends to 2 before it received anything.
+        let s = Schedule::from_events(
+            &p,
+            "acausal",
+            vec![event(1, 2, 0.0, 11.0), event(0, 1, 0.0, 11.0)],
+        );
+        assert_eq!(
+            s.validate(&p),
+            Err(ScheduleError::SendsBeforeReady { event: 0 })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_wrong_arrival_and_overlap() {
+        let p = problem();
+        let wrong = Schedule::from_events(
+            &p,
+            "wrong-arrival",
+            vec![event(0, 1, 0.0, 42.0), event(0, 2, 10.0, 21.0)],
+        );
+        assert_eq!(
+            wrong.validate(&p),
+            Err(ScheduleError::WrongArrival { event: 0 })
+        );
+        // Two sends from the root both starting at t=0: they overlap because the
+        // first occupies the interface for 10 ms.
+        let overlap = Schedule::from_events(
+            &p,
+            "overlap",
+            vec![event(0, 1, 0.0, 11.0), event(0, 2, 0.0, 11.0)],
+        );
+        assert_eq!(
+            overlap.validate(&p),
+            Err(ScheduleError::OverlappingSends {
+                cluster: ClusterId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn single_cluster_schedule_is_trivially_valid() {
+        let p = BroadcastProblem::from_parts(
+            ClusterId(0),
+            MessageSize::from_mib(1),
+            SquareMatrix::filled(1, Time::ZERO),
+            SquareMatrix::filled(1, Time::ZERO),
+            vec![Time::from_millis(3.0)],
+        );
+        let s = Schedule::from_events(&p, "noop", vec![]);
+        assert!(s.validate(&p).is_ok());
+        assert_eq!(s.makespan(), Time::from_millis(3.0));
+    }
+}

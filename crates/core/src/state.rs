@@ -1,0 +1,230 @@
+//! The A/B set formalism shared by every scheduling heuristic.
+
+use crate::{BroadcastProblem, Schedule, ScheduleEvent};
+use gridcast_plogp::Time;
+use gridcast_topology::ClusterId;
+
+/// Incremental scheduling state.
+///
+/// Following the formalism of Bhat et al. adopted by the paper, clusters are
+/// split into set **A** (their coordinator already holds — or is about to hold —
+/// the message) and set **B** (still waiting). Each scheduling round commits one
+/// transfer from a sender in A to a receiver in B and moves the receiver to A.
+///
+/// The state also tracks, for every cluster in A, the **ready time**: the
+/// earliest instant at which its coordinator can *start a new outgoing transfer*.
+/// For a cluster that just received the message this is its arrival time; every
+/// committed outgoing transfer then pushes it forward by the link gap, because
+/// the coordinator's interface is busy for `g(m)` per message. This single value
+/// is exactly the `RT_i` used by the ECEF-family selection formulas.
+///
+/// All heuristics share this state type, so they differ *only* in how they pick
+/// the next (sender, receiver) pair — which is the point of the paper's
+/// comparison.
+#[derive(Debug, Clone)]
+pub struct ScheduleState<'p> {
+    problem: &'p BroadcastProblem,
+    /// `true` if the cluster is in set A.
+    in_a: Vec<bool>,
+    /// Ready time of each cluster (meaningful only for clusters in A).
+    ready: Vec<Time>,
+    /// Committed transfers.
+    events: Vec<ScheduleEvent>,
+}
+
+impl<'p> ScheduleState<'p> {
+    /// Initial state: only the root is in A, with ready time zero.
+    pub fn new(problem: &'p BroadcastProblem) -> Self {
+        let n = problem.num_clusters();
+        let mut in_a = vec![false; n];
+        in_a[problem.root.index()] = true;
+        ScheduleState {
+            problem,
+            in_a,
+            ready: vec![Time::ZERO; n],
+            events: Vec::with_capacity(n.saturating_sub(1)),
+        }
+    }
+
+    /// The underlying problem.
+    #[inline]
+    pub fn problem(&self) -> &BroadcastProblem {
+        self.problem
+    }
+
+    /// Whether every cluster has been scheduled.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.events.len() + 1 == self.problem.num_clusters()
+    }
+
+    /// Clusters currently in set A (senders).
+    pub fn set_a(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.in_a
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| ClusterId(i))
+    }
+
+    /// Clusters currently in set B (receivers still waiting).
+    pub fn set_b(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.in_a
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| !a)
+            .map(|(i, _)| ClusterId(i))
+    }
+
+    /// Whether `cluster` is already in set A.
+    #[inline]
+    pub fn is_in_a(&self, cluster: ClusterId) -> bool {
+        self.in_a[cluster.index()]
+    }
+
+    /// The ready time `RT_i` of a cluster in set A: the earliest instant its
+    /// coordinator can start a new outgoing transfer.
+    #[inline]
+    pub fn ready_time(&self, cluster: ClusterId) -> Time {
+        self.ready[cluster.index()]
+    }
+
+    /// The completion time of a hypothetical transfer `sender → receiver` if it
+    /// were committed now: `RT_i + g_ij + L_ij`. This is the quantity minimised
+    /// by the ECEF heuristic and reused (plus lookahead) by its derivatives.
+    pub fn completion_estimate(&self, sender: ClusterId, receiver: ClusterId) -> Time {
+        self.ready_time(sender) + self.problem.transfer(sender, receiver)
+    }
+
+    /// Commits the transfer `sender → receiver`, moving the receiver to set A.
+    ///
+    /// Panics if the sender is not in A or the receiver not in B — heuristics are
+    /// expected to respect the formalism.
+    pub fn commit(&mut self, sender: ClusterId, receiver: ClusterId) -> ScheduleEvent {
+        assert!(self.in_a[sender.index()], "sender {sender} is not in set A");
+        assert!(
+            !self.in_a[receiver.index()],
+            "receiver {receiver} is already in set A"
+        );
+        let start = self.ready[sender.index()];
+        let arrival = start + self.problem.transfer(sender, receiver);
+        let event = ScheduleEvent {
+            sender,
+            receiver,
+            start,
+            arrival,
+        };
+        // The sender's interface is busy for the gap of this transfer.
+        self.ready[sender.index()] = start + self.problem.gap(sender, receiver);
+        // The receiver joins A and may start sending as soon as it holds the
+        // message.
+        self.in_a[receiver.index()] = true;
+        self.ready[receiver.index()] = arrival;
+        self.events.push(event);
+        event
+    }
+
+    /// Finishes scheduling, producing the [`Schedule`]. Panics if some cluster
+    /// was never reached (use [`ScheduleState::is_complete`] to check).
+    pub fn finish(self, heuristic: impl Into<String>) -> Schedule {
+        assert!(
+            self.is_complete(),
+            "schedule is incomplete: {} of {} clusters reached",
+            self.events.len() + 1,
+            self.problem.num_clusters()
+        );
+        Schedule::from_events(self.problem, heuristic, self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::MessageSize;
+    use gridcast_topology::SquareMatrix;
+
+    fn problem(n: usize) -> BroadcastProblem {
+        let mut latency = SquareMatrix::filled(n, Time::from_millis(1.0));
+        let mut gap = SquareMatrix::filled(n, Time::from_millis(10.0));
+        for i in 0..n {
+            latency[(i, i)] = Time::ZERO;
+            gap[(i, i)] = Time::ZERO;
+        }
+        BroadcastProblem::from_parts(
+            ClusterId(0),
+            MessageSize::from_mib(1),
+            latency,
+            gap,
+            vec![Time::ZERO; n],
+        )
+    }
+
+    #[test]
+    fn initial_state_has_root_in_a() {
+        let p = problem(4);
+        let state = ScheduleState::new(&p);
+        assert_eq!(state.set_a().collect::<Vec<_>>(), vec![ClusterId(0)]);
+        assert_eq!(state.set_b().count(), 3);
+        assert!(state.is_in_a(ClusterId(0)));
+        assert!(!state.is_in_a(ClusterId(2)));
+        assert!(!state.is_complete());
+        assert_eq!(state.ready_time(ClusterId(0)), Time::ZERO);
+    }
+
+    #[test]
+    fn commit_updates_ready_times_and_sets() {
+        let p = problem(3);
+        let mut state = ScheduleState::new(&p);
+        let e1 = state.commit(ClusterId(0), ClusterId(1));
+        assert_eq!(e1.start, Time::ZERO);
+        assert_eq!(e1.arrival, Time::from_millis(11.0));
+        // Root busy until 10 ms; receiver ready at 11 ms.
+        assert_eq!(state.ready_time(ClusterId(0)), Time::from_millis(10.0));
+        assert_eq!(state.ready_time(ClusterId(1)), Time::from_millis(11.0));
+        assert!(state.is_in_a(ClusterId(1)));
+
+        let e2 = state.commit(ClusterId(0), ClusterId(2));
+        let eps = Time::from_micros(1.0);
+        assert_eq!(e2.start, Time::from_millis(10.0));
+        assert!(e2.arrival.approx_eq(Time::from_millis(21.0), eps));
+        assert!(state.is_complete());
+
+        let schedule = state.finish("test");
+        assert!(schedule.validate(&p).is_ok());
+        assert!(schedule.makespan().approx_eq(Time::from_millis(21.0), eps));
+    }
+
+    #[test]
+    fn completion_estimate_matches_commit() {
+        let p = problem(3);
+        let mut state = ScheduleState::new(&p);
+        let estimate = state.completion_estimate(ClusterId(0), ClusterId(2));
+        let event = state.commit(ClusterId(0), ClusterId(2));
+        assert_eq!(estimate, event.arrival);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in set A")]
+    fn committing_from_b_panics() {
+        let p = problem(3);
+        let mut state = ScheduleState::new(&p);
+        state.commit(ClusterId(1), ClusterId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in set A")]
+    fn committing_to_a_panics() {
+        let p = problem(3);
+        let mut state = ScheduleState::new(&p);
+        state.commit(ClusterId(0), ClusterId(1));
+        state.commit(ClusterId(0), ClusterId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn finishing_incomplete_schedule_panics() {
+        let p = problem(3);
+        let state = ScheduleState::new(&p);
+        let _ = state.finish("incomplete");
+    }
+}

@@ -1,0 +1,28 @@
+//! Runs every table and figure of the paper in sequence and prints the results.
+//!
+//! Usage: `all_experiments [--iterations N]` — N defaults to 2000; the paper
+//! uses 10000 (`--iterations 10000` reproduces it exactly, at ~5x the runtime).
+
+use gridcast_experiments::{figures, tables, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = ExperimentConfig::default().with_iterations_from_args(&args);
+
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+    println!("{}", tables::table3());
+
+    for (name, figure) in [
+        ("fig1", figures::fig1::run(&config)),
+        ("fig2", figures::fig2::run(&config)),
+        ("fig3", figures::fig3::run(&config)),
+        ("fig4", figures::fig4::run(&config)),
+        ("fig5", figures::fig5::run(&config)),
+        ("fig6", figures::fig6::run(&config)),
+        ("mixed", figures::mixed::run(&config)),
+    ] {
+        println!("== {name} ==");
+        println!("{}", figure.to_ascii_table());
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 3. Usage: `fig3 [--iterations N]` (default 2000).
+
+use gridcast_experiments::{figures, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = ExperimentConfig::default().with_iterations_from_args(&args);
+    let figure = figures::fig3::run(&config);
+    print!("{}", figure.to_ascii_table());
+    eprintln!();
+    eprint!("{}", figure.to_csv());
+}

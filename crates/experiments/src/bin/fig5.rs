@@ -1,0 +1,10 @@
+//! Regenerates Figure 5 (predicted times, 88-machine grid).
+
+use gridcast_experiments::{figures, ExperimentConfig};
+
+fn main() {
+    let figure = figures::fig5::run(&ExperimentConfig::default());
+    print!("{}", figure.to_ascii_table());
+    eprintln!();
+    eprint!("{}", figure.to_csv());
+}

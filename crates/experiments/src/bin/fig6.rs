@@ -1,0 +1,10 @@
+//! Regenerates Figure 6 (measured times, 88-machine grid, incl. Default LAM).
+
+use gridcast_experiments::{figures, ExperimentConfig};
+
+fn main() {
+    let figure = figures::fig6::run(&ExperimentConfig::default());
+    print!("{}", figure.to_ascii_table());
+    eprintln!();
+    eprint!("{}", figure.to_csv());
+}

@@ -1,0 +1,10 @@
+//! Evaluates the Section 6 mixed strategy. Usage: `mixed_strategy [--iterations N]`.
+
+use gridcast_experiments::{figures, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = ExperimentConfig::default().with_iterations_from_args(&args);
+    let figure = figures::mixed::run(&config);
+    print!("{}", figure.to_ascii_table());
+}

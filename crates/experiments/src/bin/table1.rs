@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (communication levels).
+
+fn main() {
+    print!("{}", gridcast_experiments::tables::table1());
+}

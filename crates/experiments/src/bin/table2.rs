@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (simulation parameter ranges).
+
+fn main() {
+    print!("{}", gridcast_experiments::tables::table2());
+}

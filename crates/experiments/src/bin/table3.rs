@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (GRID'5000 latency matrix and logical clusters).
+
+fn main() {
+    print!("{}", gridcast_experiments::tables::table3());
+}

@@ -1,0 +1,55 @@
+//! Figure 1: mean completion time of a 1 MB broadcast for 2–10 clusters.
+
+use crate::figures::completion_sweep;
+use crate::params::ExperimentConfig;
+use crate::report::FigureResult;
+use gridcast_core::HeuristicKind;
+
+/// Cluster counts swept by Figure 1 (the size of today's typical grids — the
+/// GRID'5000 project interconnected 10 clusters at the time of the paper).
+pub const CLUSTER_COUNTS: [usize; 9] = [2, 3, 4, 5, 6, 7, 8, 9, 10];
+
+/// Reproduces Figure 1: all seven heuristics, 2–10 clusters.
+pub fn run(config: &ExperimentConfig) -> FigureResult {
+    completion_sweep(
+        "Figure 1: 1 MB broadcast in a grid with a reduced number of clusters",
+        &CLUSTER_COUNTS,
+        &HeuristicKind::all(),
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_qualitative_shape_of_figure1() {
+        let config = ExperimentConfig::quick().with_iterations(300);
+        let fig = run(&config);
+        assert_eq!(fig.series.len(), 7);
+        assert_eq!(fig.x_values().len(), CLUSTER_COUNTS.len());
+
+        let flat = fig.series_by_label("Flat Tree").unwrap();
+        let fef = fig.series_by_label("FEF").unwrap();
+        let ecef = fig.series_by_label("ECEF").unwrap();
+        let bottom_up = fig.series_by_label("BottomUp").unwrap();
+
+        // At 10 clusters the paper's ordering is: Flat Tree worst, then FEF,
+        // with BottomUp between FEF and the ECEF family.
+        let at = |s: &crate::report::Series| s.y_at(10.0).unwrap();
+        assert!(at(flat) > at(fef), "flat {} vs fef {}", at(flat), at(fef));
+        assert!(at(fef) > at(bottom_up));
+        assert!(at(bottom_up) > at(ecef));
+
+        // Completion times are in the seconds range (the paper's y axis spans
+        // roughly 2–5.5 s over this cluster range).
+        assert!(at(ecef) > 0.5 && at(ecef) < 10.0);
+
+        // The flat tree grows steeply with the cluster count while ECEF stays
+        // nearly flat.
+        let flat_growth = flat.y_at(10.0).unwrap() - flat.y_at(2.0).unwrap();
+        let ecef_growth = ecef.y_at(10.0).unwrap() - ecef.y_at(2.0).unwrap();
+        assert!(flat_growth > 3.0 * ecef_growth.max(0.01));
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 2: mean completion time for grids of up to 50 clusters.
+
+use crate::figures::completion_sweep;
+use crate::params::ExperimentConfig;
+use crate::report::FigureResult;
+use gridcast_core::HeuristicKind;
+
+/// Cluster counts swept by Figure 2.
+pub const CLUSTER_COUNTS: [usize; 10] = [5, 10, 15, 20, 25, 30, 35, 40, 45, 50];
+
+/// Reproduces Figure 2: all seven heuristics, 5–50 clusters.
+pub fn run(config: &ExperimentConfig) -> FigureResult {
+    completion_sweep(
+        "Figure 2: 1 MB broadcast in a grid with up to 50 clusters",
+        &CLUSTER_COUNTS,
+        &HeuristicKind::all(),
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_tree_diverges_while_ecef_family_stays_flat() {
+        let config = ExperimentConfig::quick().with_iterations(120);
+        // A reduced sweep keeps the test fast while preserving the shape checks.
+        let fig = completion_sweep(
+            "fig2-test",
+            &[5, 25, 50],
+            &HeuristicKind::all(),
+            &config,
+        );
+        let flat = fig.series_by_label("Flat Tree").unwrap();
+        let ecef_lat = fig.series_by_label("ECEF-LAT").unwrap();
+
+        // Paper: at 50 clusters the flat tree is in the tens of seconds while the
+        // ECEF family remains around 3–4 s.
+        assert!(flat.y_at(50.0).unwrap() > 10.0);
+        assert!(ecef_lat.y_at(50.0).unwrap() < 6.0);
+
+        // The ECEF curve growth from 5 to 50 clusters is modest.
+        let growth = ecef_lat.y_at(50.0).unwrap() / ecef_lat.y_at(5.0).unwrap();
+        assert!(growth < 2.0, "ECEF-LAT grew by {growth}x");
+
+        // FEF sits between the flat tree and the ECEF family.
+        let fef = fig.series_by_label("FEF").unwrap();
+        assert!(fef.y_at(50.0).unwrap() < flat.y_at(50.0).unwrap());
+        assert!(fef.y_at(50.0).unwrap() > ecef_lat.y_at(50.0).unwrap());
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 3: the ECEF-like heuristics in isolation, 5–50 clusters.
+
+use crate::figures::completion_sweep;
+use crate::params::ExperimentConfig;
+use crate::report::FigureResult;
+use gridcast_core::HeuristicKind;
+
+/// Cluster counts swept by Figure 3 (same axis as Figure 2).
+pub const CLUSTER_COUNTS: [usize; 10] = [5, 10, 15, 20, 25, 30, 35, 40, 45, 50];
+
+/// Reproduces Figure 3: ECEF, ECEF-LA, ECEF-LAt and ECEF-LAT only.
+pub fn run(config: &ExperimentConfig) -> FigureResult {
+    completion_sweep(
+        "Figure 3: ECEF-like heuristics, 1 MB broadcast, 5-50 clusters",
+        &CLUSTER_COUNTS,
+        &HeuristicKind::ecef_family(),
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_four_curves_are_close_and_in_the_paper_range() {
+        let config = ExperimentConfig::quick().with_iterations(150);
+        let fig = completion_sweep(
+            "fig3-test",
+            &[10, 30, 50],
+            &HeuristicKind::ecef_family(),
+            &config,
+        );
+        assert_eq!(fig.series.len(), 4);
+        // The paper's Figure 3 y-axis spans 3.0–3.7 s: all four heuristics stay
+        // within a narrow band of each other at every cluster count.
+        for &x in &[10.0, 30.0, 50.0] {
+            let values: Vec<f64> = fig.series.iter().map(|s| s.y_at(x).unwrap()).collect();
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                max / min < 1.25,
+                "ECEF-family spread too wide at {x} clusters: {values:?}"
+            );
+            assert!(min > 1.0 && max < 8.0, "out of range at {x}: {values:?}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 4: hit rate of the ECEF-like heuristics against the global minimum.
+
+use crate::figures::hit_rate_sweep;
+use crate::params::ExperimentConfig;
+use crate::report::FigureResult;
+use gridcast_core::HeuristicKind;
+
+/// Cluster counts swept by Figure 4 (same axis as Figures 2 and 3).
+pub const CLUSTER_COUNTS: [usize; 10] = [5, 10, 15, 20, 25, 30, 35, 40, 45, 50];
+
+/// Reproduces Figure 4: for every cluster count, how many of the iterations each
+/// ECEF-like heuristic matched the global minimum (the best makespan found by
+/// any of the four techniques in that iteration, as in the paper).
+pub fn run(config: &ExperimentConfig) -> FigureResult {
+    hit_rate_sweep(
+        "Figure 4: hit rate of the ECEF-like heuristics",
+        &CLUSTER_COUNTS,
+        &HeuristicKind::ecef_family(),
+        &HeuristicKind::ecef_family(),
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_oriented_heuristics_lose_hits_as_grids_grow() {
+        let iterations = 250;
+        let config = ExperimentConfig::quick().with_iterations(iterations);
+        let fig = hit_rate_sweep(
+            "fig4-test",
+            &[5, 50],
+            &HeuristicKind::ecef_family(),
+            &HeuristicKind::ecef_family(),
+            &config,
+        );
+        let ecef = fig.series_by_label("ECEF").unwrap();
+        let ecef_la = fig.series_by_label("ECEF-LA").unwrap();
+
+        // The paper's observation: ECEF and ECEF-LA match the global minimum
+        // less often at 50 clusters than at 5.
+        assert!(ecef.y_at(50.0).unwrap() < ecef.y_at(5.0).unwrap());
+        assert!(ecef_la.y_at(50.0).unwrap() < ecef_la.y_at(5.0).unwrap());
+
+        // Hit counts stay within [0, iterations] and every cluster count has at
+        // least one heuristic hitting (the minimum is achieved by someone).
+        for &x in &[5.0, 50.0] {
+            let total: f64 = fig.series.iter().map(|s| s.y_at(x).unwrap()).sum();
+            assert!(total >= iterations as f64);
+            for s in &fig.series {
+                let y = s.y_at(x).unwrap();
+                assert!(y >= 0.0 && y <= iterations as f64);
+            }
+        }
+    }
+}

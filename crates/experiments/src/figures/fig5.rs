@@ -1,0 +1,84 @@
+//! Figure 5: model-predicted broadcast times on the 88-machine GRID'5000 grid.
+
+use crate::params::ExperimentConfig;
+use crate::report::{FigureResult, Series};
+use gridcast_core::HeuristicKind;
+use gridcast_plogp::MessageSize;
+use gridcast_simulator::Simulator;
+use gridcast_topology::{grid5000_table3, ClusterId};
+
+/// Message sizes swept by Figures 5 and 6 (bytes): 0 to 4.5 MB, matching the
+/// paper's x axis.
+pub fn message_sizes() -> Vec<MessageSize> {
+    (0..=9)
+        .map(|i| MessageSize::from_bytes(i * 500_000))
+        .collect()
+}
+
+/// The heuristics plotted in Figures 5 and 6.
+pub fn heuristics() -> [HeuristicKind; 7] {
+    HeuristicKind::all()
+}
+
+/// Reproduces Figure 5: for every message size and heuristic, the completion
+/// time *predicted* by the pLogP-based makespan model (no execution).
+pub fn run(_config: &ExperimentConfig) -> FigureResult {
+    let grid = grid5000_table3();
+    let root = ClusterId(0);
+    let mut figure = FigureResult::new(
+        "Figure 5: predicted performance for a broadcast in an 88-machine grid",
+        "message size (bytes)",
+        "completion time (s)",
+    );
+    for kind in heuristics() {
+        let points: Vec<(f64, f64)> = message_sizes()
+            .into_iter()
+            .map(|m| {
+                let sim = Simulator::new(&grid, m);
+                (m.as_f64(), sim.predict_heuristic(kind, root).as_secs())
+            })
+            .collect();
+        figure.push(Series::new(kind.name(), points));
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictions_grow_with_message_size_and_flat_tree_is_worst() {
+        let fig = run(&ExperimentConfig::quick());
+        assert_eq!(fig.series.len(), 7);
+        let flat = fig.series_by_label("Flat Tree").unwrap();
+        let ecef_la = fig.series_by_label("ECEF-LA").unwrap();
+        let four_mb = 4_000_000.0;
+
+        // Monotone growth with message size for every heuristic.
+        for series in &fig.series {
+            let ys: Vec<f64> = series.points.iter().map(|p| p.y).collect();
+            for w in ys.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{} not monotone: {ys:?}", series.label);
+            }
+        }
+
+        // Paper: ECEF-like techniques finish a 4 MB broadcast in ~3 s, the flat
+        // tree needs several times longer.
+        let ecef_at_4mb = ecef_la.y_at(four_mb).unwrap();
+        let flat_at_4mb = flat.y_at(four_mb).unwrap();
+        assert!(ecef_at_4mb < 4.0, "ECEF-LA predicted {ecef_at_4mb}");
+        assert!(
+            flat_at_4mb > 2.0 * ecef_at_4mb,
+            "Flat {flat_at_4mb} should be a multiple of ECEF-LA {ecef_at_4mb}"
+        );
+    }
+
+    #[test]
+    fn sweep_covers_the_paper_x_axis() {
+        let sizes = message_sizes();
+        assert_eq!(sizes.first().unwrap().as_bytes(), 0);
+        assert_eq!(sizes.last().unwrap().as_bytes(), 4_500_000);
+        assert_eq!(sizes.len(), 10);
+    }
+}

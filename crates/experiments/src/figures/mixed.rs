@@ -1,0 +1,64 @@
+//! The Section 6 mixed strategy: quantify the recommendation to switch
+//! heuristics based on the grid size.
+
+use crate::params::ExperimentConfig;
+use crate::report::{FigureResult, Series};
+use crate::runner::run_monte_carlo;
+use gridcast_core::{HeuristicKind, MixedStrategy};
+
+/// Cluster counts used by the mixed-strategy analysis.
+pub const CLUSTER_COUNTS: [usize; 6] = [5, 10, 20, 30, 40, 50];
+
+/// For every cluster count, reports the mean makespan of the two component
+/// heuristics (ECEF-LA and ECEF-LAT) and the mean makespan the mixed strategy
+/// achieves by selecting between them with its threshold rule.
+pub fn run(config: &ExperimentConfig) -> FigureResult {
+    let strategy = MixedStrategy::default();
+    let components = [HeuristicKind::EcefLa, HeuristicKind::EcefLaMax];
+    let mut small_points = Vec::new();
+    let mut large_points = Vec::new();
+    let mut mixed_points = Vec::new();
+    for &clusters in &CLUSTER_COUNTS {
+        let outcome = run_monte_carlo(clusters, &components, config);
+        let small = outcome.mean_of(HeuristicKind::EcefLa).unwrap().as_secs();
+        let large = outcome.mean_of(HeuristicKind::EcefLaMax).unwrap().as_secs();
+        let selected = strategy.select(clusters);
+        let mixed = outcome.mean_of(selected).unwrap().as_secs();
+        small_points.push((clusters as f64, small));
+        large_points.push((clusters as f64, large));
+        mixed_points.push((clusters as f64, mixed));
+    }
+    let mut figure = FigureResult::new(
+        "Mixed strategy (Section 6): ECEF-LA vs ECEF-LAT vs size-based selection",
+        "clusters",
+        "completion time (s)",
+    );
+    figure.push(Series::new(HeuristicKind::EcefLa.name(), small_points));
+    figure.push(Series::new(HeuristicKind::EcefLaMax.name(), large_points));
+    figure.push(Series::new("Mixed", mixed_points));
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_strategy_tracks_the_better_component() {
+        let config = ExperimentConfig::quick().with_iterations(150);
+        let fig = run(&config);
+        assert_eq!(fig.series.len(), 3);
+        let mixed = fig.series_by_label("Mixed").unwrap();
+        let la = fig.series_by_label("ECEF-LA").unwrap();
+        let lat = fig.series_by_label("ECEF-LAT").unwrap();
+        for &x in &[5.0, 50.0] {
+            let m = mixed.y_at(x).unwrap();
+            let best = la.y_at(x).unwrap().min(lat.y_at(x).unwrap());
+            let worst = la.y_at(x).unwrap().max(lat.y_at(x).unwrap());
+            // The mixed strategy always equals one of its components and never
+            // exceeds the worse one.
+            assert!(m <= worst + 1e-12);
+            assert!(m >= best - 1e-12);
+        }
+    }
+}

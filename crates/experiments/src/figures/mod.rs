@@ -1,0 +1,103 @@
+//! Reproduction of the paper's figures.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod mixed;
+
+use crate::params::ExperimentConfig;
+use crate::report::{FigureResult, Series};
+use crate::runner::run_monte_carlo;
+use gridcast_core::HeuristicKind;
+
+/// Shared engine of Figures 1–3: for every cluster count in `cluster_counts`,
+/// run the Monte-Carlo sweep and report the mean completion time (seconds) of
+/// every heuristic in `kinds`.
+pub fn completion_sweep(
+    title: &str,
+    cluster_counts: &[usize],
+    kinds: &[HeuristicKind],
+    config: &ExperimentConfig,
+) -> FigureResult {
+    let mut per_kind: Vec<Vec<(f64, f64)>> = vec![Vec::new(); kinds.len()];
+    for &clusters in cluster_counts {
+        let outcome = run_monte_carlo(clusters, kinds, config);
+        for (i, mean) in outcome.mean_makespan.iter().enumerate() {
+            per_kind[i].push((clusters as f64, mean.as_secs()));
+        }
+    }
+    let mut figure = FigureResult::new(title, "clusters", "completion time (s)");
+    for (kind, points) in kinds.iter().zip(per_kind) {
+        figure.push(Series::new(kind.name(), points));
+    }
+    figure
+}
+
+/// Shared engine of Figure 4: hit counts against the per-iteration global
+/// minimum. `hit_reference` lists the heuristics whose minimum defines the
+/// reference (the paper computes the global minimum over all evaluated
+/// techniques); `plotted` lists the heuristics whose hit counts are reported.
+pub fn hit_rate_sweep(
+    title: &str,
+    cluster_counts: &[usize],
+    hit_reference: &[HeuristicKind],
+    plotted: &[HeuristicKind],
+    config: &ExperimentConfig,
+) -> FigureResult {
+    let mut per_kind: Vec<Vec<(f64, f64)>> = vec![Vec::new(); plotted.len()];
+    for &clusters in cluster_counts {
+        let outcome = run_monte_carlo(clusters, hit_reference, config);
+        for (i, &kind) in plotted.iter().enumerate() {
+            let hits = outcome.hits_of(kind).unwrap_or(0);
+            per_kind[i].push((clusters as f64, hits as f64));
+        }
+    }
+    let mut figure = FigureResult::new(
+        title,
+        "clusters",
+        format!("hits out of {} iterations", config.iterations),
+    );
+    for (kind, points) in plotted.iter().zip(per_kind) {
+        figure.push(Series::new(kind.name(), points));
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_sweep_produces_one_series_per_heuristic() {
+        let config = ExperimentConfig::quick().with_iterations(40);
+        let kinds = [HeuristicKind::FlatTree, HeuristicKind::Ecef];
+        let fig = completion_sweep("test", &[2, 4], &kinds, &config);
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.x_values(), vec![2.0, 4.0]);
+        for series in &fig.series {
+            assert_eq!(series.points.len(), 2);
+            assert!(series.points.iter().all(|p| p.y > 0.0));
+        }
+    }
+
+    #[test]
+    fn hit_rate_sweep_counts_are_bounded_by_iterations() {
+        let config = ExperimentConfig::quick().with_iterations(60);
+        let fig = hit_rate_sweep(
+            "test hits",
+            &[3, 5],
+            &HeuristicKind::all(),
+            &HeuristicKind::ecef_family(),
+            &config,
+        );
+        assert_eq!(fig.series.len(), 4);
+        for series in &fig.series {
+            for point in &series.points {
+                assert!(point.y >= 0.0 && point.y <= 60.0);
+            }
+        }
+    }
+}

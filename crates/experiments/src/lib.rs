@@ -1,0 +1,34 @@
+//! # gridcast-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the paper's
+//! evaluation (Sections 6 and 7).
+//!
+//! | experiment | paper | module | binary |
+//! |------------|-------|--------|--------|
+//! | E1  | Table 1 — communication levels        | [`tables::table1`] | `table1` |
+//! | E2  | Table 2 — simulation parameter ranges | [`tables::table2`] | `table2` |
+//! | E3  | Figure 1 — 2–10 clusters, 7 heuristics | [`figures::fig1`] | `fig1` |
+//! | E4  | Figure 2 — 5–50 clusters, 7 heuristics | [`figures::fig2`] | `fig2` |
+//! | E5  | Figure 3 — ECEF family only            | [`figures::fig3`] | `fig3` |
+//! | E6  | Figure 4 — hit rate vs global minimum  | [`figures::fig4`] | `fig4` |
+//! | E7  | Table 3 — GRID'5000 logical clusters   | [`tables::table3`] | `table3` |
+//! | E8  | Figure 5 — predicted times, 88 machines | [`figures::fig5`] | `fig5` |
+//! | E9  | Figure 6 — measured times, 88 machines  | [`figures::fig6`] | `fig6` |
+//! | E10 | Section 6 mixed strategy               | [`figures::mixed`] | `mixed_strategy` |
+//!
+//! Every module produces a [`report::FigureResult`] (labelled series of points)
+//! that can be rendered as an aligned text table or CSV, so the binaries print
+//! the same rows/series the paper plots.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod figures;
+pub mod params;
+pub mod report;
+pub mod runner;
+pub mod tables;
+
+pub use params::ExperimentConfig;
+pub use report::{FigureResult, Series, SeriesPoint};
+pub use runner::{run_monte_carlo, MonteCarloOutcome};

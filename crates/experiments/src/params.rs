@@ -1,0 +1,136 @@
+//! Experiment configuration.
+
+use gridcast_plogp::MessageSize;
+use gridcast_topology::ParameterRanges;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by the Monte-Carlo experiments (Figures 1–4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of random instances per configuration. The paper uses 10 000; the
+    /// default here is 2 000 which reproduces the curves within the line width
+    /// while keeping a full run in the seconds range. Binaries accept an
+    /// `--iterations` override.
+    pub iterations: usize,
+    /// Broadcast payload; the paper fixes 1 MB for the simulations.
+    pub message: MessageSize,
+    /// Parameter sampling ranges (Table 2 by default).
+    pub ranges: ParameterRanges,
+    /// Number of machines per generated cluster (the Monte-Carlo experiments
+    /// never look inside clusters, but the value must be positive).
+    pub cluster_size: u32,
+    /// Base RNG seed; iteration `i` uses `seed + i` so runs are reproducible and
+    /// trivially parallelisable.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            iterations: 2_000,
+            message: MessageSize::from_mib(1),
+            ranges: ParameterRanges::table2(),
+            cluster_size: 16,
+            seed: 0x5EED_CA57,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's exact setting: 10 000 iterations of a 1 MB broadcast with
+    /// Table 2 parameters.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            iterations: 10_000,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// A fast configuration for smoke tests and CI.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            iterations: 200,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// Overrides the iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        assert!(iterations > 0, "at least one iteration is required");
+        self.iterations = iterations;
+        self
+    }
+
+    /// Parses an `--iterations N` override from command-line arguments, falling
+    /// back to the current value. Used by every experiment binary.
+    pub fn with_iterations_from_args(mut self, args: &[String]) -> Self {
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if arg == "--iterations" {
+                if let Some(value) = iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                    if value > 0 {
+                        self.iterations = value;
+                    }
+                }
+            } else if let Some(value) = arg
+                .strip_prefix("--iterations=")
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                if value > 0 {
+                    self.iterations = value;
+                }
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::Time;
+
+    #[test]
+    fn defaults_follow_table2() {
+        let config = ExperimentConfig::default();
+        assert_eq!(config.message, MessageSize::from_mib(1));
+        assert_eq!(config.ranges.latency.1, Time::from_millis(15.0));
+        assert!(config.iterations >= 1000);
+        assert_eq!(ExperimentConfig::paper().iterations, 10_000);
+        assert!(ExperimentConfig::quick().iterations < 1000);
+    }
+
+    #[test]
+    fn iteration_overrides() {
+        let config = ExperimentConfig::default().with_iterations(5);
+        assert_eq!(config.iterations, 5);
+        let args: Vec<String> = vec!["--iterations".into(), "42".into()];
+        assert_eq!(
+            ExperimentConfig::default()
+                .with_iterations_from_args(&args)
+                .iterations,
+            42
+        );
+        let args: Vec<String> = vec!["--iterations=7".into()];
+        assert_eq!(
+            ExperimentConfig::default()
+                .with_iterations_from_args(&args)
+                .iterations,
+            7
+        );
+        // Invalid values are ignored.
+        let args: Vec<String> = vec!["--iterations".into(), "zero".into()];
+        assert_eq!(
+            ExperimentConfig::default()
+                .with_iterations_from_args(&args)
+                .iterations,
+            ExperimentConfig::default().iterations
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = ExperimentConfig::default().with_iterations(0);
+    }
+}

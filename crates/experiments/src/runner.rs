@@ -1,0 +1,239 @@
+//! The parallel Monte-Carlo runner behind Figures 1–4.
+//!
+//! Each iteration draws a fresh random grid from the Table 2 distributions,
+//! builds the broadcast problem for a 1 MB message, schedules it with every
+//! heuristic under study and records the makespans. Aggregated over the
+//! iterations this yields the mean completion times (Figures 1–3) and the hit
+//! rates against the per-iteration global minimum (Figure 4).
+//!
+//! Iterations are independent, so the runner splits them across threads with
+//! `crossbeam::scope`; each iteration derives its own RNG from `seed + index`,
+//! making the result identical regardless of the thread count.
+
+use crate::params::ExperimentConfig;
+use gridcast_core::{BroadcastProblem, HeuristicKind};
+use gridcast_plogp::Time;
+use gridcast_topology::{ClusterId, GridGenerator};
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated results of a Monte-Carlo sweep for one cluster count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloOutcome {
+    /// Number of clusters of every generated grid.
+    pub num_clusters: usize,
+    /// Number of iterations aggregated.
+    pub iterations: usize,
+    /// Heuristics evaluated, in input order.
+    pub heuristics: Vec<HeuristicKind>,
+    /// Mean makespan per heuristic (same order as `heuristics`).
+    pub mean_makespan: Vec<Time>,
+    /// Number of iterations in which each heuristic matched the global minimum
+    /// (the best makespan among all evaluated heuristics for that iteration).
+    pub hits: Vec<usize>,
+    /// Mean of the per-iteration global minimum — a lower envelope of the curves.
+    pub mean_global_minimum: Time,
+}
+
+impl MonteCarloOutcome {
+    /// Mean makespan of one heuristic.
+    pub fn mean_of(&self, kind: HeuristicKind) -> Option<Time> {
+        self.heuristics
+            .iter()
+            .position(|&k| k == kind)
+            .map(|i| self.mean_makespan[i])
+    }
+
+    /// Hit count of one heuristic.
+    pub fn hits_of(&self, kind: HeuristicKind) -> Option<usize> {
+        self.heuristics
+            .iter()
+            .position(|&k| k == kind)
+            .map(|i| self.hits[i])
+    }
+
+    /// Hit rate (fraction of iterations) of one heuristic.
+    pub fn hit_rate_of(&self, kind: HeuristicKind) -> Option<f64> {
+        self.hits_of(kind)
+            .map(|h| h as f64 / self.iterations as f64)
+    }
+}
+
+/// Per-thread accumulator merged at the end of the sweep.
+#[derive(Debug, Clone)]
+struct Partial {
+    sum_makespan: Vec<f64>,
+    hits: Vec<usize>,
+    sum_global_min: f64,
+    iterations: usize,
+}
+
+impl Partial {
+    fn new(k: usize) -> Self {
+        Partial {
+            sum_makespan: vec![0.0; k],
+            hits: vec![0; k],
+            sum_global_min: 0.0,
+            iterations: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &Partial) {
+        for (a, b) in self.sum_makespan.iter_mut().zip(&other.sum_makespan) {
+            *a += b;
+        }
+        for (a, b) in self.hits.iter_mut().zip(&other.hits) {
+            *a += b;
+        }
+        self.sum_global_min += other.sum_global_min;
+        self.iterations += other.iterations;
+    }
+}
+
+/// Relative tolerance under which two makespans count as "equal" for the hit
+/// rate: different heuristics frequently construct the exact same schedule, and
+/// floating-point noise must not break the tie.
+const HIT_RELATIVE_TOLERANCE: f64 = 1e-9;
+
+fn run_iteration(
+    iteration: usize,
+    num_clusters: usize,
+    kinds: &[HeuristicKind],
+    config: &ExperimentConfig,
+    partial: &mut Partial,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(iteration as u64));
+    let generator = GridGenerator::with_ranges(config.ranges.clone()).cluster_size(config.cluster_size);
+    let grid = generator.generate(num_clusters, &mut rng);
+    let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), config.message);
+
+    let makespans: Vec<f64> = kinds
+        .iter()
+        .map(|kind| kind.schedule(&problem).makespan().as_secs())
+        .collect();
+    let global_min = makespans
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+
+    for (i, &span) in makespans.iter().enumerate() {
+        partial.sum_makespan[i] += span;
+        if span <= global_min * (1.0 + HIT_RELATIVE_TOLERANCE) {
+            partial.hits[i] += 1;
+        }
+    }
+    partial.sum_global_min += global_min;
+    partial.iterations += 1;
+}
+
+/// Runs the Monte-Carlo sweep for one cluster count.
+pub fn run_monte_carlo(
+    num_clusters: usize,
+    kinds: &[HeuristicKind],
+    config: &ExperimentConfig,
+) -> MonteCarloOutcome {
+    assert!(num_clusters >= 2, "a broadcast needs at least two clusters");
+    assert!(!kinds.is_empty(), "at least one heuristic must be evaluated");
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(config.iterations.max(1));
+    let merged = Mutex::new(Partial::new(kinds.len()));
+
+    crossbeam::scope(|scope| {
+        for thread_id in 0..threads {
+            let merged = &merged;
+            scope.spawn(move |_| {
+                let mut partial = Partial::new(kinds.len());
+                let mut iteration = thread_id;
+                while iteration < config.iterations {
+                    run_iteration(iteration, num_clusters, kinds, config, &mut partial);
+                    iteration += threads;
+                }
+                merged.lock().merge(&partial);
+            });
+        }
+    })
+    .expect("monte-carlo worker panicked");
+
+    let partial = merged.into_inner();
+    let iterations = partial.iterations.max(1);
+    MonteCarloOutcome {
+        num_clusters,
+        iterations: partial.iterations,
+        heuristics: kinds.to_vec(),
+        mean_makespan: partial
+            .sum_makespan
+            .iter()
+            .map(|&s| Time::from_secs(s / iterations as f64))
+            .collect(),
+        hits: partial.hits,
+        mean_global_minimum: Time::from_secs(partial.sum_global_min / iterations as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig::quick().with_iterations(150)
+    }
+
+    #[test]
+    fn outcome_is_deterministic_for_a_given_seed() {
+        let kinds = HeuristicKind::all();
+        let a = run_monte_carlo(5, &kinds, &quick());
+        let b = run_monte_carlo(5, &kinds, &quick());
+        assert_eq!(a, b);
+        let different_seed = ExperimentConfig {
+            seed: 1,
+            ..quick()
+        };
+        let c = run_monte_carlo(5, &kinds, &different_seed);
+        assert_ne!(a.mean_makespan, c.mean_makespan);
+    }
+
+    #[test]
+    fn every_iteration_contributes() {
+        let kinds = [HeuristicKind::Ecef, HeuristicKind::FlatTree];
+        let outcome = run_monte_carlo(4, &kinds, &quick());
+        assert_eq!(outcome.iterations, 150);
+        assert_eq!(outcome.heuristics.len(), 2);
+        // Every iteration has at least one hit (the minimum itself), so the hit
+        // counts sum to at least the iteration count.
+        assert!(outcome.hits.iter().sum::<usize>() >= outcome.iterations);
+    }
+
+    #[test]
+    fn flat_tree_is_worst_and_global_minimum_is_a_lower_envelope() {
+        let kinds = HeuristicKind::all();
+        let outcome = run_monte_carlo(8, &kinds, &quick());
+        let flat = outcome.mean_of(HeuristicKind::FlatTree).unwrap();
+        for kind in HeuristicKind::ecef_family() {
+            let mean = outcome.mean_of(kind).unwrap();
+            assert!(mean < flat, "{kind} mean {mean} vs flat {flat}");
+            assert!(mean >= outcome.mean_global_minimum);
+        }
+        // Hit rates are within [0, 1].
+        for kind in kinds {
+            let rate = outcome.hit_rate_of(kind).unwrap();
+            assert!((0.0..=1.0).contains(&rate), "{kind}: {rate}");
+        }
+        assert!(outcome.mean_of(HeuristicKind::BottomUp).is_some());
+        assert!(outcome
+            .mean_of(HeuristicKind::Fef)
+            .unwrap()
+            .as_secs()
+            .is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two clusters")]
+    fn single_cluster_sweep_is_rejected() {
+        let _ = run_monte_carlo(1, &HeuristicKind::all(), &quick());
+    }
+}

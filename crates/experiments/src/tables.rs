@@ -1,0 +1,133 @@
+//! Reproduction of the paper's tables.
+
+use gridcast_plogp::Time;
+use gridcast_topology::clustering::synthesize_node_matrix;
+use gridcast_topology::{
+    classify_latency, detect_logical_clusters, CommunicationLevel, Grid5000Spec, LowekampConfig,
+    ParameterRanges,
+};
+use std::fmt::Write as _;
+
+/// Table 1: the communication levels of the Karonis / MPICH-G2 hierarchy,
+/// rendered with their example transports and the latency thresholds this
+/// library uses to classify measured links.
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Table 1: communication levels according to their latency");
+    let _ = writeln!(out, "{:<10} {:<40} {}", "level", "transport", "classification threshold");
+    let thresholds = ["≥ 1 ms", "≥ 100 µs", "≥ 10 µs", "< 10 µs"];
+    for (level, threshold) in CommunicationLevel::all().iter().zip(thresholds) {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<40} {}",
+            format!("Level {}", level.level()),
+            level.example_transport(),
+            threshold
+        );
+    }
+    out
+}
+
+/// Table 2: the parameter ranges used by the Monte-Carlo simulations.
+pub fn table2() -> String {
+    let ranges = ParameterRanges::table2();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Table 2: performance parameters used in the simulations");
+    let _ = writeln!(out, "{:<12} {:>12} {:>12}", "parameter", "minimum", "maximum");
+    let row = |name: &str, (lo, hi): (Time, Time)| {
+        format!(
+            "{:<12} {:>10.0} ms {:>10.0} ms",
+            name,
+            lo.as_millis(),
+            hi.as_millis()
+        )
+    };
+    let _ = writeln!(out, "{}", row("L", ranges.latency));
+    let _ = writeln!(out, "{}", row("g", ranges.gap));
+    let _ = writeln!(out, "{}", row("T", ranges.intra_broadcast));
+    out
+}
+
+/// Table 3: the 88-machine GRID'5000 snapshot — the latency matrix between the
+/// six logical clusters, plus a verification that the Lowekamp-style clustering
+/// algorithm (tolerance ρ = 30 %) recovers exactly those clusters from the raw
+/// node-to-node latencies.
+pub fn table3() -> String {
+    let spec = Grid5000Spec::table3();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Table 3: latency between different clusters (in microseconds)");
+    let _ = write!(out, "{:<16}", "");
+    for (name, size) in spec.names.iter().zip(&spec.sizes) {
+        let _ = write!(out, "{:>16}", format!("{size} x {name}"));
+    }
+    let _ = writeln!(out);
+    for i in 0..spec.names.len() {
+        let _ = write!(out, "{:<16}", format!("Cluster {i}"));
+        for j in 0..spec.names.len() {
+            let v = spec.latency_us[(i, j)];
+            if i == j && spec.sizes[i] <= 1 {
+                let _ = write!(out, "{:>16}", "-");
+            } else {
+                let _ = write!(out, "{:>16.2}", v);
+            }
+        }
+        let _ = writeln!(out);
+    }
+
+    // Recover the logical clusters from the synthesised node-to-node matrix.
+    let node_matrix = synthesize_node_matrix(&spec.sizes, &spec.latency_us);
+    let clustering = detect_logical_clusters(&node_matrix, LowekampConfig { tolerance: 0.30 });
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Lowekamp clustering (rho = 30%): {} machines -> {} logical clusters, sizes {:?}",
+        spec.total_machines(),
+        clustering.num_clusters(),
+        clustering.sorted_sizes()
+    );
+
+    // Classify each inter-cluster link by communication level (Table 1).
+    let wide_area_links = spec
+        .latency_us
+        .iter()
+        .filter(|&(i, j, _)| i < j)
+        .filter(|&(_, _, &us)| classify_latency(Time::from_micros(us)) == CommunicationLevel::WideArea)
+        .count();
+    let _ = writeln!(out, "wide-area cluster pairs: {wide_area_links}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_levels() {
+        let t = table1();
+        assert!(t.contains("Level 0"));
+        assert!(t.contains("Level 3"));
+        assert!(t.contains("WAN-TCP"));
+        assert!(t.contains("shared memory"));
+    }
+
+    #[test]
+    fn table2_matches_the_paper_values() {
+        let t = table2();
+        assert!(t.contains("L"));
+        assert!(t.contains("15 ms"));
+        assert!(t.contains("600 ms"));
+        assert!(t.contains("3000 ms"));
+    }
+
+    #[test]
+    fn table3_reports_matrix_and_recovered_clusters() {
+        let t = table3();
+        assert!(t.contains("12181.52"));
+        assert!(t.contains("5210.99"));
+        assert!(t.contains("31 x Orsay-A"));
+        assert!(t.contains("6 logical clusters"));
+        assert!(t.contains("[31, 29, 20, 6, 1, 1]"));
+        // Singleton diagonals print as dashes like the paper.
+        assert!(t.contains('-'));
+    }
+}

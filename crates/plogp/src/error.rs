@@ -1,0 +1,67 @@
+//! Error types for the pLogP crate.
+
+use std::fmt;
+
+/// Errors produced while building or evaluating pLogP models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PLogPError {
+    /// A gap function was constructed with no sample points.
+    EmptyGapTable,
+    /// Gap-function sample points were not strictly increasing in message size.
+    UnsortedGapTable {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// A negative time was supplied where a duration was required.
+    NegativeTime {
+        /// Human-readable name of the parameter.
+        parameter: &'static str,
+    },
+    /// A measurement run did not contain enough samples to fit parameters.
+    InsufficientSamples {
+        /// Samples provided.
+        got: usize,
+        /// Minimum required.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for PLogPError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PLogPError::EmptyGapTable => write!(f, "gap table must contain at least one sample"),
+            PLogPError::UnsortedGapTable { index } => write!(
+                f,
+                "gap table sample {index} is not strictly larger in message size than its predecessor"
+            ),
+            PLogPError::NegativeTime { parameter } => {
+                write!(f, "parameter `{parameter}` must be non-negative")
+            }
+            PLogPError::InsufficientSamples { got, needed } => write!(
+                f,
+                "measurement run has {got} samples but at least {needed} are required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PLogPError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PLogPError::UnsortedGapTable { index: 3 };
+        assert!(e.to_string().contains("sample 3"));
+        let e = PLogPError::InsufficientSamples { got: 1, needed: 2 };
+        assert!(e.to_string().contains("1 samples"));
+        assert!(PLogPError::EmptyGapTable.to_string().contains("at least one"));
+        assert!(
+            PLogPError::NegativeTime { parameter: "L" }
+                .to_string()
+                .contains("`L`")
+        );
+    }
+}

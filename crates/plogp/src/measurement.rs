@@ -1,0 +1,204 @@
+//! Simulated pLogP parameter acquisition.
+//!
+//! On a real platform the pLogP parameters are obtained with the method of
+//! Kielmann, Bal & Verstoep ("Fast measurement of LogP parameters for message
+//! passing platforms"): the gap `g(m)` is derived from the saturation round-trip
+//! time of a long back-to-back message train, and the latency `L` from the
+//! round-trip time of an empty message.
+//!
+//! We do not have a network interface to measure, so this module reproduces the
+//! *procedure* against a synthetic ground-truth link: given a true [`PLogP`]
+//! parameter set (plus optional multiplicative noise standing in for OS jitter),
+//! it generates the same observations the measurement tool would collect (RTTs of
+//! message trains at several sizes) and then runs the estimation algorithm to
+//! recover the parameters. Tests assert that the recovered model predicts
+//! point-to-point times close to the ground truth, which validates the estimation
+//! code path that a real deployment would rely on.
+
+use crate::gap::GapSample;
+use crate::{MessageSize, PLogP, PLogPError, Time};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a simulated measurement campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasurementConfig {
+    /// Message sizes to probe. Defaults to powers of two from 1 B to 4 MiB.
+    pub probe_sizes: Vec<MessageSize>,
+    /// Number of messages per saturation train. Larger trains average out the
+    /// latency contribution; Kielmann's tool uses on the order of 100.
+    pub train_length: u32,
+    /// Multiplicative noise amplitude applied to each observation (0.0 = exact).
+    pub noise_amplitude: f64,
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> Self {
+        let mut probe_sizes = Vec::new();
+        let mut s: u64 = 1;
+        while s <= 4 * 1024 * 1024 {
+            probe_sizes.push(MessageSize::from_bytes(s));
+            s *= 4;
+        }
+        MeasurementConfig {
+            probe_sizes,
+            train_length: 100,
+            noise_amplitude: 0.0,
+        }
+    }
+}
+
+/// One observation of a measurement campaign: the round-trip time of an empty
+/// message and the saturation time of a message train at each probed size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasurementRun {
+    /// Round-trip time of a zero-byte message (`≈ 2·L + 2·g(0)`).
+    pub empty_rtt: Time,
+    /// Gap of the smallest message, needed to subtract its contribution from the
+    /// empty round-trip time (the real tool measures it from the zero-byte train).
+    pub zero_gap: Time,
+    /// For each probed size, the observed per-message interval of the saturated
+    /// train (`≈ g(m)`).
+    pub train_intervals: Vec<(MessageSize, Time)>,
+}
+
+impl MeasurementRun {
+    /// Simulates the measurement procedure against a ground-truth link.
+    ///
+    /// `noise` is a deterministic pseudo-noise source: observation `i` is scaled
+    /// by `1 + noise_amplitude · noise[i % noise.len()]` where the caller supplies
+    /// values in `[-1, 1]`. Passing an empty slice disables noise regardless of
+    /// the configured amplitude, which keeps this function free of any RNG
+    /// dependency (callers that want randomness draw the values themselves).
+    pub fn simulate(truth: &PLogP, config: &MeasurementConfig, noise: &[f64]) -> Self {
+        let mut noise_iter = (0..).map(|i| {
+            if noise.is_empty() || config.noise_amplitude == 0.0 {
+                1.0
+            } else {
+                1.0 + config.noise_amplitude * noise[i % noise.len()].clamp(-1.0, 1.0)
+            }
+        });
+        let mut scale = |t: Time| t * noise_iter.next().expect("infinite iterator");
+
+        let zero = MessageSize::ZERO;
+        let empty_rtt = scale((truth.latency() + truth.gap(zero)) * 2.0);
+        let zero_gap = scale(truth.gap(zero));
+        let train_intervals = config
+            .probe_sizes
+            .iter()
+            .map(|&m| {
+                // A saturated train of k messages takes k·g(m) + L; the tool
+                // reports the asymptotic per-message interval, i.e. g(m) plus a
+                // vanishing L/k term.
+                let k = f64::from(config.train_length.max(1));
+                let total = truth.gap(m) * k + truth.latency();
+                (m, scale(total / k))
+            })
+            .collect();
+        MeasurementRun {
+            empty_rtt,
+            zero_gap,
+            train_intervals,
+        }
+    }
+}
+
+/// Estimates a [`PLogP`] parameter set from a measurement run.
+///
+/// The latency is recovered as `L = RTT(0)/2 − g(0)` (clamped at zero), and the
+/// gap function as the piecewise-linear interpolation of the observed train
+/// intervals, each corrected by removing the residual `L/k` latency share.
+pub fn estimate_from_rtt(
+    run: &MeasurementRun,
+    train_length: u32,
+) -> Result<PLogP, PLogPError> {
+    if run.train_intervals.len() < 2 {
+        return Err(PLogPError::InsufficientSamples {
+            got: run.train_intervals.len(),
+            needed: 2,
+        });
+    }
+    let latency = (run.empty_rtt / 2.0 - run.zero_gap).clamp_non_negative();
+    let k = f64::from(train_length.max(1));
+    let mut samples: Vec<GapSample> = run
+        .train_intervals
+        .iter()
+        .map(|&(size, interval)| GapSample {
+            size,
+            gap: (interval - latency / k).clamp_non_negative(),
+        })
+        .collect();
+    samples.sort_by_key(|s| s.size);
+    samples.dedup_by_key(|s| s.size);
+    PLogP::from_samples(latency, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ground_truth() -> PLogP {
+        // A LAN-like link: 60 µs latency, 1 Gb/s ≈ 125 MB/s, 15 µs fixed gap.
+        PLogP::affine(Time::from_micros(60.0), Time::from_micros(15.0), 125e6)
+    }
+
+    #[test]
+    fn noiseless_estimation_recovers_the_model() {
+        let truth = ground_truth();
+        let config = MeasurementConfig::default();
+        let run = MeasurementRun::simulate(&truth, &config, &[]);
+        let estimated = estimate_from_rtt(&run, config.train_length).unwrap();
+
+        // Latency recovered within a microsecond.
+        assert!(estimated.latency().abs_diff(truth.latency()) < Time::from_micros(1.0));
+
+        // Point-to-point predictions for sizes between probe points stay within 2 %.
+        for &bytes in &[1_000u64, 65_000, 300_000, 1_048_576, 4_000_000] {
+            let m = MessageSize::from_bytes(bytes);
+            let t_true = truth.point_to_point(m).as_secs();
+            let t_est = estimated.point_to_point(m).as_secs();
+            let rel = (t_true - t_est).abs() / t_true;
+            assert!(
+                rel < 0.02,
+                "size {bytes}: true {t_true}, estimated {t_est}, rel err {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_estimation_stays_close() {
+        let truth = ground_truth();
+        let config = MeasurementConfig {
+            noise_amplitude: 0.05,
+            ..MeasurementConfig::default()
+        };
+        // Deterministic "noise" alternating around zero.
+        let noise: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 0.8 } else { -0.8 }).collect();
+        let run = MeasurementRun::simulate(&truth, &config, &noise);
+        let estimated = estimate_from_rtt(&run, config.train_length).unwrap();
+        let m = MessageSize::from_mib(1);
+        let rel = (truth.point_to_point(m).as_secs() - estimated.point_to_point(m).as_secs()).abs()
+            / truth.point_to_point(m).as_secs();
+        assert!(rel < 0.10, "relative error {rel} too large under 5 % noise");
+    }
+
+    #[test]
+    fn estimation_requires_at_least_two_samples() {
+        let run = MeasurementRun {
+            empty_rtt: Time::from_micros(100.0),
+            zero_gap: Time::from_micros(10.0),
+            train_intervals: vec![(MessageSize::from_kib(1), Time::from_micros(20.0))],
+        };
+        assert_eq!(
+            estimate_from_rtt(&run, 100),
+            Err(PLogPError::InsufficientSamples { got: 1, needed: 2 })
+        );
+    }
+
+    #[test]
+    fn default_config_probes_a_wide_size_range() {
+        let config = MeasurementConfig::default();
+        assert!(config.probe_sizes.first().unwrap().as_bytes() == 1);
+        assert!(config.probe_sizes.last().unwrap().as_bytes() >= 4 * 1024 * 1024);
+        assert!(config.probe_sizes.len() >= 8);
+    }
+}

@@ -1,0 +1,121 @@
+//! Message sizes in bytes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A message size in bytes.
+///
+/// The paper sweeps message sizes from a few bytes up to 4.5 MB (Figures 5 and 6)
+/// and fixes 1 MB for the Monte-Carlo simulations (Figures 1–4). Keeping the size
+/// a dedicated type avoids confusing byte counts with other integers (cluster
+/// counts, node counts, iteration counts) in heuristic signatures.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct MessageSize(u64);
+
+impl MessageSize {
+    /// The empty message.
+    pub const ZERO: MessageSize = MessageSize(0);
+
+    /// Creates a size from a raw byte count.
+    #[inline]
+    pub const fn from_bytes(bytes: u64) -> Self {
+        MessageSize(bytes)
+    }
+
+    /// Creates a size of `kib` binary kilobytes (1 KiB = 1024 B).
+    #[inline]
+    pub const fn from_kib(kib: u64) -> Self {
+        MessageSize(kib * 1024)
+    }
+
+    /// Creates a size of `mib` binary megabytes (1 MiB = 1024² B).
+    #[inline]
+    pub const fn from_mib(mib: u64) -> Self {
+        MessageSize(mib * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    #[inline]
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// The size as an `f64` byte count, for bandwidth arithmetic.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Splits the message into `segments` nearly equal parts (the first
+    /// `remainder` parts are one byte larger). Used by pipelined/segmented
+    /// collective algorithms. Panics if `segments == 0`.
+    pub fn split(self, segments: u32) -> Vec<MessageSize> {
+        assert!(segments > 0, "cannot split a message into zero segments");
+        let segments = u64::from(segments);
+        let base = self.0 / segments;
+        let remainder = self.0 % segments;
+        (0..segments)
+            .map(|i| MessageSize(base + u64::from(i < remainder)))
+            .collect()
+    }
+}
+
+impl fmt::Display for MessageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1024 * 1024 && b % (1024 * 1024) == 0 {
+            write!(f, "{}MiB", b / (1024 * 1024))
+        } else if b >= 1024 && b % 1024 == 0 {
+            write!(f, "{}KiB", b / 1024)
+        } else {
+            write!(f, "{}B", b)
+        }
+    }
+}
+
+impl std::ops::Add for MessageSize {
+    type Output = MessageSize;
+    fn add(self, rhs: MessageSize) -> MessageSize {
+        MessageSize(self.0 + rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(MessageSize::from_kib(4).as_bytes(), 4096);
+        assert_eq!(MessageSize::from_mib(1).as_bytes(), 1_048_576);
+        assert_eq!(MessageSize::from_bytes(17).as_bytes(), 17);
+    }
+
+    #[test]
+    fn split_preserves_total_and_balances() {
+        let m = MessageSize::from_bytes(1003);
+        let parts = m.split(4);
+        assert_eq!(parts.len(), 4);
+        let total: u64 = parts.iter().map(|p| p.as_bytes()).sum();
+        assert_eq!(total, 1003);
+        let max = parts.iter().max().unwrap().as_bytes();
+        let min = parts.iter().min().unwrap().as_bytes();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero segments")]
+    fn split_zero_panics() {
+        MessageSize::from_bytes(10).split(0);
+    }
+
+    #[test]
+    fn display_uses_human_units() {
+        assert_eq!(MessageSize::from_mib(4).to_string(), "4MiB");
+        assert_eq!(MessageSize::from_kib(3).to_string(), "3KiB");
+        assert_eq!(MessageSize::from_bytes(999).to_string(), "999B");
+    }
+}

@@ -1,0 +1,292 @@
+//! The discrete-event execution engine.
+
+use crate::network::NodeNetwork;
+use crate::outcome::SimulationOutcome;
+use crate::plan::SendPlan;
+use crate::trace::{TraceEvent, TraceKind};
+use gridcast_plogp::{MessageSize, Time};
+use gridcast_topology::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event waiting in the simulation queue: a message arriving at a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Arrival {
+    time: Time,
+    /// Monotonic sequence number breaking ties deterministically (FIFO order for
+    /// simultaneous arrivals).
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+}
+
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Executes a [`SendPlan`] over a [`NodeNetwork`] for a message of size `m`,
+/// starting at time `start_offset` (used to account for scheduling overhead).
+///
+/// Semantics:
+///
+/// * the source holds the message at `start_offset`,
+/// * when a machine holds the message it issues the forwards listed in its plan
+///   entry, in order; each send occupies its network interface for the gap
+///   `g(m)` of the corresponding link, and the destination receives the full
+///   message `g(m) + L` after the send started,
+/// * transfers between two *different* clusters additionally occupy the shared
+///   wide-area path between those clusters for the gap: concurrent inter-site
+///   transfers over the same cluster pair serialise (the site uplink is a single
+///   bottleneck), which is what makes grid-unaware broadcast trees slow on real
+///   grids even though each individual sender is idle,
+/// * arrivals are processed in global time order (ties broken by issue order),
+///   so forwarding cascades propagate correctly.
+///
+/// Optionally records a full [`TraceEvent`] log via `trace`.
+pub fn execute_plan(
+    network: &NodeNetwork,
+    plan: &SendPlan,
+    m: MessageSize,
+    start_offset: Time,
+    mut trace: Option<&mut Vec<TraceEvent>>,
+) -> SimulationOutcome {
+    let n = network.num_nodes();
+    assert_eq!(
+        plan.num_nodes(),
+        n,
+        "plan covers {} machines but the network has {n}",
+        plan.num_nodes()
+    );
+
+    let mut receive_times = vec![Time::INFINITY; n];
+    let mut queue: BinaryHeap<Reverse<Arrival>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut messages = 0usize;
+    let mut events_processed = 0usize;
+
+    // Shared wide-area path occupancy per unordered cluster pair: each pair
+    // offers `wan_concurrency` channels at full per-flow rate; transfers beyond
+    // that serialise on the earliest-free channel.
+    let num_clusters = network.grid().num_clusters();
+    let channels = network.wan_concurrency();
+    let mut link_free: Vec<Vec<Time>> =
+        vec![vec![Time::ZERO; channels]; num_clusters * num_clusters];
+    let pair_index = |a: usize, b: usize| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        lo * num_clusters + hi
+    };
+
+    // A helper issuing all forwards of a machine once it holds the message.
+    let issue_forwards = |node: NodeId,
+                          ready_at: Time,
+                          queue: &mut BinaryHeap<Reverse<Arrival>>,
+                          link_free: &mut Vec<Vec<Time>>,
+                          seq: &mut u64,
+                          messages: &mut usize,
+                          trace: &mut Option<&mut Vec<TraceEvent>>| {
+        let mut nic_free = ready_at;
+        for &dst in &plan.forwards[node.index()] {
+            let gap = network.gap(node, dst, m);
+            let latency = network.latency(node, dst);
+            let src_cluster = network.nodes()[node.index()].cluster.index();
+            let dst_cluster = network.nodes()[dst.index()].cluster.index();
+            let send_start = if src_cluster != dst_cluster {
+                let link = &mut link_free[pair_index(src_cluster, dst_cluster)];
+                // Take the earliest-free channel of the shared path.
+                let channel = link
+                    .iter_mut()
+                    .min_by_key(|t| **t)
+                    .expect("at least one channel per path");
+                let start = nic_free.max(*channel);
+                *channel = start + gap;
+                start
+            } else {
+                nic_free
+            };
+            nic_free = send_start + gap;
+            let arrival = send_start + gap + latency;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent {
+                    kind: TraceKind::SendStart,
+                    time: send_start,
+                    from: node,
+                    to: dst,
+                });
+            }
+            queue.push(Reverse(Arrival {
+                time: arrival,
+                seq: *seq,
+                from: node,
+                to: dst,
+            }));
+            *seq += 1;
+            *messages += 1;
+        }
+    };
+
+    receive_times[plan.source.index()] = start_offset;
+    issue_forwards(
+        plan.source,
+        start_offset,
+        &mut queue,
+        &mut link_free,
+        &mut seq,
+        &mut messages,
+        &mut trace,
+    );
+
+    while let Some(Reverse(arrival)) = queue.pop() {
+        events_processed += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceEvent {
+                kind: TraceKind::Arrival,
+                time: arrival.time,
+                from: arrival.from,
+                to: arrival.to,
+            });
+        }
+        let idx = arrival.to.index();
+        if receive_times[idx].is_finite() {
+            // Duplicate delivery (a plan may in principle send twice); the first
+            // arrival wins and later copies are ignored.
+            continue;
+        }
+        receive_times[idx] = arrival.time;
+        issue_forwards(
+            arrival.to,
+            arrival.time,
+            &mut queue,
+            &mut link_free,
+            &mut seq,
+            &mut messages,
+            &mut trace,
+        );
+    }
+
+    // Machines never reached keep an infinite receive time; the completion below
+    // then propagates the problem loudly instead of silently reporting success.
+    let completion = receive_times
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(Time::ZERO);
+    SimulationOutcome {
+        completion,
+        receive_times,
+        messages,
+        events_processed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_topology::{grid5000_table3, ClusterId, Grid};
+
+    fn grid() -> Grid {
+        grid5000_table3()
+    }
+
+    #[test]
+    fn empty_plan_only_covers_the_source() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let plan = SendPlan::empty(NodeId(0), network.num_nodes());
+        let outcome = execute_plan(&network, &plan, MessageSize::from_mib(1), Time::ZERO, None);
+        assert_eq!(outcome.receive_time(NodeId(0)), Time::ZERO);
+        assert!(!outcome.completion.is_finite());
+        assert_eq!(outcome.messages, 0);
+    }
+
+    #[test]
+    fn single_forward_costs_one_transfer() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let mut plan = SendPlan::empty(NodeId(0), network.num_nodes());
+        // Send to every node from node 0 would be a flat tree; here just one.
+        plan.forwards[0].push(NodeId(1));
+        // Complete the plan so completion stays finite: everyone else is also
+        // served directly by node 0 (flat) — but for this test we only check the
+        // first arrival, so keep the rest unreached and look at node 1 only.
+        let m = MessageSize::from_mib(1);
+        let outcome = execute_plan(&network, &plan, m, Time::ZERO, None);
+        let expected = network.transfer(NodeId(0), NodeId(1), m);
+        assert_eq!(outcome.receive_time(NodeId(1)), expected);
+    }
+
+    #[test]
+    fn sender_interface_serialises_gap() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let mut plan = SendPlan::empty(NodeId(0), network.num_nodes());
+        plan.forwards[0].push(NodeId(1));
+        plan.forwards[0].push(NodeId(2));
+        let m = MessageSize::from_mib(1);
+        let outcome = execute_plan(&network, &plan, m, Time::ZERO, None);
+        let gap = network.gap(NodeId(0), NodeId(1), m);
+        let t1 = outcome.receive_time(NodeId(1));
+        let t2 = outcome.receive_time(NodeId(2));
+        // Second send starts one gap later.
+        assert!(t2.approx_eq(t1 + gap, Time::from_micros(1.0)));
+    }
+
+    #[test]
+    fn start_offset_shifts_everything() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let mut plan = SendPlan::empty(NodeId(0), network.num_nodes());
+        plan.forwards[0].push(NodeId(1));
+        let m = MessageSize::from_mib(1);
+        let base = execute_plan(&network, &plan, m, Time::ZERO, None);
+        let offset = execute_plan(&network, &plan, m, Time::from_millis(5.0), None);
+        assert!(offset
+            .receive_time(NodeId(1))
+            .approx_eq(base.receive_time(NodeId(1)) + Time::from_millis(5.0), Time::from_micros(1.0)));
+    }
+
+    #[test]
+    fn full_binomial_plan_reaches_everyone_and_traces() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let plan = SendPlan::binomial_over_all_nodes(&grid, ClusterId(0));
+        let mut trace = Vec::new();
+        let outcome = execute_plan(
+            &network,
+            &plan,
+            MessageSize::from_mib(1),
+            Time::ZERO,
+            Some(&mut trace),
+        );
+        assert!(outcome.completion.is_finite());
+        assert_eq!(outcome.messages, 87);
+        assert_eq!(outcome.events_processed, 87);
+        assert!(outcome.receive_times.iter().all(|t| t.is_finite()));
+        // Trace holds one send and one arrival per message.
+        assert_eq!(trace.len(), 2 * 87);
+        assert!(trace.iter().any(|e| e.kind == TraceKind::SendStart));
+    }
+
+    #[test]
+    fn duplicate_deliveries_keep_the_first_arrival() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let mut plan = SendPlan::empty(NodeId(0), network.num_nodes());
+        plan.forwards[0].push(NodeId(1));
+        plan.forwards[0].push(NodeId(1));
+        let m = MessageSize::from_mib(1);
+        let outcome = execute_plan(&network, &plan, m, Time::ZERO, None);
+        assert_eq!(
+            outcome.receive_time(NodeId(1)),
+            network.transfer(NodeId(0), NodeId(1), m)
+        );
+        assert_eq!(outcome.messages, 2);
+    }
+}

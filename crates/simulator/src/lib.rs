@@ -1,0 +1,47 @@
+//! # gridcast-simulator
+//!
+//! A discrete-event simulator of message passing on a grid — the substitute for
+//! the paper's practical evaluation testbed (88 GRID'5000 machines running a
+//! modified MagPIe on top of LAM-MPI).
+//!
+//! The paper's Section 7 runs each scheduling heuristic for real and compares the
+//! measured broadcast completion times (Figure 6) against the pLogP predictions
+//! (Figure 5). We do not have the testbed, so this crate *executes* the schedules
+//! instead of just predicting them:
+//!
+//! * every machine is simulated individually ([`plan::SendPlan`] assigns each
+//!   machine an ordered list of forwards),
+//! * a machine's network interface is busy for the gap `g(m)` of every message it
+//!   sends, and a receiver only holds the message `L + g(m)` after the send
+//!   started ([`network::NodeNetwork`] resolves the parameters from the grid
+//!   topology — intra-cluster vs. inter-cluster),
+//! * an event-driven engine ([`engine`]) processes arrivals in time order and
+//!   reports per-machine reception times ([`SimulationOutcome`]),
+//! * the grid-unaware binomial tree over all ranks ("Default LAM" in Figure 6)
+//!   and the schedule-driven grid-aware executions share the same engine, and
+//! * the cost of *computing* the schedule itself (the paper's "algorithm
+//!   complexity" concern) can be measured and added via [`overhead`].
+//!
+//! The simulated times differ from the paper's absolute measurements (different
+//! hardware, different MPI), but the relative behaviour of the heuristics — who
+//! wins, by roughly what factor — is preserved, which is what EXPERIMENTS.md
+//! tracks.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod network;
+pub mod outcome;
+pub mod overhead;
+pub mod plan;
+pub mod simulator;
+pub mod trace;
+
+pub use engine::execute_plan;
+pub use network::NodeNetwork;
+pub use outcome::SimulationOutcome;
+pub use overhead::measure_scheduling_overhead;
+pub use plan::SendPlan;
+pub use simulator::Simulator;
+pub use trace::{TraceEvent, TraceKind};

@@ -1,0 +1,82 @@
+//! Results of a simulated broadcast execution.
+
+use gridcast_plogp::Time;
+use gridcast_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of executing a [`SendPlan`](crate::SendPlan).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationOutcome {
+    /// Time at which every machine holds the message (the measured makespan).
+    pub completion: Time,
+    /// Per-machine reception time (zero for the source).
+    pub receive_times: Vec<Time>,
+    /// Number of point-to-point messages exchanged.
+    pub messages: usize,
+    /// Number of simulation events processed by the engine.
+    pub events_processed: usize,
+}
+
+impl SimulationOutcome {
+    /// The reception time of one machine.
+    pub fn receive_time(&self, node: NodeId) -> Time {
+        self.receive_times[node.index()]
+    }
+
+    /// The last machine to receive the message and when.
+    pub fn last_receiver(&self) -> (NodeId, Time) {
+        self.receive_times
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, t)| *t)
+            .map(|(i, &t)| (NodeId(i as u32), t))
+            .unwrap_or((NodeId(0), Time::ZERO))
+    }
+
+    /// Mean reception time over all machines (a secondary metric sometimes used
+    /// to compare broadcast algorithms beyond the pure makespan).
+    pub fn mean_receive_time(&self) -> Time {
+        if self.receive_times.is_empty() {
+            return Time::ZERO;
+        }
+        let total: Time = self.receive_times.iter().copied().sum();
+        total / self.receive_times.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_metrics() {
+        let outcome = SimulationOutcome {
+            completion: Time::from_millis(30.0),
+            receive_times: vec![
+                Time::ZERO,
+                Time::from_millis(10.0),
+                Time::from_millis(30.0),
+                Time::from_millis(20.0),
+            ],
+            messages: 3,
+            events_processed: 4,
+        };
+        assert_eq!(outcome.receive_time(NodeId(1)), Time::from_millis(10.0));
+        let (node, t) = outcome.last_receiver();
+        assert_eq!(node, NodeId(2));
+        assert_eq!(t, Time::from_millis(30.0));
+        assert_eq!(outcome.mean_receive_time(), Time::from_millis(15.0));
+    }
+
+    #[test]
+    fn empty_outcome_is_well_behaved() {
+        let outcome = SimulationOutcome {
+            completion: Time::ZERO,
+            receive_times: vec![],
+            messages: 0,
+            events_processed: 0,
+        };
+        assert_eq!(outcome.mean_receive_time(), Time::ZERO);
+        assert_eq!(outcome.last_receiver(), (NodeId(0), Time::ZERO));
+    }
+}

@@ -1,0 +1,62 @@
+//! Measuring the cost of computing a schedule.
+//!
+//! Section 7 of the paper points out that elaborate heuristics "may induce a
+//! scheduling cost that can affect the performance of the MPI_Bcast operation":
+//! the schedule is computed at the start of the collective call, so its wall
+//! clock cost delays the first message. This module measures that cost for a
+//! heuristic on a given problem instance so the simulator can add it to the
+//! execution start time.
+
+use gridcast_core::{BroadcastProblem, HeuristicKind};
+use gridcast_plogp::Time;
+use std::time::Instant;
+
+/// Measures the wall-clock time `kind` needs to schedule `problem`, averaged
+/// over `repetitions` runs (at least one).
+pub fn measure_scheduling_overhead(
+    kind: HeuristicKind,
+    problem: &BroadcastProblem,
+    repetitions: u32,
+) -> Time {
+    let repetitions = repetitions.max(1);
+    let start = Instant::now();
+    for _ in 0..repetitions {
+        // The schedule itself is discarded; only the cost matters here.
+        let schedule = kind.schedule(problem);
+        std::hint::black_box(&schedule);
+    }
+    let elapsed = start.elapsed().as_secs_f64() / f64::from(repetitions);
+    Time::from_secs(elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::MessageSize;
+    use gridcast_topology::{grid5000_table3, ClusterId};
+
+    #[test]
+    fn overhead_is_positive_and_small_for_six_clusters() {
+        let grid = grid5000_table3();
+        let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1));
+        for kind in HeuristicKind::all() {
+            let overhead = measure_scheduling_overhead(kind, &problem, 5);
+            assert!(overhead > Time::ZERO, "{kind}");
+            // Scheduling 6 clusters must take far less than a wide-area gap.
+            assert!(
+                overhead < Time::from_millis(100.0),
+                "{kind} took {overhead} to schedule 6 clusters"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_tree_overhead_does_not_exceed_lookahead_heuristics_by_much() {
+        // The flat tree requires no optimisation at all; its scheduling cost is
+        // the floor every other heuristic is compared against in Section 7.
+        let grid = grid5000_table3();
+        let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1));
+        let flat = measure_scheduling_overhead(HeuristicKind::FlatTree, &problem, 20);
+        assert!(flat < Time::from_millis(10.0));
+    }
+}

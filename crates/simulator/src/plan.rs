@@ -1,0 +1,192 @@
+//! Node-level communication plans.
+//!
+//! A [`SendPlan`] assigns every machine an ordered list of destinations it must
+//! forward the broadcast message to once it holds it. The discrete-event engine
+//! then executes the plan. Plans are built either from an inter-cluster
+//! [`Schedule`] produced by a scheduling heuristic (the grid-aware executions of
+//! Figure 6) or as a grid-unaware binomial tree over all ranks (the "Default LAM"
+//! baseline of the same figure).
+
+use gridcast_collectives::binomial_tree;
+use gridcast_core::Schedule;
+use gridcast_topology::{ClusterId, Grid, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An ordered list of forwards per machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SendPlan {
+    /// The machine that initially holds the message.
+    pub source: NodeId,
+    /// For every machine (indexed by [`NodeId`]), the ordered destinations it
+    /// forwards the message to after receiving it.
+    pub forwards: Vec<Vec<NodeId>>,
+}
+
+impl SendPlan {
+    /// Creates an empty plan (no forwards) for `num_nodes` machines.
+    pub fn empty(source: NodeId, num_nodes: usize) -> Self {
+        SendPlan {
+            source,
+            forwards: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Number of machines covered by the plan.
+    pub fn num_nodes(&self) -> usize {
+        self.forwards.len()
+    }
+
+    /// Total number of point-to-point messages in the plan.
+    pub fn num_messages(&self) -> usize {
+        self.forwards.iter().map(|f| f.len()).sum()
+    }
+
+    /// Checks that the plan reaches every machine exactly once (the source counts
+    /// as already reached). Returns the list of unreachable machines, empty when
+    /// the plan is a valid broadcast.
+    pub fn unreachable(&self) -> Vec<NodeId> {
+        let n = self.num_nodes();
+        let mut received = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        received[self.source.index()] = true;
+        order.push(self.source);
+        let mut cursor = 0;
+        while cursor < order.len() {
+            let node = order[cursor];
+            cursor += 1;
+            for &dst in &self.forwards[node.index()] {
+                if !received[dst.index()] {
+                    received[dst.index()] = true;
+                    order.push(dst);
+                }
+            }
+        }
+        (0..n)
+            .map(|i| NodeId(i as u32))
+            .filter(|id| !received[id.index()])
+            .collect()
+    }
+
+    /// Builds the node-level plan realising an inter-cluster `schedule` on
+    /// `grid`:
+    ///
+    /// 1. every cluster coordinator forwards the message to the coordinators of
+    ///    the clusters it serves, in the order of the schedule's events (this is
+    ///    where the heuristics differ), and only then
+    /// 2. broadcasts it inside its own cluster along a binomial tree — exactly
+    ///    the paper's "the cluster can finally broadcast the message among the
+    ///    cluster processes" rule.
+    pub fn from_grid_schedule(grid: &Grid, schedule: &Schedule) -> Self {
+        let num_nodes = grid.num_nodes() as usize;
+        let source = grid.coordinator(schedule.root);
+        let mut plan = SendPlan::empty(source, num_nodes);
+
+        // Inter-cluster forwards, in schedule order (the order events were
+        // committed is the order each coordinator issues its sends).
+        for event in &schedule.events {
+            let from = grid.coordinator(event.sender);
+            let to = grid.coordinator(event.receiver);
+            plan.forwards[from.index()].push(to);
+        }
+
+        // Intra-cluster binomial trees, appended after the inter-cluster sends.
+        for cluster in grid.clusters() {
+            let size = cluster.size as usize;
+            if size <= 1 {
+                continue;
+            }
+            let base = grid.coordinator(cluster.id).0;
+            let tree = binomial_tree(size);
+            for local_rank in 0..size {
+                let sender = NodeId(base + local_rank as u32);
+                for &child in tree.children(local_rank) {
+                    plan.forwards[sender.index()].push(NodeId(base + child as u32));
+                }
+            }
+        }
+        plan
+    }
+
+    /// Builds the grid-unaware baseline: a binomial tree over all machines in
+    /// rank order, ignoring cluster boundaries — the behaviour of a stock
+    /// `MPI_Bcast` ("Default LAM" in Figure 6). The tree is rooted at the
+    /// coordinator of `root`.
+    pub fn binomial_over_all_nodes(grid: &Grid, root: ClusterId) -> Self {
+        let num_nodes = grid.num_nodes() as usize;
+        let root_node = grid.coordinator(root);
+        let tree = binomial_tree(num_nodes);
+        let mut plan = SendPlan::empty(root_node, num_nodes);
+        // The binomial tree is built over "virtual ranks" where rank 0 is the
+        // root node; translate virtual ranks to node ids by rotation, which is
+        // how MPI implementations root a broadcast at an arbitrary rank.
+        let translate =
+            |virtual_rank: usize| NodeId(((virtual_rank + root_node.index()) % num_nodes) as u32);
+        for virtual_rank in 0..num_nodes {
+            let sender = translate(virtual_rank);
+            for &child in tree.children(virtual_rank) {
+                plan.forwards[sender.index()].push(translate(child));
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_core::{BroadcastProblem, HeuristicKind};
+    use gridcast_plogp::MessageSize;
+    use gridcast_topology::grid5000_table3;
+
+    #[test]
+    fn grid_schedule_plan_reaches_every_machine() {
+        let grid = grid5000_table3();
+        let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1));
+        for kind in HeuristicKind::all() {
+            let schedule = kind.schedule(&problem);
+            let plan = SendPlan::from_grid_schedule(&grid, &schedule);
+            assert_eq!(plan.num_nodes(), 88);
+            assert!(plan.unreachable().is_empty(), "{kind}");
+            // 87 machines must each receive exactly one message.
+            assert_eq!(plan.num_messages(), 87, "{kind}");
+        }
+    }
+
+    #[test]
+    fn coordinators_forward_inter_cluster_before_intra_cluster() {
+        let grid = grid5000_table3();
+        let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1));
+        let schedule = HeuristicKind::FlatTree.schedule(&problem);
+        let plan = SendPlan::from_grid_schedule(&grid, &schedule);
+        let root = grid.coordinator(ClusterId(0));
+        let forwards = &plan.forwards[root.index()];
+        // Flat tree: the root coordinator first contacts the 5 other cluster
+        // coordinators, then its own cluster members.
+        let coordinators: Vec<NodeId> = grid.cluster_ids().map(|c| grid.coordinator(c)).collect();
+        for (i, dst) in forwards.iter().take(5).enumerate() {
+            assert!(
+                coordinators.contains(dst),
+                "forward #{i} of the root should target a coordinator, got {dst}"
+            );
+        }
+        assert!(forwards.len() > 5, "root also serves its own cluster");
+    }
+
+    #[test]
+    fn baseline_plan_is_a_valid_broadcast_for_any_root() {
+        let grid = grid5000_table3();
+        for root in grid.cluster_ids() {
+            let plan = SendPlan::binomial_over_all_nodes(&grid, root);
+            assert!(plan.unreachable().is_empty());
+            assert_eq!(plan.num_messages(), 87);
+            assert_eq!(plan.source, grid.coordinator(root));
+        }
+    }
+
+    #[test]
+    fn unreachable_detects_incomplete_plans() {
+        let plan = SendPlan::empty(NodeId(0), 4);
+        let missing = plan.unreachable();
+        assert_eq!(missing, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

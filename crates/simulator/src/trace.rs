@@ -1,0 +1,58 @@
+//! Execution traces: the sequence of sends and arrivals of a simulated run.
+
+use gridcast_plogp::Time;
+use gridcast_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A machine started pushing a message to another machine.
+    SendStart,
+    /// A machine received the full message.
+    Arrival,
+}
+
+/// One entry of an execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Entry kind.
+    pub kind: TraceKind,
+    /// Simulation time of the entry.
+    pub time: Time,
+    /// Sending machine.
+    pub from: NodeId,
+    /// Receiving machine.
+    pub to: NodeId,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TraceKind::SendStart => write!(f, "[{}] {} -> {} send", self.time, self.from, self.to),
+            TraceKind::Arrival => write!(f, "[{}] {} -> {} arrival", self.time, self.from, self.to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let e = TraceEvent {
+            kind: TraceKind::SendStart,
+            time: Time::from_millis(1.5),
+            from: NodeId(0),
+            to: NodeId(31),
+        };
+        assert_eq!(e.to_string(), "[1.500ms] n0 -> n31 send");
+        let a = TraceEvent {
+            kind: TraceKind::Arrival,
+            ..e
+        };
+        assert!(a.to_string().ends_with("arrival"));
+    }
+}

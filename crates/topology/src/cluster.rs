@@ -1,0 +1,188 @@
+//! Logical clusters: groups of machines with homogeneous interconnection.
+
+use gridcast_plogp::{MessageSize, PLogP, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cluster inside a [`Grid`](crate::Grid). Dense index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ClusterId(pub usize);
+
+impl ClusterId {
+    /// The numeric index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<usize> for ClusterId {
+    fn from(v: usize) -> Self {
+        ClusterId(v)
+    }
+}
+
+/// How the intra-cluster broadcast time `T_i(m)` of a cluster is obtained.
+///
+/// The paper uses two modes:
+///
+/// * the Monte-Carlo simulations of Section 6 draw `T` directly from Table 2
+///   (`Fixed`), independent of any intra-cluster detail;
+/// * the practical evaluation of Section 7 predicts `T_i(m)` from measured
+///   intra-cluster pLogP parameters and the cluster size (`Modelled`), using the
+///   intra-cluster collective models of the companion `gridcast-collectives`
+///   crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IntraClusterParams {
+    /// The intra-cluster broadcast takes a fixed, size-independent time.
+    Fixed {
+        /// Broadcast completion time inside the cluster.
+        broadcast_time: Time,
+    },
+    /// Intra-cluster communication follows a pLogP model shared by all node
+    /// pairs inside the cluster (the "logical homogeneous cluster" assumption).
+    Modelled {
+        /// pLogP parameters of the intra-cluster interconnect.
+        plogp: PLogP,
+    },
+}
+
+impl IntraClusterParams {
+    /// Convenience constructor for the fixed-time mode.
+    pub fn fixed(broadcast_time: Time) -> Self {
+        IntraClusterParams::Fixed { broadcast_time }
+    }
+
+    /// Convenience constructor for the modelled mode.
+    pub fn modelled(plogp: PLogP) -> Self {
+        IntraClusterParams::Modelled { plogp }
+    }
+
+    /// Returns the pLogP model if this cluster is in modelled mode.
+    pub fn plogp(&self) -> Option<&PLogP> {
+        match self {
+            IntraClusterParams::Modelled { plogp } => Some(plogp),
+            IntraClusterParams::Fixed { .. } => None,
+        }
+    }
+}
+
+/// A logical cluster of a grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Identifier (index in the owning grid).
+    pub id: ClusterId,
+    /// Human-readable name ("Orsay", "IDPOT", "Toulouse", ...).
+    pub name: String,
+    /// Number of machines in the cluster (including the coordinator).
+    pub size: u32,
+    /// Intra-cluster communication description.
+    pub intra: IntraClusterParams,
+}
+
+impl Cluster {
+    /// Creates a cluster with a fixed intra-cluster broadcast time, the form used
+    /// by the paper's Monte-Carlo simulation (Table 2's `T` parameter).
+    pub fn with_fixed_time(
+        id: ClusterId,
+        name: impl Into<String>,
+        size: u32,
+        broadcast_time: Time,
+    ) -> Self {
+        Cluster {
+            id,
+            name: name.into(),
+            size,
+            intra: IntraClusterParams::fixed(broadcast_time),
+        }
+    }
+
+    /// Creates a cluster whose intra-cluster broadcast time is predicted from a
+    /// pLogP model and the cluster size.
+    pub fn with_plogp(
+        id: ClusterId,
+        name: impl Into<String>,
+        size: u32,
+        plogp: PLogP,
+    ) -> Self {
+        Cluster {
+            id,
+            name: name.into(),
+            size,
+            intra: IntraClusterParams::modelled(plogp),
+        }
+    }
+
+    /// Returns `true` if the cluster consists of a single machine, in which case
+    /// its intra-cluster broadcast time is zero regardless of the model.
+    #[inline]
+    pub fn is_singleton(&self) -> bool {
+        self.size <= 1
+    }
+
+    /// A crude intra-cluster broadcast time estimate available without the
+    /// collectives crate: the fixed time if configured, otherwise a binomial-tree
+    /// bound `⌈log2(size)⌉ · (g(m) + L)` from the cluster's own pLogP parameters.
+    ///
+    /// The scheduling heuristics normally use the more faithful prediction from
+    /// `gridcast-collectives`; this estimate exists so that the topology crate is
+    /// usable standalone and as a sanity lower bound in tests.
+    pub fn naive_broadcast_time(&self, m: MessageSize) -> Time {
+        if self.is_singleton() {
+            return Time::ZERO;
+        }
+        match &self.intra {
+            IntraClusterParams::Fixed { broadcast_time } => *broadcast_time,
+            IntraClusterParams::Modelled { plogp } => {
+                let rounds = (f64::from(self.size)).log2().ceil() as u32;
+                (plogp.gap(m) + plogp.latency()) * rounds
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_cluster_broadcasts_instantly() {
+        let c = Cluster::with_fixed_time(ClusterId(3), "idpot-solo", 1, Time::from_millis(500.0));
+        assert!(c.is_singleton());
+        assert_eq!(c.naive_broadcast_time(MessageSize::from_mib(1)), Time::ZERO);
+    }
+
+    #[test]
+    fn fixed_time_is_returned_verbatim() {
+        let c = Cluster::with_fixed_time(ClusterId(0), "orsay", 31, Time::from_millis(1500.0));
+        assert_eq!(
+            c.naive_broadcast_time(MessageSize::from_mib(1)),
+            Time::from_millis(1500.0)
+        );
+    }
+
+    #[test]
+    fn modelled_time_uses_binomial_rounds() {
+        let plogp = PLogP::constant(Time::from_micros(50.0), Time::from_millis(10.0));
+        let c = Cluster::with_plogp(ClusterId(1), "toulouse", 20, plogp.clone());
+        // ceil(log2(20)) = 5 rounds of (10 ms + 50 µs).
+        let expected = (plogp.gap(MessageSize::from_mib(1)) + plogp.latency()) * 5u32;
+        assert_eq!(c.naive_broadcast_time(MessageSize::from_mib(1)), expected);
+        assert!(c.intra.plogp().is_some());
+    }
+
+    #[test]
+    fn cluster_id_display() {
+        assert_eq!(ClusterId(4).to_string(), "C4");
+        assert_eq!(ClusterId::from(2usize).index(), 2);
+    }
+}

@@ -1,0 +1,315 @@
+//! Logical-cluster detection from raw node-to-node latencies.
+//!
+//! The paper obtains its six logical clusters (Table 3) by applying Lowekamp's
+//! algorithm with a tolerance rate ρ = 30 % to the measured latencies between all
+//! 88 machines: machines are grouped so that communication inside a group is
+//! homogeneous (within the tolerance), even when the physical site is the same.
+//! Notably the IDPOT site is *subdivided* — two machines with degraded
+//! connectivity become singleton clusters — and the Orsay site splits in two.
+//!
+//! This module implements an agglomerative variant of that idea:
+//!
+//! 1. all node pairs are sorted by latency,
+//! 2. pairs are processed in ascending order with a union–find structure,
+//! 3. two groups are merged only if the merged group remains *homogeneous*: every
+//!    pairwise latency inside it must stay within `(1 + ρ)` of the best (lowest)
+//!    latency that each involved node can achieve to any other node.
+//!
+//! The "best achievable latency" reference is what keeps badly-connected machines
+//! out of an otherwise fast cluster (and from pairing up with each other), which
+//! is exactly the behaviour the paper reports for the two IDPOT singletons.
+
+use crate::SquareMatrix;
+use gridcast_plogp::Time;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the logical-cluster detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LowekampConfig {
+    /// Tolerance rate ρ: a group is homogeneous if every internal latency is at
+    /// most `(1 + ρ)` times the best latency of each of its members. The paper
+    /// uses ρ = 0.30.
+    pub tolerance: f64,
+}
+
+impl Default for LowekampConfig {
+    fn default() -> Self {
+        LowekampConfig { tolerance: 0.30 }
+    }
+}
+
+/// The result of logical-cluster detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicalClustering {
+    /// For every node index, the index of the logical cluster it belongs to.
+    /// Cluster indices are dense and ordered by their smallest member node.
+    pub assignment: Vec<usize>,
+    /// The members of each logical cluster, sorted.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl LogicalClustering {
+    /// Number of detected clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Sizes of the detected clusters, in cluster order.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.clusters.iter().map(|c| c.len()).collect()
+    }
+
+    /// Returns the sizes sorted descending, convenient for comparisons that do
+    /// not care about cluster numbering.
+    pub fn sorted_sizes(&self) -> Vec<usize> {
+        let mut s = self.sizes();
+        s.sort_unstable_by(|a, b| b.cmp(a));
+        s
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+/// Detects logical clusters from a symmetric node-to-node latency matrix.
+///
+/// Panics if the matrix is empty. The matrix diagonal is ignored.
+pub fn detect_logical_clusters(
+    latency: &SquareMatrix<Time>,
+    config: LowekampConfig,
+) -> LogicalClustering {
+    let n = latency.dim();
+    assert!(n > 0, "latency matrix must contain at least one node");
+    assert!(config.tolerance >= 0.0, "tolerance must be non-negative");
+
+    // Best (lowest) latency each node can achieve towards any other node.
+    let best: Vec<Time> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| latency[(i, j)])
+                .min()
+                .unwrap_or(Time::ZERO)
+        })
+        .collect();
+
+    // All unordered pairs, ascending by latency.
+    let mut pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    pairs.sort_by_key(|&(i, j)| latency[(i, j)]);
+
+    let mut uf = UnionFind::new(n);
+    let factor = 1.0 + config.tolerance;
+
+    for (i, j) in pairs {
+        let ri = uf.find(i);
+        let rj = uf.find(j);
+        if ri == rj {
+            continue;
+        }
+        // Candidate merged group.
+        let members: Vec<usize> = (0..n)
+            .filter(|&x| {
+                let r = uf.find(x);
+                r == ri || r == rj
+            })
+            .collect();
+        if group_is_homogeneous(&members, latency, &best, factor) {
+            uf.union(ri, rj);
+        }
+    }
+
+    // Materialise dense cluster indices ordered by smallest member.
+    let mut cluster_of_root: Vec<Option<usize>> = vec![None; n];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut assignment = vec![0usize; n];
+    for node in 0..n {
+        let root = uf.find(node);
+        let idx = match cluster_of_root[root] {
+            Some(idx) => idx,
+            None => {
+                let idx = clusters.len();
+                cluster_of_root[root] = Some(idx);
+                clusters.push(Vec::new());
+                idx
+            }
+        };
+        clusters[idx].push(node);
+        assignment[node] = idx;
+    }
+
+    LogicalClustering {
+        assignment,
+        clusters,
+    }
+}
+
+fn group_is_homogeneous(
+    members: &[usize],
+    latency: &SquareMatrix<Time>,
+    best: &[Time],
+    factor: f64,
+) -> bool {
+    for (a_pos, &a) in members.iter().enumerate() {
+        for &b in &members[a_pos + 1..] {
+            let l = latency[(a, b)];
+            if l > best[a] * factor || l > best[b] * factor {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Builds a synthetic node-to-node latency matrix for a grid whose logical
+/// clusters and inter-cluster latencies are already known. Every intra-cluster
+/// pair gets the cluster's internal latency, every inter-cluster pair the
+/// corresponding cluster-to-cluster latency. This is how the tests reconstruct
+/// the 88-machine measurement that produced Table 3.
+pub fn synthesize_node_matrix(
+    cluster_sizes: &[u32],
+    cluster_latency_us: &SquareMatrix<f64>,
+) -> SquareMatrix<Time> {
+    assert_eq!(cluster_sizes.len(), cluster_latency_us.dim());
+    let total: usize = cluster_sizes.iter().map(|&s| s as usize).sum();
+    let mut cluster_of_node = Vec::with_capacity(total);
+    for (c, &size) in cluster_sizes.iter().enumerate() {
+        for _ in 0..size {
+            cluster_of_node.push(c);
+        }
+    }
+    let mut matrix = SquareMatrix::filled(total, Time::ZERO);
+    for i in 0..total {
+        for j in 0..total {
+            if i == j {
+                continue;
+            }
+            let (ci, cj) = (cluster_of_node[i], cluster_of_node[j]);
+            matrix[(i, j)] = Time::from_micros(cluster_latency_us[(ci, cj)]);
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid5000::{Grid5000Spec, CLUSTER_SIZES};
+
+    #[test]
+    fn trivial_single_node() {
+        let m = SquareMatrix::filled(1, Time::ZERO);
+        let c = detect_logical_clusters(&m, LowekampConfig::default());
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.sizes(), vec![1]);
+    }
+
+    #[test]
+    fn homogeneous_lan_is_one_cluster() {
+        let n = 10;
+        let mut m = SquareMatrix::filled(n, Time::from_micros(50.0));
+        for i in 0..n {
+            m[(i, i)] = Time::ZERO;
+        }
+        let c = detect_logical_clusters(&m, LowekampConfig::default());
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.sizes(), vec![n]);
+    }
+
+    #[test]
+    fn two_sites_over_a_wan_split_in_two() {
+        // 4 + 4 nodes; 50 µs inside a site, 10 ms across.
+        let n = 8;
+        let mut m = SquareMatrix::filled(n, Time::from_millis(10.0));
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    m[(i, j)] = Time::ZERO;
+                } else if (i < 4) == (j < 4) {
+                    m[(i, j)] = Time::from_micros(50.0);
+                }
+            }
+        }
+        let c = detect_logical_clusters(&m, LowekampConfig::default());
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.sorted_sizes(), vec![4, 4]);
+        // Node assignments respect the site boundary.
+        assert_eq!(c.assignment[0], c.assignment[3]);
+        assert_ne!(c.assignment[0], c.assignment[4]);
+    }
+
+    #[test]
+    fn recovers_the_six_clusters_of_table3() {
+        let spec = Grid5000Spec::table3();
+        let node_matrix = synthesize_node_matrix(&spec.sizes, &spec.latency_us);
+        assert_eq!(node_matrix.dim(), 88);
+        let clustering = detect_logical_clusters(&node_matrix, LowekampConfig { tolerance: 0.30 });
+        assert_eq!(
+            clustering.num_clusters(),
+            6,
+            "expected the six logical clusters of Table 3, got sizes {:?}",
+            clustering.sizes()
+        );
+        assert_eq!(clustering.sorted_sizes(), vec![31, 29, 20, 6, 1, 1]);
+    }
+
+    #[test]
+    fn zero_tolerance_separates_slightly_different_latencies() {
+        // Two groups at 50 µs and 55 µs internal latency, 60 µs across: with
+        // ρ = 0 the cross-links (60 > 50) break homogeneity for the fast group's
+        // members, so the groups stay apart; with a large ρ everything merges.
+        let n = 6;
+        let mut m = SquareMatrix::filled(n, Time::from_micros(60.0));
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    m[(i, j)] = Time::ZERO;
+                } else if i < 3 && j < 3 {
+                    m[(i, j)] = Time::from_micros(50.0);
+                } else if i >= 3 && j >= 3 {
+                    m[(i, j)] = Time::from_micros(55.0);
+                }
+            }
+        }
+        let strict = detect_logical_clusters(&m, LowekampConfig { tolerance: 0.0 });
+        assert_eq!(strict.num_clusters(), 2);
+        let loose = detect_logical_clusters(&m, LowekampConfig { tolerance: 0.5 });
+        assert_eq!(loose.num_clusters(), 1);
+    }
+
+    #[test]
+    fn synthesized_matrix_uses_cluster_latencies() {
+        let spec = Grid5000Spec::table3();
+        let node_matrix = synthesize_node_matrix(&CLUSTER_SIZES, &spec.latency_us);
+        // Node 0 and node 1 are both in Orsay-A: intra latency 47.56 µs.
+        assert!((node_matrix[(0, 1)].as_micros() - 47.56).abs() < 1e-9);
+        // Node 0 (Orsay-A) and the last node (Toulouse): 5210.99 µs.
+        assert!((node_matrix[(0, 87)].as_micros() - 5210.99).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,240 @@
+//! Random grid generation following Table 2 of the paper.
+//!
+//! The Monte-Carlo simulations of Section 6 draw, for every link and cluster and
+//! at every iteration, a latency `L`, a gap `g` and an intra-cluster broadcast
+//! time `T` uniformly from the ranges of Table 2 (values "measured over the French
+//! national grid GRID5000"):
+//!
+//! | parameter | minimum | maximum |
+//! |-----------|---------|---------|
+//! | `L`       | 1 ms    | 15 ms   |
+//! | `g`       | 100 ms  | 600 ms  |
+//! | `T`       | 20 ms   | 3000 ms |
+//!
+//! [`GridGenerator`] reproduces this: each generated [`Grid`] has symmetric
+//! inter-cluster links with constant gaps (the simulation fixes the message at
+//! 1 MB, so a single gap value per link suffices) and per-cluster fixed broadcast
+//! times.
+
+use crate::{Cluster, ClusterId, Grid};
+use gridcast_plogp::{PLogP, Time};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Uniform sampling ranges for the three simulation parameters (all in seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterRanges {
+    /// Inter-cluster latency range `[min, max]`.
+    pub latency: (Time, Time),
+    /// Inter-cluster gap range `[min, max]` (for the reference 1 MB message).
+    pub gap: (Time, Time),
+    /// Intra-cluster broadcast time range `[min, max]`.
+    pub intra_broadcast: (Time, Time),
+}
+
+impl ParameterRanges {
+    /// The exact ranges of Table 2.
+    pub fn table2() -> Self {
+        ParameterRanges {
+            latency: (Time::from_millis(1.0), Time::from_millis(15.0)),
+            gap: (Time::from_millis(100.0), Time::from_millis(600.0)),
+            intra_broadcast: (Time::from_millis(20.0), Time::from_millis(3000.0)),
+        }
+    }
+
+    /// Validates that each range is non-empty and non-negative.
+    pub fn validate(&self) -> bool {
+        let ok = |(lo, hi): (Time, Time)| lo >= Time::ZERO && hi >= lo;
+        ok(self.latency) && ok(self.gap) && ok(self.intra_broadcast)
+    }
+}
+
+impl Default for ParameterRanges {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+/// Generates random grid instances for the Monte-Carlo simulations.
+#[derive(Debug, Clone)]
+pub struct GridGenerator {
+    ranges: ParameterRanges,
+    /// Number of machines assigned to each generated cluster. The simulations of
+    /// the paper never look inside the clusters (their broadcast time is the
+    /// sampled `T`), so any positive value works; the default of 16 gives the
+    /// simulator something realistic to execute.
+    pub cluster_size: u32,
+}
+
+impl GridGenerator {
+    /// A generator using the Table 2 ranges.
+    pub fn table2() -> Self {
+        GridGenerator {
+            ranges: ParameterRanges::table2(),
+            cluster_size: 16,
+        }
+    }
+
+    /// A generator with custom ranges.
+    pub fn with_ranges(ranges: ParameterRanges) -> Self {
+        assert!(ranges.validate(), "invalid parameter ranges");
+        GridGenerator {
+            ranges,
+            cluster_size: 16,
+        }
+    }
+
+    /// Overrides the number of machines per generated cluster.
+    pub fn cluster_size(mut self, size: u32) -> Self {
+        assert!(size > 0, "clusters need at least one machine");
+        self.cluster_size = size;
+        self
+    }
+
+    /// The configured ranges.
+    pub fn ranges(&self) -> &ParameterRanges {
+        &self.ranges
+    }
+
+    fn sample_time<R: Rng + ?Sized>(rng: &mut R, (lo, hi): (Time, Time)) -> Time {
+        if hi <= lo {
+            return lo;
+        }
+        let dist = Uniform::new_inclusive(lo.as_secs(), hi.as_secs());
+        Time::from_secs(dist.sample(rng))
+    }
+
+    /// Generates a random grid with `num_clusters` clusters.
+    ///
+    /// Every unordered cluster pair receives an independent `(L, g)` sample used
+    /// in both directions (the paper's matrices, e.g. Table 3, are symmetric),
+    /// and every cluster an independent intra-cluster broadcast time `T`.
+    pub fn generate<R: Rng + ?Sized>(&self, num_clusters: usize, rng: &mut R) -> Grid {
+        assert!(num_clusters >= 1, "a grid needs at least one cluster");
+        let mut builder = Grid::builder();
+        for i in 0..num_clusters {
+            let t = Self::sample_time(rng, self.ranges.intra_broadcast);
+            builder = builder.cluster(Cluster::with_fixed_time(
+                ClusterId(i),
+                format!("cluster-{i}"),
+                self.cluster_size,
+                t,
+            ));
+        }
+        for i in 0..num_clusters {
+            for j in (i + 1)..num_clusters {
+                let latency = Self::sample_time(rng, self.ranges.latency);
+                let gap = Self::sample_time(rng, self.ranges.gap);
+                builder = builder.link_symmetric(
+                    ClusterId(i),
+                    ClusterId(j),
+                    PLogP::constant(latency, gap),
+                );
+            }
+        }
+        builder
+            .build()
+            .expect("generator always configures every link")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::MessageSize;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn table2_ranges_match_the_paper() {
+        let r = ParameterRanges::table2();
+        assert_eq!(r.latency.0, Time::from_millis(1.0));
+        assert_eq!(r.latency.1, Time::from_millis(15.0));
+        assert_eq!(r.gap.0, Time::from_millis(100.0));
+        assert_eq!(r.gap.1, Time::from_millis(600.0));
+        assert_eq!(r.intra_broadcast.0, Time::from_millis(20.0));
+        assert_eq!(r.intra_broadcast.1, Time::from_millis(3000.0));
+        assert!(r.validate());
+    }
+
+    #[test]
+    fn generated_parameters_stay_in_range() {
+        let gen = GridGenerator::table2();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let m = MessageSize::from_mib(1);
+        for _ in 0..20 {
+            let grid = gen.generate(8, &mut rng);
+            assert_eq!(grid.num_clusters(), 8);
+            for i in grid.cluster_ids() {
+                let t = grid.cluster(i).naive_broadcast_time(m);
+                assert!(t >= Time::from_millis(20.0) && t <= Time::from_millis(3000.0));
+                for j in grid.cluster_ids() {
+                    if i == j {
+                        continue;
+                    }
+                    let l = grid.latency(i, j);
+                    let g = grid.gap(i, j, m);
+                    assert!(l >= Time::from_millis(1.0) && l <= Time::from_millis(15.0));
+                    assert!(g >= Time::from_millis(100.0) && g <= Time::from_millis(600.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = GridGenerator::table2();
+        let grid_a = gen.generate(6, &mut ChaCha8Rng::seed_from_u64(7));
+        let grid_b = gen.generate(6, &mut ChaCha8Rng::seed_from_u64(7));
+        let grid_c = gen.generate(6, &mut ChaCha8Rng::seed_from_u64(8));
+        assert_eq!(grid_a, grid_b);
+        assert_ne!(grid_a, grid_c);
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let gen = GridGenerator::table2();
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let grid = gen.generate(10, &mut rng);
+        let m = MessageSize::from_mib(1);
+        for i in grid.cluster_ids() {
+            for j in grid.cluster_ids() {
+                assert_eq!(grid.latency(i, j), grid.latency(j, i));
+                assert_eq!(grid.gap(i, j, m), grid.gap(j, i, m));
+            }
+        }
+    }
+
+    #[test]
+    fn custom_cluster_size_is_respected() {
+        let gen = GridGenerator::table2().cluster_size(50);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let grid = gen.generate(3, &mut rng);
+        assert_eq!(grid.num_nodes(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let gen = GridGenerator::table2();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = gen.generate(0, &mut rng);
+    }
+
+    #[test]
+    fn degenerate_range_collapses_to_constant() {
+        let ranges = ParameterRanges {
+            latency: (Time::from_millis(5.0), Time::from_millis(5.0)),
+            gap: (Time::from_millis(100.0), Time::from_millis(100.0)),
+            intra_broadcast: (Time::from_millis(50.0), Time::from_millis(50.0)),
+        };
+        let gen = GridGenerator::with_ranges(ranges);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let grid = gen.generate(4, &mut rng);
+        assert_eq!(
+            grid.latency(ClusterId(0), ClusterId(1)),
+            Time::from_millis(5.0)
+        );
+    }
+}

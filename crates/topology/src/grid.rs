@@ -1,0 +1,373 @@
+//! The [`Grid`]: a set of clusters plus inter-cluster link parameters.
+
+use crate::{Cluster, ClusterId, Node, NodeId, SquareMatrix};
+use gridcast_plogp::{MessageSize, PLogP, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while constructing a grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// The grid needs at least one cluster.
+    NoClusters,
+    /// An inter-cluster link references a cluster outside the grid.
+    UnknownCluster {
+        /// The offending identifier.
+        cluster: ClusterId,
+    },
+    /// A link between two distinct clusters was never configured.
+    MissingLink {
+        /// Source cluster.
+        from: ClusterId,
+        /// Destination cluster.
+        to: ClusterId,
+    },
+    /// A cluster was declared with zero machines.
+    EmptyCluster {
+        /// The offending identifier.
+        cluster: ClusterId,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::NoClusters => write!(f, "a grid needs at least one cluster"),
+            GridError::UnknownCluster { cluster } => {
+                write!(f, "link references unknown cluster {cluster}")
+            }
+            GridError::MissingLink { from, to } => {
+                write!(f, "no link parameters configured between {from} and {to}")
+            }
+            GridError::EmptyCluster { cluster } => {
+                write!(f, "cluster {cluster} has no machines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// A computational grid: clusters plus a full matrix of inter-cluster pLogP
+/// parameters.
+///
+/// Inter-cluster parameters are stored directed (`from → to`); symmetric grids
+/// simply store the same parameters in both directions (the builder's
+/// [`GridBuilder::link_symmetric`] does this for you). The diagonal is unused by
+/// the scheduling heuristics but is kept populated with the cluster's own
+/// intra-cluster parameters when available so that traces can report it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    clusters: Vec<Cluster>,
+    inter: SquareMatrix<PLogP>,
+}
+
+impl Grid {
+    /// Starts building a grid.
+    pub fn builder() -> GridBuilder {
+        GridBuilder::default()
+    }
+
+    /// Number of clusters.
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total number of machines across all clusters.
+    pub fn num_nodes(&self) -> u32 {
+        self.clusters.iter().map(|c| c.size).sum()
+    }
+
+    /// The clusters, indexed by [`ClusterId`].
+    #[inline]
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// A single cluster.
+    #[inline]
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// The pLogP parameters of the directed link `from → to`.
+    #[inline]
+    pub fn link(&self, from: ClusterId, to: ClusterId) -> &PLogP {
+        &self.inter[(from.index(), to.index())]
+    }
+
+    /// Inter-cluster latency `L_{from,to}`.
+    #[inline]
+    pub fn latency(&self, from: ClusterId, to: ClusterId) -> Time {
+        self.link(from, to).latency()
+    }
+
+    /// Inter-cluster gap `g_{from,to}(m)`.
+    #[inline]
+    pub fn gap(&self, from: ClusterId, to: ClusterId, m: MessageSize) -> Time {
+        self.link(from, to).gap(m)
+    }
+
+    /// The point-to-point cost `L_{from,to} + g_{from,to}(m)` used by every
+    /// heuristic of the paper.
+    #[inline]
+    pub fn transfer_time(&self, from: ClusterId, to: ClusterId, m: MessageSize) -> Time {
+        self.link(from, to).point_to_point(m)
+    }
+
+    /// Enumerates all machines of the grid, cluster by cluster, assigning dense
+    /// [`NodeId`]s. The first node of each cluster (local rank 0) is the cluster
+    /// coordinator that participates in inter-cluster communication.
+    pub fn enumerate_nodes(&self) -> Vec<Node> {
+        let mut nodes = Vec::with_capacity(self.num_nodes() as usize);
+        let mut next = 0u32;
+        for cluster in &self.clusters {
+            for local_rank in 0..cluster.size {
+                nodes.push(Node {
+                    id: NodeId(next),
+                    name: format!("{}-{}", cluster.name, local_rank),
+                    cluster: cluster.id,
+                    local_rank,
+                });
+                next += 1;
+            }
+        }
+        nodes
+    }
+
+    /// The node id of the coordinator of `cluster` under [`Grid::enumerate_nodes`]
+    /// numbering.
+    pub fn coordinator(&self, cluster: ClusterId) -> NodeId {
+        let before: u32 = self.clusters[..cluster.index()].iter().map(|c| c.size).sum();
+        NodeId(before)
+    }
+
+    /// All cluster identifiers.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        (0..self.clusters.len()).map(ClusterId)
+    }
+}
+
+/// Builder for [`Grid`].
+#[derive(Debug, Default)]
+pub struct GridBuilder {
+    clusters: Vec<Cluster>,
+    links: Vec<(ClusterId, ClusterId, PLogP)>,
+}
+
+impl GridBuilder {
+    /// Adds a cluster. Cluster identifiers must be dense and added in order; the
+    /// builder assigns the next index and overrides `cluster.id` accordingly.
+    pub fn cluster(mut self, mut cluster: Cluster) -> Self {
+        cluster.id = ClusterId(self.clusters.len());
+        self.clusters.push(cluster);
+        self
+    }
+
+    /// Configures the directed link `from → to`.
+    pub fn link_directed(mut self, from: ClusterId, to: ClusterId, plogp: PLogP) -> Self {
+        self.links.push((from, to, plogp));
+        self
+    }
+
+    /// Configures both directions of the link between `a` and `b` with the same
+    /// parameters.
+    pub fn link_symmetric(mut self, a: ClusterId, b: ClusterId, plogp: PLogP) -> Self {
+        self.links.push((a, b, plogp.clone()));
+        self.links.push((b, a, plogp));
+        self
+    }
+
+    /// Validates and builds the grid.
+    pub fn build(self) -> Result<Grid, GridError> {
+        if self.clusters.is_empty() {
+            return Err(GridError::NoClusters);
+        }
+        if let Some(empty) = self.clusters.iter().find(|c| c.size == 0) {
+            return Err(GridError::EmptyCluster { cluster: empty.id });
+        }
+        let n = self.clusters.len();
+        // Initialise every entry with a self-link placeholder (zero-cost), then
+        // overwrite with the configured links and check completeness.
+        let placeholder = PLogP::constant(Time::ZERO, Time::ZERO);
+        let mut inter = SquareMatrix::filled(n, placeholder);
+        let mut configured = SquareMatrix::filled(n, false);
+        for (from, to, plogp) in self.links {
+            if from.index() >= n {
+                return Err(GridError::UnknownCluster { cluster: from });
+            }
+            if to.index() >= n {
+                return Err(GridError::UnknownCluster { cluster: to });
+            }
+            inter[(from.index(), to.index())] = plogp;
+            configured[(from.index(), to.index())] = true;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && !configured[(i, j)] {
+                    return Err(GridError::MissingLink {
+                        from: ClusterId(i),
+                        to: ClusterId(j),
+                    });
+                }
+            }
+        }
+        // Populate the diagonal with the clusters' own intra parameters when
+        // modelled, so that `link(i, i)` is meaningful for traces.
+        for (i, cluster) in self.clusters.iter().enumerate() {
+            if let Some(plogp) = cluster.intra.plogp() {
+                inter[(i, i)] = plogp.clone();
+            }
+        }
+        Ok(Grid {
+            clusters: self.clusters,
+            inter,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::Time;
+
+    fn toy_grid(n: usize) -> Grid {
+        let mut builder = Grid::builder();
+        for i in 0..n {
+            builder = builder.cluster(Cluster::with_fixed_time(
+                ClusterId(i),
+                format!("c{i}"),
+                4,
+                Time::from_millis(100.0),
+            ));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let plogp = PLogP::constant(
+                    Time::from_millis(1.0 + i as f64 + j as f64),
+                    Time::from_millis(200.0),
+                );
+                builder = builder.link_symmetric(ClusterId(i), ClusterId(j), plogp);
+            }
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_complete_grid() {
+        let grid = toy_grid(4);
+        assert_eq!(grid.num_clusters(), 4);
+        assert_eq!(grid.num_nodes(), 16);
+        assert_eq!(
+            grid.latency(ClusterId(0), ClusterId(3)),
+            Time::from_millis(4.0)
+        );
+        assert_eq!(
+            grid.latency(ClusterId(3), ClusterId(0)),
+            Time::from_millis(4.0)
+        );
+        let m = MessageSize::from_mib(1);
+        assert_eq!(
+            grid.transfer_time(ClusterId(1), ClusterId(2), m),
+            Time::from_millis(204.0)
+        );
+    }
+
+    #[test]
+    fn missing_link_is_rejected() {
+        let result = Grid::builder()
+            .cluster(Cluster::with_fixed_time(
+                ClusterId(0),
+                "a",
+                2,
+                Time::from_millis(10.0),
+            ))
+            .cluster(Cluster::with_fixed_time(
+                ClusterId(1),
+                "b",
+                2,
+                Time::from_millis(10.0),
+            ))
+            .build();
+        assert_eq!(
+            result,
+            Err(GridError::MissingLink {
+                from: ClusterId(0),
+                to: ClusterId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn empty_and_unknown_clusters_are_rejected() {
+        assert_eq!(Grid::builder().build(), Err(GridError::NoClusters));
+
+        let empty = Grid::builder()
+            .cluster(Cluster::with_fixed_time(
+                ClusterId(0),
+                "a",
+                0,
+                Time::from_millis(10.0),
+            ))
+            .build();
+        assert_eq!(
+            empty,
+            Err(GridError::EmptyCluster {
+                cluster: ClusterId(0)
+            })
+        );
+
+        let unknown = Grid::builder()
+            .cluster(Cluster::with_fixed_time(
+                ClusterId(0),
+                "a",
+                1,
+                Time::from_millis(10.0),
+            ))
+            .link_directed(
+                ClusterId(0),
+                ClusterId(5),
+                PLogP::constant(Time::ZERO, Time::ZERO),
+            )
+            .build();
+        assert_eq!(
+            unknown,
+            Err(GridError::UnknownCluster {
+                cluster: ClusterId(5)
+            })
+        );
+    }
+
+    #[test]
+    fn node_enumeration_and_coordinators() {
+        let grid = toy_grid(3);
+        let nodes = grid.enumerate_nodes();
+        assert_eq!(nodes.len(), 12);
+        assert_eq!(grid.coordinator(ClusterId(0)), NodeId(0));
+        assert_eq!(grid.coordinator(ClusterId(1)), NodeId(4));
+        assert_eq!(grid.coordinator(ClusterId(2)), NodeId(8));
+        assert!(nodes[4].is_coordinator());
+        assert_eq!(nodes[5].cluster, ClusterId(1));
+        assert_eq!(nodes[5].local_rank, 1);
+        // Names carry the cluster name for readable traces.
+        assert_eq!(nodes[8].name, "c2-0");
+    }
+
+    #[test]
+    fn cluster_ids_iterates_all() {
+        let grid = toy_grid(5);
+        let ids: Vec<_> = grid.cluster_ids().collect();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[0], ClusterId(0));
+        assert_eq!(ids[4], ClusterId(4));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let grid = toy_grid(3);
+        let json = serde_json::to_string(&grid).unwrap();
+        let back: Grid = serde_json::from_str(&json).unwrap();
+        assert_eq!(grid, back);
+    }
+}

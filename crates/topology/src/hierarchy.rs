@@ -1,0 +1,133 @@
+//! Communication-level hierarchy (Table 1 of the paper).
+//!
+//! Karonis et al. (MPICH-G2) organise grid links into levels ordered by latency:
+//! wide-area TCP (level 0) is slower than LAN TCP (level 1), which is slower than
+//! intra-host TCP (level 2), which is slower than vendor MPI / shared memory
+//! (levels 3, 4, ...). The paper reproduces this classification in Table 1 and
+//! builds its two-level (inter-/intra-cluster) optimisation on top of it.
+
+use gridcast_plogp::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A communication level in the MPICH-G2 / Karonis multi-level hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CommunicationLevel {
+    /// Level 0: wide-area TCP links between sites.
+    WideArea,
+    /// Level 1: local-area TCP links inside a site.
+    LocalArea,
+    /// Level 2: TCP between processes on the same host.
+    LocalHost,
+    /// Level 3 and beyond: vendor MPI, Myrinet, shared memory.
+    SharedMemory,
+}
+
+impl CommunicationLevel {
+    /// The numeric level used by Table 1 (0 is the slowest).
+    pub fn level(self) -> u8 {
+        match self {
+            CommunicationLevel::WideArea => 0,
+            CommunicationLevel::LocalArea => 1,
+            CommunicationLevel::LocalHost => 2,
+            CommunicationLevel::SharedMemory => 3,
+        }
+    }
+
+    /// All levels, slowest first, mirroring the ordering of Table 1.
+    pub fn all() -> [CommunicationLevel; 4] {
+        [
+            CommunicationLevel::WideArea,
+            CommunicationLevel::LocalArea,
+            CommunicationLevel::LocalHost,
+            CommunicationLevel::SharedMemory,
+        ]
+    }
+
+    /// Example transport associated with the level, as listed in Table 1.
+    pub fn example_transport(self) -> &'static str {
+        match self {
+            CommunicationLevel::WideArea => "WAN-TCP",
+            CommunicationLevel::LocalArea => "LAN-TCP",
+            CommunicationLevel::LocalHost => "localhost-TCP",
+            CommunicationLevel::SharedMemory => "shared memory / Myrinet / vendor MPI",
+        }
+    }
+}
+
+impl fmt::Display for CommunicationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Level {} ({})", self.level(), self.example_transport())
+    }
+}
+
+/// Classifies a link by its measured latency, using thresholds consistent with
+/// Table 1 and the measurements of Table 3.
+///
+/// * ≥ 1 ms        → wide area,
+/// * ≥ 100 µs      → local area,
+/// * ≥ 10 µs       → same host (TCP loopback),
+/// * below 10 µs   → shared memory / vendor MPI.
+pub fn classify_latency(latency: Time) -> CommunicationLevel {
+    if latency >= Time::from_millis(1.0) {
+        CommunicationLevel::WideArea
+    } else if latency >= Time::from_micros(100.0) {
+        CommunicationLevel::LocalArea
+    } else if latency >= Time::from_micros(10.0) {
+        CommunicationLevel::LocalHost
+    } else {
+        CommunicationLevel::SharedMemory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_table1() {
+        // Table 1: Level 0 > Level 1 > Level 2 > Level 3 in latency.
+        let levels = CommunicationLevel::all();
+        for w in levels.windows(2) {
+            assert!(w[0].level() < w[1].level());
+        }
+        assert_eq!(CommunicationLevel::WideArea.level(), 0);
+        assert_eq!(CommunicationLevel::SharedMemory.level(), 3);
+    }
+
+    #[test]
+    fn classification_of_table3_values() {
+        // Inter-site latencies from Table 3 (µs): 12181, 5210 → wide area.
+        assert_eq!(
+            classify_latency(Time::from_micros(12181.52)),
+            CommunicationLevel::WideArea
+        );
+        assert_eq!(
+            classify_latency(Time::from_micros(5210.99)),
+            CommunicationLevel::WideArea
+        );
+        // Intra-site (47.56 µs, 60.08 µs) → same host / LAN boundary region.
+        assert_eq!(
+            classify_latency(Time::from_micros(242.47)),
+            CommunicationLevel::LocalArea
+        );
+        assert_eq!(
+            classify_latency(Time::from_micros(47.56)),
+            CommunicationLevel::LocalHost
+        );
+        // Sub-10 µs: shared memory.
+        assert_eq!(
+            classify_latency(Time::from_micros(2.0)),
+            CommunicationLevel::SharedMemory
+        );
+    }
+
+    #[test]
+    fn display_mentions_transport() {
+        let s = CommunicationLevel::WideArea.to_string();
+        assert!(s.contains("WAN"));
+        assert!(CommunicationLevel::SharedMemory
+            .example_transport()
+            .contains("shared memory"));
+    }
+}

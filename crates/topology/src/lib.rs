@@ -1,0 +1,44 @@
+//! # gridcast-topology
+//!
+//! The grid topology substrate: machines, clusters, inter-cluster link parameters
+//! and the tooling needed to obtain them.
+//!
+//! The paper's execution environment is a computational grid — tens of clusters,
+//! each containing up to a few hundred machines, interconnected by wide-area
+//! links that are one to three orders of magnitude slower than the cluster
+//! interconnects (Table 1). This crate models that environment:
+//!
+//! * [`Node`] / [`Cluster`] / [`Grid`] — the static description of a grid,
+//!   including per-pair inter-cluster [`PLogP`](gridcast_plogp::PLogP) parameters
+//!   and per-cluster intra-cluster parameters,
+//! * [`hierarchy`] — the communication-level classification of Table 1,
+//! * [`generator`] — random grid instances drawn from the Table 2 distributions
+//!   used by the Monte-Carlo simulations of Figures 1–4,
+//! * [`grid5000`] — the 88-machine, 6-logical-cluster GRID'5000 snapshot of
+//!   Table 3 used by the practical evaluation of Figures 5–6,
+//! * [`clustering`] — a Lowekamp-style logical-cluster detection algorithm with
+//!   tolerance `ρ`, which is how the paper derives Table 3's clusters from raw
+//!   node-to-node latencies,
+//! * [`matrix`] — a small dense square-matrix container used for latency/gap
+//!   tables.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cluster;
+pub mod clustering;
+pub mod generator;
+pub mod grid;
+pub mod grid5000;
+pub mod hierarchy;
+pub mod matrix;
+pub mod node;
+
+pub use cluster::{Cluster, ClusterId, IntraClusterParams};
+pub use clustering::{detect_logical_clusters, LogicalClustering, LowekampConfig};
+pub use generator::{GridGenerator, ParameterRanges};
+pub use grid::{Grid, GridBuilder, GridError};
+pub use grid5000::{grid5000_table3, Grid5000Spec};
+pub use hierarchy::{classify_latency, CommunicationLevel};
+pub use matrix::SquareMatrix;
+pub use node::{Node, NodeId};

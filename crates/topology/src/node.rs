@@ -1,0 +1,89 @@
+//! Individual machines (MPI processes) of a grid.
+
+use crate::ClusterId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A globally unique identifier of a machine / MPI process in the grid.
+///
+/// Node identifiers are dense indices (`0..grid.num_nodes()`), which lets the
+/// simulator and the collective algorithms index per-node state with plain
+/// vectors instead of hash maps.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The numeric index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A machine belonging to a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Global identifier.
+    pub id: NodeId,
+    /// Hostname-like label (for traces and reports).
+    pub name: String,
+    /// Cluster this node belongs to.
+    pub cluster: ClusterId,
+    /// Rank of the node within its cluster (`0` is the cluster coordinator).
+    pub local_rank: u32,
+}
+
+impl Node {
+    /// Returns `true` if this node is its cluster's coordinator, i.e. the process
+    /// that takes part in inter-cluster communication on behalf of the cluster.
+    #[inline]
+    pub fn is_coordinator(&self) -> bool {
+        self.local_rank == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId(7);
+        assert_eq!(id.to_string(), "n7");
+        assert_eq!(id.index(), 7);
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+    }
+
+    #[test]
+    fn coordinator_detection() {
+        let coordinator = Node {
+            id: NodeId(0),
+            name: "orsay-0".into(),
+            cluster: ClusterId(0),
+            local_rank: 0,
+        };
+        let worker = Node {
+            id: NodeId(1),
+            name: "orsay-1".into(),
+            cluster: ClusterId(0),
+            local_rank: 1,
+        };
+        assert!(coordinator.is_coordinator());
+        assert!(!worker.is_coordinator());
+    }
+}

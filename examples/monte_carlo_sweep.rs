@@ -1,0 +1,41 @@
+//! Run a small Monte-Carlo sweep (the engine behind Figures 1–4) and print the
+//! mean completion times and hit rates for a grid size of your choice.
+//!
+//! ```text
+//! cargo run --release --example monte_carlo_sweep -- 20
+//! ```
+//!
+//! The optional argument is the number of clusters (default 10).
+
+use gridcast::core::HeuristicKind;
+use gridcast::experiments::{run_monte_carlo, ExperimentConfig};
+
+fn main() {
+    let clusters: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(10);
+    let config = ExperimentConfig::default().with_iterations(1_000);
+    let kinds = HeuristicKind::all();
+
+    println!(
+        "Monte-Carlo sweep: {} clusters, {} iterations, 1 MiB broadcast, Table 2 parameters\n",
+        clusters, config.iterations
+    );
+    let outcome = run_monte_carlo(clusters, &kinds, &config);
+
+    println!("{:<12} {:>16} {:>12}", "heuristic", "mean makespan", "hit rate");
+    for kind in kinds {
+        println!(
+            "{:<12} {:>15.3}s {:>11.1}%",
+            kind.name(),
+            outcome.mean_of(kind).unwrap().as_secs(),
+            outcome.hit_rate_of(kind).unwrap() * 100.0
+        );
+    }
+    println!(
+        "\nper-iteration global minimum (lower envelope): {:.3}s",
+        outcome.mean_global_minimum.as_secs()
+    );
+}

@@ -1,0 +1,56 @@
+//! # gridcast
+//!
+//! Facade crate re-exporting the whole `gridcast` workspace: a reproduction of
+//! *"Scheduling Heuristics for Efficient Broadcast Operations on Grid
+//! Environments"* (Barchet-Steffenel & Mounié, PMEO-PDS'06).
+//!
+//! The workspace implements:
+//!
+//! * the **pLogP** performance model ([`plogp`]),
+//! * a **grid topology** substrate with the GRID'5000 snapshot of the paper's
+//!   Table 3 ([`topology`]),
+//! * **intra-cluster collective algorithms** and their cost models
+//!   ([`collectives`]),
+//! * the paper's **inter-cluster broadcast scheduling heuristics** — Flat Tree,
+//!   FEF, ECEF, ECEF-LA, ECEF-LAt, ECEF-LAT and BottomUp ([`core`]),
+//! * a **discrete-event simulator** standing in for the paper's GRID'5000 +
+//!   MagPIe/LAM-MPI testbed ([`simulator`]),
+//! * the **experiment harness** regenerating every figure and table of the
+//!   evaluation ([`experiments`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gridcast::prelude::*;
+//!
+//! // The 88-machine GRID'5000 snapshot of the paper's Table 3.
+//! let grid = grid5000_table3();
+//! let message = MessageSize::from_mib(1);
+//!
+//! // Build the broadcast problem rooted at cluster 0 and schedule it with the
+//! // grid-aware ECEF-LAT heuristic.
+//! let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), message);
+//! let schedule = HeuristicKind::EcefLaMax.schedule(&problem);
+//! println!("predicted makespan: {}", schedule.makespan());
+//! assert!(schedule.makespan() > Time::ZERO);
+//! ```
+
+pub use gridcast_collectives as collectives;
+pub use gridcast_core as core;
+pub use gridcast_experiments as experiments;
+pub use gridcast_plogp as plogp;
+pub use gridcast_simulator as simulator;
+pub use gridcast_topology as topology;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use gridcast_collectives::{intra_broadcast_time, BroadcastAlgorithm};
+    pub use gridcast_core::{
+        BroadcastProblem, HeuristicKind, Schedule, ScheduleEvent,
+    };
+    pub use gridcast_plogp::{MessageSize, PLogP, Time};
+    pub use gridcast_simulator::{SimulationOutcome, Simulator};
+    pub use gridcast_topology::{
+        grid5000_table3, Cluster, ClusterId, Grid, GridGenerator, NodeId,
+    };
+}

@@ -1,0 +1,60 @@
+//! Smoke tests of the experiment harness at reduced iteration counts: every
+//! figure and table generator runs end-to-end and produces the expected series.
+
+use gridcast::experiments::{figures, tables, ExperimentConfig};
+
+fn quick() -> ExperimentConfig {
+    ExperimentConfig::quick().with_iterations(60)
+}
+
+#[test]
+fn tables_render() {
+    assert!(tables::table1().contains("Level 0"));
+    assert!(tables::table2().contains("3000 ms"));
+    let t3 = tables::table3();
+    assert!(t3.contains("Cluster 5"));
+    assert!(t3.contains("6 logical clusters"));
+}
+
+#[test]
+fn figure1_and_figure2_have_all_heuristics() {
+    let fig1 = figures::completion_sweep("f1", &[2, 6], &gridcast::core::HeuristicKind::all(), &quick());
+    assert_eq!(fig1.series.len(), 7);
+    assert_eq!(fig1.x_values(), vec![2.0, 6.0]);
+    for series in &fig1.series {
+        assert!(series.points.iter().all(|p| p.y.is_finite() && p.y > 0.0));
+    }
+}
+
+#[test]
+fn figure4_hit_counts_are_consistent() {
+    let fig = figures::hit_rate_sweep(
+        "f4",
+        &[6],
+        &gridcast::core::HeuristicKind::ecef_family(),
+        &gridcast::core::HeuristicKind::ecef_family(),
+        &quick(),
+    );
+    assert_eq!(fig.series.len(), 4);
+    let total: f64 = fig.series.iter().map(|s| s.points[0].y).sum();
+    // At least one heuristic hits the global minimum in every iteration.
+    assert!(total >= 60.0);
+}
+
+#[test]
+fn figure5_and_figure6_cover_the_message_axis() {
+    let fig5 = figures::fig5::run(&quick());
+    let fig6 = figures::fig6::run(&quick());
+    assert_eq!(fig5.x_values().len(), 10);
+    assert_eq!(fig6.x_values().len(), 10);
+    assert_eq!(fig5.series.len(), 7);
+    assert_eq!(fig6.series.len(), 8); // + Default LAM
+    assert!(fig6.series_by_label("Default LAM").is_some());
+}
+
+#[test]
+fn mixed_strategy_figure_runs() {
+    let fig = figures::mixed::run(&quick());
+    assert_eq!(fig.series.len(), 3);
+    assert!(fig.series_by_label("Mixed").is_some());
+}

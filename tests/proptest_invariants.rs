@@ -1,0 +1,168 @@
+//! Property-based tests over the core invariants of the library.
+
+use gridcast::collectives::{binomial_tree, chain_tree, flat_tree, intra_broadcast_time};
+use gridcast::core::{global_minimum, BroadcastProblem, HeuristicKind};
+use gridcast::plogp::{GapFunction, MessageSize, PLogP, Time};
+use gridcast::topology::clustering::synthesize_node_matrix;
+use gridcast::topology::{
+    detect_logical_clusters, Cluster, ClusterId, GridGenerator, LowekampConfig, ParameterRanges,
+    SquareMatrix,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy producing a random broadcast problem: cluster count, seed and root.
+fn problem_strategy() -> impl Strategy<Value = (BroadcastProblem, usize)> {
+    (2usize..=12, any::<u64>(), 0usize..12).prop_map(|(clusters, seed, root_idx)| {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let root = ClusterId(root_idx % clusters);
+        (
+            BroadcastProblem::from_grid(&grid, root, MessageSize::from_mib(1)),
+            clusters,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every heuristic produces a valid schedule covering each cluster exactly
+    /// once, and its makespan respects the analytic lower bound.
+    #[test]
+    fn schedules_are_valid_and_bounded((problem, clusters) in problem_strategy()) {
+        for kind in HeuristicKind::all() {
+            let schedule = kind.schedule(&problem);
+            prop_assert!(schedule.validate(&problem).is_ok(), "{kind}");
+            prop_assert_eq!(schedule.num_transfers(), clusters - 1);
+            prop_assert!(schedule.makespan() >= problem.lower_bound());
+            prop_assert!(schedule.makespan().is_finite());
+        }
+    }
+
+    /// The per-instance global minimum is a lower envelope of every heuristic.
+    #[test]
+    fn global_minimum_is_a_lower_envelope((problem, _) in problem_strategy()) {
+        let reference = global_minimum(&problem, &HeuristicKind::all());
+        for kind in HeuristicKind::all() {
+            prop_assert!(kind.schedule(&problem).makespan() >= reference);
+        }
+    }
+
+    /// Schedule events are causally ordered: every sender already holds the
+    /// message when its transfer starts, and arrivals are start + g + L.
+    #[test]
+    fn schedule_events_are_causal((problem, _) in problem_strategy()) {
+        let schedule = HeuristicKind::EcefLaMax.schedule(&problem);
+        let mut ready = vec![None; problem.num_clusters()];
+        ready[problem.root.index()] = Some(Time::ZERO);
+        for event in &schedule.events {
+            let sender_ready = ready[event.sender.index()];
+            prop_assert!(sender_ready.is_some(), "sender had no message");
+            prop_assert!(event.start + Time::from_micros(1.0) >= sender_ready.unwrap());
+            let expected = event.start + problem.transfer(event.sender, event.receiver);
+            prop_assert!(event.arrival.abs_diff(expected) < Time::from_micros(1.0));
+            ready[event.receiver.index()] = Some(event.arrival);
+        }
+    }
+
+    /// Broadcast trees of any size span all ranks, and the binomial tree never
+    /// needs more completion time than the flat or chain trees under a
+    /// latency-free unit-gap model (where its round count is provably optimal).
+    #[test]
+    fn tree_shapes_are_spanning_and_binomial_is_fastest(size in 1usize..=200) {
+        let unit = PLogP::constant(Time::ZERO, Time::from_secs(1.0));
+        let m = MessageSize::from_kib(4);
+        let binomial = binomial_tree(size);
+        let flat = flat_tree(size);
+        let chain = chain_tree(size);
+        for tree in [&binomial, &flat, &chain] {
+            prop_assert!(tree.validate().is_ok());
+            prop_assert_eq!(tree.size(), size);
+        }
+        let b = binomial.completion_time(&unit, m);
+        prop_assert!(b <= flat.completion_time(&unit, m));
+        prop_assert!(b <= chain.completion_time(&unit, m));
+    }
+
+    /// The intra-cluster broadcast-time predictor is monotone in message size
+    /// and zero for singleton clusters.
+    #[test]
+    fn intra_time_is_monotone(size in 1u32..=128, kib_small in 1u64..=64, factor in 2u64..=64) {
+        let plogp = PLogP::affine(Time::from_micros(60.0), Time::from_micros(20.0), 110e6);
+        let cluster = Cluster::with_plogp(ClusterId(0), "c", size, plogp);
+        let small = intra_broadcast_time(&cluster, MessageSize::from_kib(kib_small));
+        let large = intra_broadcast_time(&cluster, MessageSize::from_kib(kib_small * factor));
+        if size == 1 {
+            prop_assert_eq!(small, Time::ZERO);
+            prop_assert_eq!(large, Time::ZERO);
+        } else {
+            prop_assert!(small <= large);
+            prop_assert!(small > Time::ZERO);
+        }
+    }
+
+    /// Piecewise-linear gap functions interpolate within the sampled bounds.
+    #[test]
+    fn gap_interpolation_stays_within_sample_bounds(
+        gaps in proptest::collection::vec(1.0f64..10_000.0, 2..8),
+        query in 0u64..2_000_000,
+    ) {
+        let samples: Vec<_> = gaps
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| gridcast::plogp::gap::GapSample {
+                size: MessageSize::from_kib(((i as u64) + 1) * 128),
+                gap: Time::from_micros(g),
+            })
+            .collect();
+        let last_size = samples.last().unwrap().size;
+        let function = GapFunction::from_samples(samples.clone()).unwrap();
+        let q = MessageSize::from_bytes(query.min(last_size.as_bytes()));
+        let value = function.gap(q);
+        let min = samples.iter().map(|s| s.gap).min().unwrap();
+        let max = samples.iter().map(|s| s.gap).max().unwrap();
+        prop_assert!(value >= min && value <= max,
+            "interpolated {value} outside [{min}, {max}]");
+    }
+
+    /// Logical-cluster detection is a partition: every node appears in exactly
+    /// one cluster, and the reported sizes sum to the node count.
+    #[test]
+    fn clustering_is_a_partition(sizes in proptest::collection::vec(1u32..12, 2..5), tolerance in 0.0f64..1.0) {
+        let n = sizes.len();
+        // Build a cluster-level latency matrix: distinct sites far apart.
+        let mut latency = SquareMatrix::filled(n, 10_000.0);
+        for i in 0..n {
+            latency[(i, i)] = 50.0;
+        }
+        let node_matrix = synthesize_node_matrix(&sizes, &latency);
+        let clustering = detect_logical_clusters(&node_matrix, LowekampConfig { tolerance });
+        let total: usize = sizes.iter().map(|&s| s as usize).sum();
+        prop_assert_eq!(clustering.assignment.len(), total);
+        prop_assert_eq!(clustering.sizes().iter().sum::<usize>(), total);
+        for (cluster_idx, members) in clustering.clusters.iter().enumerate() {
+            for &node in members {
+                prop_assert_eq!(clustering.assignment[node], cluster_idx);
+            }
+        }
+    }
+
+    /// Random grid generation always respects the configured parameter ranges.
+    #[test]
+    fn generated_grids_respect_ranges(clusters in 2usize..=20, seed in any::<u64>()) {
+        let ranges = ParameterRanges::table2();
+        let grid = GridGenerator::with_ranges(ranges.clone())
+            .generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let m = MessageSize::from_mib(1);
+        for i in grid.cluster_ids() {
+            for j in grid.cluster_ids() {
+                if i == j { continue; }
+                prop_assert!(grid.latency(i, j) >= ranges.latency.0);
+                prop_assert!(grid.latency(i, j) <= ranges.latency.1);
+                prop_assert!(grid.gap(i, j, m) >= ranges.gap.0);
+                prop_assert!(grid.gap(i, j, m) <= ranges.gap.1);
+            }
+        }
+    }
+}
