@@ -1,0 +1,106 @@
+//! Scaling of the batched `ScheduleEngine::schedule_all` entry point.
+//!
+//! Times the full seven-heuristic batch at 10/50/100/200 clusters to pin the
+//! engine's sub-cubic (`O(n² log n)`) growth — the seed's per-heuristic round
+//! loops were `O(n³)` and worse with lookahead. Besides the criterion report,
+//! the bench writes `BENCH_engine_scaling.json` at the workspace root with the
+//! measured medians and per-size growth factors, and fails loudly if growth
+//! from 100 to 200 clusters exceeds the cubic envelope.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridcast_bench::random_problem;
+use gridcast_core::{HeuristicKind, ScheduleEngine};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [10, 50, 100, 200];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling");
+    let kinds = HeuristicKind::all();
+    for clusters in SIZES {
+        let problem = random_problem(clusters, 0);
+        let mut engine = ScheduleEngine::new();
+        let mut out = Vec::new();
+        group.throughput(Throughput::Elements(clusters as u64));
+        group.bench_with_input(
+            BenchmarkId::new("schedule_all", clusters),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    engine.schedule_all_into(black_box(problem), &kinds, &mut out);
+                    black_box(out.len())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    report_scaling();
+}
+
+/// Direct wall-clock measurement feeding `BENCH_engine_scaling.json` and the
+/// sub-cubic growth assertion (independent of the criterion plumbing).
+fn report_scaling() {
+    let kinds = HeuristicKind::all();
+    let mut engine = ScheduleEngine::new();
+    let mut out = Vec::new();
+    let mut medians_ns: Vec<(usize, f64)> = Vec::new();
+    for clusters in SIZES {
+        let problem = random_problem(clusters, 0);
+        // Warm up buffers, then take the median of several timed runs.
+        engine.schedule_all_into(&problem, &kinds, &mut out);
+        let reps = (2_000 / clusters).max(3);
+        let mut samples: Vec<f64> = (0..9)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..reps {
+                    engine.schedule_all_into(black_box(&problem), &kinds, &mut out);
+                }
+                start.elapsed().as_secs_f64() * 1e9 / reps as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        medians_ns.push((clusters, samples[samples.len() / 2]));
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"engine_scaling\",\n  \"unit\": \"ns per schedule_all (7 heuristics)\",\n  \"points\": [\n");
+    for (i, (clusters, ns)) in medians_ns.iter().enumerate() {
+        let growth = if i == 0 {
+            1.0
+        } else {
+            ns / medians_ns[i - 1].1
+        };
+        json.push_str(&format!(
+            "    {{\"clusters\": {clusters}, \"median_ns\": {ns:.0}, \"growth_vs_prev\": {growth:.2}}}{}\n",
+            if i + 1 == medians_ns.len() { "" } else { "," }
+        ));
+        println!("engine_scaling: {clusters:>4} clusters -> {ns:>12.0} ns/batch (x{growth:.2})");
+    }
+    json.push_str("  ]\n}\n");
+    // Anchor the report at the workspace root regardless of the bench cwd.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine_scaling.json"
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("engine_scaling: could not write {path}: {e}");
+    }
+
+    // 100 → 200 clusters doubles n: cubic growth would be ×8; n² log n is
+    // ×~4.3. Allow generous noise headroom while still excluding cubic.
+    let t100 = medians_ns[2].1;
+    let t200 = medians_ns[3].1;
+    let growth = t200 / t100;
+    assert!(
+        growth < 7.0,
+        "schedule_all growth 100->200 clusters is x{growth:.2}; expected sub-cubic (< x7)"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = gridcast_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -63,18 +63,12 @@ impl BroadcastAlgorithm {
             return Time::ZERO;
         }
         match self {
-            BroadcastAlgorithm::FlatTree => {
-                flat_tree(size as usize).completion_time(plogp, m)
-            }
+            BroadcastAlgorithm::FlatTree => flat_tree(size as usize).completion_time(plogp, m),
             BroadcastAlgorithm::BinomialTree => {
                 binomial_tree(size as usize).completion_time(plogp, m)
             }
-            BroadcastAlgorithm::Chain => {
-                chain_tree(size as usize).completion_time(plogp, m)
-            }
-            BroadcastAlgorithm::Pipeline { segments } => {
-                pipeline_time(plogp, size, m, *segments)
-            }
+            BroadcastAlgorithm::Chain => chain_tree(size as usize).completion_time(plogp, m),
+            BroadcastAlgorithm::Pipeline { segments } => pipeline_time(plogp, size, m, *segments),
             BroadcastAlgorithm::ScatterAllgather => scatter_allgather_time(plogp, size, m),
         }
     }
@@ -101,10 +95,10 @@ pub fn binomial_tree(size: usize) -> BroadcastTree {
     let mut children = vec![Vec::new(); size];
     let mut offset = 1usize;
     while offset < size {
-        for r in 0..offset.min(size) {
+        for (r, child_list) in children.iter_mut().enumerate().take(offset.min(size)) {
             let target = r + offset;
             if target < size {
-                children[r].push(target);
+                child_list.push(target);
             }
         }
         offset *= 2;
@@ -116,8 +110,8 @@ pub fn binomial_tree(size: usize) -> BroadcastTree {
 pub fn chain_tree(size: usize) -> BroadcastTree {
     assert!(size >= 1);
     let mut children = vec![Vec::new(); size];
-    for r in 0..size.saturating_sub(1) {
-        children[r].push(r + 1);
+    for (r, child_list) in children.iter_mut().enumerate().take(size.saturating_sub(1)) {
+        child_list.push(r + 1);
     }
     BroadcastTree::new(0, children).expect("chain construction is always valid")
 }
@@ -132,9 +126,7 @@ pub fn pipeline_time(plogp: &PLogP, size: u32, m: MessageSize, segments: u32) ->
         return Time::ZERO;
     }
     let segments = segments.max(1);
-    let segment_size = MessageSize::from_bytes(
-        (m.as_bytes() + u64::from(segments) - 1) / u64::from(segments),
-    );
+    let segment_size = MessageSize::from_bytes(m.as_bytes().div_ceil(u64::from(segments)));
     let hop = plogp.gap(segment_size) + plogp.latency();
     hop * (size - 2 + segments)
 }
@@ -147,13 +139,13 @@ pub fn scatter_allgather_time(plogp: &PLogP, size: u32, m: MessageSize) -> Time 
         return Time::ZERO;
     }
     let p = u64::from(size);
-    let block = MessageSize::from_bytes((m.as_bytes() + p - 1) / p);
+    let block = MessageSize::from_bytes(m.as_bytes().div_ceil(p));
     // Binomial scatter: at round k the transmitted block halves; ⌈log₂ P⌉ rounds.
     let rounds = (f64::from(size)).log2().ceil() as u32;
     let mut scatter = Time::ZERO;
     let mut blocks_in_flight = p;
     for _ in 0..rounds {
-        blocks_in_flight = (blocks_in_flight + 1) / 2;
+        blocks_in_flight = blocks_in_flight.div_ceil(2);
         let chunk = MessageSize::from_bytes(block.as_bytes() * blocks_in_flight);
         scatter += plogp.latency() + plogp.gap(chunk);
     }
@@ -235,7 +227,10 @@ mod tests {
         let size = 32;
         let chain = BroadcastAlgorithm::Chain.predict(&p, size, m);
         let pipe = BroadcastAlgorithm::Pipeline { segments: 32 }.predict(&p, size, m);
-        assert!(pipe < chain, "pipeline {pipe} should beat plain chain {chain}");
+        assert!(
+            pipe < chain,
+            "pipeline {pipe} should beat plain chain {chain}"
+        );
     }
 
     #[test]
@@ -245,7 +240,10 @@ mod tests {
         let size = 64;
         let binomial = BroadcastAlgorithm::BinomialTree.predict(&p, size, m);
         let vdg = BroadcastAlgorithm::ScatterAllgather.predict(&p, size, m);
-        assert!(vdg < binomial, "scatter-allgather {vdg} vs binomial {binomial}");
+        assert!(
+            vdg < binomial,
+            "scatter-allgather {vdg} vs binomial {binomial}"
+        );
     }
 
     #[test]

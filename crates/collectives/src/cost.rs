@@ -64,7 +64,8 @@ mod tests {
             for &mib in &[1u64, 4] {
                 let m = MessageSize::from_mib(mib);
                 let (_, best) = best_algorithm(&p, size, m);
-                let binomial = predict_broadcast_time(BroadcastAlgorithm::BinomialTree, &p, size, m);
+                let binomial =
+                    predict_broadcast_time(BroadcastAlgorithm::BinomialTree, &p, size, m);
                 assert!(best <= binomial, "size {size}, {mib} MiB");
             }
         }
@@ -82,7 +83,10 @@ mod tests {
     #[test]
     fn singleton_cluster_is_free_even_with_fixed_time() {
         let c = Cluster::with_fixed_time(ClusterId(1), "solo", 1, Time::from_millis(500.0));
-        assert_eq!(intra_broadcast_time(&c, MessageSize::from_mib(1)), Time::ZERO);
+        assert_eq!(
+            intra_broadcast_time(&c, MessageSize::from_mib(1)),
+            Time::ZERO
+        );
     }
 
     #[test]

@@ -19,8 +19,11 @@
 //!   algorithm for large messages,
 //! * [`intra_broadcast_time`] — the `T_i(m)` predictor used by the scheduler: the
 //!   best predicted time over all available algorithms for a given cluster,
-//! * cost models for the *scatter* and *all-to-all* patterns mentioned as future
-//!   work in the paper's conclusion ([`patterns`]).
+//! * the [`PatternCost`] trait and its [`Pattern`] implementations — the single
+//!   source of intra-cluster cost models for the *scatter*, *gather*,
+//!   *all-to-all* and *allgather* patterns mentioned as future work in the
+//!   paper's conclusion ([`patterns`]), consumed by the pattern-agnostic
+//!   scheduling engine in `gridcast-core`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,4 +35,5 @@ pub mod tree;
 
 pub use algorithms::{binomial_tree, chain_tree, flat_tree, BroadcastAlgorithm};
 pub use cost::{best_algorithm, intra_broadcast_time, predict_broadcast_time};
+pub use patterns::{Pattern, PatternCost};
 pub use tree::{BroadcastTree, TreeError};

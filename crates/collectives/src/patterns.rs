@@ -1,55 +1,105 @@
-//! Cost models for the other collective patterns mentioned by the paper.
+//! Cost models for the other collective patterns mentioned by the paper,
+//! unified behind the [`PatternCost`] trait.
 //!
 //! The conclusion of the paper announces follow-up work on grid-aware *scatter*
-//! and *all-to-all* schedules. This module provides the intra-cluster cost models
-//! for those patterns so that the scheduling layer can be extended to them: the
-//! inter-cluster scheduling formalism (sets A/B, ready times) is pattern-agnostic
-//! once the per-cluster completion time of the pattern is known.
+//! and *all-to-all* schedules. The inter-cluster scheduling formalism (sets
+//! A/B, ready times — `gridcast_core::ScheduleEngine`) is pattern-agnostic once
+//! the per-cluster completion time of a pattern is known, so this module keeps
+//! a single implementation of each pattern's intra-cluster cost: every
+//! consumer — the broadcast problem builder, the scatter scheduling layer in
+//! `gridcast-core`, the simulator — goes through [`PatternCost`] instead of
+//! re-deriving the formulas.
 
 use gridcast_plogp::{MessageSize, PLogP, Time};
+use serde::{Deserialize, Serialize};
+
+/// A collective pattern whose intra-cluster completion time can be predicted
+/// from a homogeneous pLogP model and the cluster size.
+///
+/// `per_rank` is the pattern's natural per-element size: bytes per rank for
+/// scatter/gather/allgather, bytes per rank *pair* for all-to-all.
+pub trait PatternCost {
+    /// Display name of the pattern.
+    fn name(&self) -> &'static str;
+
+    /// Predicted intra-cluster completion time among `size` ranks.
+    fn intra_time(&self, plogp: &PLogP, size: u32, per_rank: MessageSize) -> Time;
+}
+
+/// The personalised-data collective patterns modelled by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Binomial-tree scatter: the transmitted block halves every round.
+    Scatter,
+    /// Gather — symmetric to scatter under the pLogP model.
+    Gather,
+    /// Personalised all-to-all as `P − 1` pairwise exchange rounds.
+    AllToAll,
+    /// Ring allgather: `P − 1` steps, each forwarding one rank's block.
+    AllGather,
+}
+
+impl PatternCost for Pattern {
+    fn name(&self) -> &'static str {
+        match self {
+            Pattern::Scatter => "scatter",
+            Pattern::Gather => "gather",
+            Pattern::AllToAll => "alltoall",
+            Pattern::AllGather => "allgather",
+        }
+    }
+
+    fn intra_time(&self, plogp: &PLogP, size: u32, per_rank: MessageSize) -> Time {
+        if size <= 1 {
+            return Time::ZERO;
+        }
+        match self {
+            Pattern::Scatter | Pattern::Gather => {
+                // Binomial tree: at round `k` the transmitted block halves, so
+                // the root pushes `m·(P−1)/P ≈ m` bytes in total but the
+                // critical path only carries `⌈log₂ P⌉` latencies.
+                let mut remaining = u64::from(size);
+                let mut total = Time::ZERO;
+                while remaining > 1 {
+                    let half = remaining / 2;
+                    let chunk = MessageSize::from_bytes(per_rank.as_bytes() * half);
+                    total += plogp.latency() + plogp.gap(chunk);
+                    remaining -= half;
+                }
+                total
+            }
+            // All-to-all uses the classic linear pairwise-exchange algorithm
+            // for large messages; the ring allgather has the same cost shape:
+            // `P − 1` steps of one latency plus one per-rank gap.
+            Pattern::AllToAll | Pattern::AllGather => {
+                (plogp.latency() + plogp.gap(per_rank)) * (size - 1)
+            }
+        }
+    }
+}
 
 /// Predicted completion time of a binomial-tree **scatter** of `m` bytes *per
-/// rank* among `size` ranks: at round `k` the transmitted block halves, so the
-/// root pushes `m·(P−1)/P ≈ m` bytes in total but the critical path only carries
-/// `⌈log₂ P⌉` latencies.
+/// rank* among `size` ranks. Thin wrapper over [`Pattern::Scatter`].
 pub fn scatter_time(plogp: &PLogP, size: u32, per_rank: MessageSize) -> Time {
-    if size <= 1 {
-        return Time::ZERO;
-    }
-    let mut remaining = u64::from(size);
-    let mut total = Time::ZERO;
-    while remaining > 1 {
-        let half = remaining / 2;
-        let chunk = MessageSize::from_bytes(per_rank.as_bytes() * half);
-        total += plogp.latency() + plogp.gap(chunk);
-        remaining -= half;
-    }
-    total
+    Pattern::Scatter.intra_time(plogp, size, per_rank)
 }
 
 /// Predicted completion time of a **gather** — symmetric to [`scatter_time`]
-/// under the pLogP model.
+/// under the pLogP model. Thin wrapper over [`Pattern::Gather`].
 pub fn gather_time(plogp: &PLogP, size: u32, per_rank: MessageSize) -> Time {
-    scatter_time(plogp, size, per_rank)
+    Pattern::Gather.intra_time(plogp, size, per_rank)
 }
 
 /// Predicted completion time of an **all-to-all** personalised exchange of `m`
-/// bytes per rank pair, implemented as `P − 1` pairwise exchange rounds (the
-/// classic linear algorithm used for large messages).
+/// bytes per rank pair. Thin wrapper over [`Pattern::AllToAll`].
 pub fn alltoall_time(plogp: &PLogP, size: u32, per_pair: MessageSize) -> Time {
-    if size <= 1 {
-        return Time::ZERO;
-    }
-    (plogp.latency() + plogp.gap(per_pair)) * (size - 1)
+    Pattern::AllToAll.intra_time(plogp, size, per_pair)
 }
 
-/// Predicted completion time of an **allgather** implemented as a ring: `P − 1`
-/// steps, each forwarding one rank's block.
+/// Predicted completion time of an **allgather** implemented as a ring. Thin
+/// wrapper over [`Pattern::AllGather`].
 pub fn allgather_time(plogp: &PLogP, size: u32, per_rank: MessageSize) -> Time {
-    if size <= 1 {
-        return Time::ZERO;
-    }
-    (plogp.latency() + plogp.gap(per_rank)) * (size - 1)
+    Pattern::AllGather.intra_time(plogp, size, per_rank)
 }
 
 #[cfg(test)]
@@ -107,5 +157,22 @@ mod tests {
         let p = PLogP::constant(Time::from_millis(1.0), Time::ZERO);
         let t = scatter_time(&p, 16, MessageSize::from_kib(1));
         assert_eq!(t, Time::from_millis(4.0));
+    }
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        let p = lan();
+        let m = MessageSize::from_kib(8);
+        let patterns: [&dyn PatternCost; 4] = [
+            &Pattern::Scatter,
+            &Pattern::Gather,
+            &Pattern::AllToAll,
+            &Pattern::AllGather,
+        ];
+        for pattern in patterns {
+            assert!(!pattern.name().is_empty());
+            assert!(pattern.intra_time(&p, 16, m) > Time::ZERO);
+            assert_eq!(pattern.intra_time(&p, 1, m), Time::ZERO);
+        }
     }
 }

@@ -244,8 +244,7 @@ mod tests {
 
     #[test]
     fn depths_parents_and_height() {
-        let tree =
-            BroadcastTree::new(0, vec![vec![1, 2], vec![3], vec![], vec![]]).unwrap();
+        let tree = BroadcastTree::new(0, vec![vec![1, 2], vec![3], vec![], vec![]]).unwrap();
         assert_eq!(tree.depths(), vec![0, 1, 1, 2]);
         assert_eq!(tree.height(), 2);
         assert_eq!(tree.parents(), vec![None, Some(0), Some(0), Some(1)]);
@@ -259,10 +258,8 @@ mod tests {
         // last: the classic motivation for largest-subtree-first ordering.
         let p = plogp_ms(0.0, 10.0);
         let m = MessageSize::from_mib(1);
-        let deep_first =
-            BroadcastTree::new(0, vec![vec![1, 3], vec![2], vec![], vec![]]).unwrap();
-        let deep_last =
-            BroadcastTree::new(0, vec![vec![3, 1], vec![2], vec![], vec![]]).unwrap();
+        let deep_first = BroadcastTree::new(0, vec![vec![1, 3], vec![2], vec![], vec![]]).unwrap();
+        let deep_last = BroadcastTree::new(0, vec![vec![3, 1], vec![2], vec![], vec![]]).unwrap();
         assert!(deep_first.completion_time(&p, m) < deep_last.completion_time(&p, m));
     }
 }

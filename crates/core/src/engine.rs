@@ -1,0 +1,631 @@
+//! The pattern-agnostic scheduling engine behind every heuristic.
+//!
+//! Every heuristic of the paper instantiates the same A/B-set formalism: pick a
+//! (sender ∈ A, receiver ∈ B) pair, commit the transfer, repeat. The seed
+//! implementation re-ran that loop — including a full `O(|A|·|B|)` rescan of
+//! every candidate pair — inside each heuristic. [`ScheduleEngine`] extracts the
+//! loop once and reduces a heuristic to a [`SelectionPolicy`]: a scoring rule
+//! for candidate edges plus an optional receiver-level lookahead hook.
+//!
+//! ## Incremental candidate maintenance
+//!
+//! The engine maintains, for every receiver still in B, the best known sender
+//! (lexicographically smallest `(edge score, sender id)` over A). After a
+//! commit only two things change:
+//!
+//! * the committed **receiver** joined A — it is offered as a candidate sender
+//!   to every remaining receiver in `O(1)` each;
+//! * the committed **sender**'s ready time grew — receivers whose cached best
+//!   sender is that cluster are rescanned. The rescan walks senders in ready
+//!   order through a lazily-invalidated **binary heap** of ready times and
+//!   stops as soon as the next ready time exceeds the best score found, which
+//!   is sound for every time-sensitive policy because an edge score is bounded
+//!   below by its sender's ready time.
+//!
+//! Policies whose scores do not depend on ready times (Flat Tree, FEF) declare
+//! [`SelectionPolicy::sender_time_sensitive`] `false` and never trigger
+//! rescans. Together with the sorted-lookahead workspaces of the ECEF policies
+//! this brings a full schedule to `O(n² log n)` from the seed's `O(n³)` (and
+//! worse with lookahead).
+//!
+//! All engine buffers are reused across rounds, heuristics and problems: after
+//! warm-up, a call to [`ScheduleEngine::makespan`] performs **zero heap
+//! allocations** (asserted by `tests/alloc_probe.rs`).
+//!
+//! Tie-breaking replicates the seed heuristics exactly — byte-identical
+//! schedules are asserted by `tests/proptest_invariants.rs` — so the engine is
+//! a drop-in replacement, not a numerical approximation.
+//!
+//! One theoretical corner is out of scope of that guarantee: for the lookahead
+//! ECEF variants the engine resolves each receiver's best sender on the edge
+//! score alone and adds `F_j` afterwards, while the original loop compared the
+//! rounded sums `fl((RT_i + g_ij + L_ij) + F_j)`. The selected *objective
+//! value* is always identical (rounding is monotone), but if two senders'
+//! distinct edge scores are absorbed to the exact same sum by a much larger
+//! `F_j` (a sub-ulp coincidence that requires `|e₁−e₂| < ulp(e+F)`), the two
+//! implementations may pick different — equally scoring — senders. Continuous
+//! random instances hit this with probability ~0, and exact score ties (the
+//! case that actually occurs, e.g. symmetric grids) break identically on both
+//! paths.
+
+use crate::heuristics::HeuristicKind;
+use crate::{BroadcastProblem, Schedule, ScheduleEvent};
+use gridcast_plogp::Time;
+use gridcast_topology::ClusterId;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Read-only view of the engine state handed to policies.
+#[derive(Clone, Copy)]
+pub struct EngineView<'a> {
+    problem: &'a BroadcastProblem,
+    in_a: &'a [bool],
+    ready: &'a [Time],
+}
+
+impl<'a> EngineView<'a> {
+    /// The problem being scheduled.
+    #[inline]
+    pub fn problem(&self) -> &'a BroadcastProblem {
+        self.problem
+    }
+
+    /// Ready time `RT_i` of a cluster in set A.
+    #[inline]
+    pub fn ready_time(&self, cluster: ClusterId) -> Time {
+        self.ready[cluster.index()]
+    }
+
+    /// Whether the cluster is in set A (holds the message).
+    #[inline]
+    pub fn is_in_a(&self, cluster: ClusterId) -> bool {
+        self.in_a[cluster.index()]
+    }
+
+    /// Whether the cluster is still in set B (waiting).
+    #[inline]
+    pub fn in_b(&self, cluster: ClusterId) -> bool {
+        !self.in_a[cluster.index()]
+    }
+
+    /// `RT_i + g_ij + L_ij`: completion estimate of a hypothetical transfer.
+    #[inline]
+    pub fn completion_estimate(&self, sender: ClusterId, receiver: ClusterId) -> Time {
+        self.ready_time(sender) + self.problem.transfer(sender, receiver)
+    }
+}
+
+/// Direction of the cross-receiver objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Pick the receiver with the smallest objective (ECEF family, FEF).
+    Minimize,
+    /// Pick the receiver with the largest objective (BottomUp's max-min rule).
+    Maximize,
+}
+
+/// Tie-breaking across receivers whose objectives compare equal.
+///
+/// The variants reproduce the iteration orders of the original nested-loop
+/// implementations, which is what makes engine schedules byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Prefer the smallest receiver id, then the smallest sender id (the
+    /// receiver-outer/sender-inner loops of the ECEF family and BottomUp).
+    ReceiverThenSender,
+    /// Prefer the smallest sender id, then the smallest receiver id (FEF's
+    /// sender-outer/receiver-inner loop).
+    SenderThenReceiver,
+}
+
+/// A scheduling heuristic reduced to its selection rule.
+///
+/// Per round the engine selects the receiver optimising
+/// `best_over_senders(edge_score) + receiver_bias`, paired with the sender
+/// achieving that best edge score (smallest score, then smallest sender id).
+pub trait SelectionPolicy {
+    /// Display name recorded in produced [`Schedule`]s.
+    fn name(&self) -> &str;
+
+    /// Called once before each schedule; (re)build per-problem workspaces.
+    fn reset(&mut self, problem: &BroadcastProblem) {
+        let _ = problem;
+    }
+
+    /// Score of the candidate edge `sender → receiver`; lower is better.
+    ///
+    /// Time-sensitive policies must guarantee
+    /// `edge_score(s, r) >= view.ready_time(s)` — the engine's pruned rescans
+    /// rely on that bound.
+    fn edge_score(&self, view: &EngineView<'_>, sender: ClusterId, receiver: ClusterId) -> Time;
+
+    /// Receiver-level additive term (the lookahead `F_j`); defaults to zero.
+    fn receiver_bias(&mut self, view: &EngineView<'_>, receiver: ClusterId) -> Time {
+        let _ = (view, receiver);
+        Time::ZERO
+    }
+
+    /// Whether the cross-receiver objective is minimised or maximised.
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    /// Tie-break rule across receivers with equal objectives.
+    fn tie_break(&self) -> TieBreak {
+        TieBreak::ReceiverThenSender
+    }
+
+    /// Whether [`SelectionPolicy::edge_score`] depends on sender ready times.
+    /// When `false` the engine skips ready-time invalidation entirely.
+    fn sender_time_sensitive(&self) -> bool {
+        true
+    }
+
+    /// Notification that `sender → receiver` was committed (B shrank by
+    /// `receiver`); policies use it to advance incremental lookahead state.
+    fn on_commit(&mut self, view: &EngineView<'_>, sender: ClusterId, receiver: ClusterId) {
+        let _ = (view, sender, receiver);
+    }
+}
+
+/// Candidate `(objective, receiver, sender)` comparison.
+fn candidate_improves(
+    objective: Objective,
+    tie: TieBreak,
+    new: (Time, u32, u32),
+    cur: (Time, u32, u32),
+) -> bool {
+    use std::cmp::Ordering;
+    let ord = match objective {
+        Objective::Minimize => new.0.cmp(&cur.0),
+        Objective::Maximize => cur.0.cmp(&new.0),
+    };
+    match ord {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => match tie {
+            TieBreak::ReceiverThenSender => (new.1, new.2) < (cur.1, cur.2),
+            TieBreak::SenderThenReceiver => (new.2, new.1) < (cur.2, cur.1),
+        },
+    }
+}
+
+/// Reusable buffers of one engine; split from the policy store so the two can
+/// be borrowed independently.
+#[derive(Debug, Default)]
+struct EngineState {
+    in_a: Vec<bool>,
+    ready: Vec<Time>,
+    events: Vec<ScheduleEvent>,
+    /// Clusters still in B (unordered; positions tracked by `recv_pos`).
+    receivers: Vec<u32>,
+    recv_pos: Vec<u32>,
+    /// Per-receiver cached lexicographic minimum of `(edge_score, sender id)`.
+    best_sender: Vec<u32>,
+    best_score: Vec<Time>,
+    /// Min-heap of `(ready time, cluster)` entries for senders in A; entries
+    /// are lazily invalidated (valid iff the stored time equals the cluster's
+    /// current ready time).
+    heap: BinaryHeap<Reverse<(Time, u32)>>,
+    /// Scratch for valid heap entries popped during a pruned rescan.
+    scratch: Vec<(Time, u32)>,
+    /// Scratch for makespan computation without building a [`Schedule`].
+    arrival: Vec<Time>,
+    busy: Vec<Time>,
+}
+
+impl EngineState {
+    fn reset(&mut self, problem: &BroadcastProblem) {
+        let n = problem.num_clusters();
+        let root = problem.root.index();
+        self.in_a.clear();
+        self.in_a.resize(n, false);
+        self.in_a[root] = true;
+        self.ready.clear();
+        self.ready.resize(n, Time::ZERO);
+        self.events.clear();
+        self.events.reserve(n.saturating_sub(1));
+        self.receivers.clear();
+        self.recv_pos.clear();
+        self.recv_pos.resize(n, u32::MAX);
+        for c in 0..n {
+            if c != root {
+                self.recv_pos[c] = self.receivers.len() as u32;
+                self.receivers.push(c as u32);
+            }
+        }
+        self.best_sender.clear();
+        self.best_sender.resize(n, u32::MAX);
+        self.best_score.clear();
+        self.best_score.resize(n, Time::INFINITY);
+        self.heap.clear();
+        self.heap.reserve(2 * n + 2);
+        self.heap.push(Reverse((Time::ZERO, root as u32)));
+        self.scratch.clear();
+        self.scratch.reserve(n);
+    }
+
+    fn init_caches(&mut self, problem: &BroadcastProblem, policy: &mut dyn SelectionPolicy) {
+        let view = EngineView {
+            problem,
+            in_a: &self.in_a,
+            ready: &self.ready,
+        };
+        let root = problem.root;
+        for &r in &self.receivers {
+            self.best_sender[r as usize] = root.index() as u32;
+            self.best_score[r as usize] = policy.edge_score(&view, root, ClusterId(r as usize));
+        }
+    }
+
+    fn select(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &mut dyn SelectionPolicy,
+    ) -> (ClusterId, ClusterId) {
+        let objective = policy.objective();
+        let tie = policy.tie_break();
+        let view = EngineView {
+            problem,
+            in_a: &self.in_a,
+            ready: &self.ready,
+        };
+        let mut best: Option<(Time, u32, u32)> = None;
+        for i in 0..self.receivers.len() {
+            let r = self.receivers[i];
+            let bias = policy.receiver_bias(&view, ClusterId(r as usize));
+            let candidate = (
+                self.best_score[r as usize] + bias,
+                r,
+                self.best_sender[r as usize],
+            );
+            if best.is_none_or(|cur| candidate_improves(objective, tie, candidate, cur)) {
+                best = Some(candidate);
+            }
+        }
+        let (_, r, s) = best.expect("set B is non-empty while the schedule is incomplete");
+        (ClusterId(s as usize), ClusterId(r as usize))
+    }
+
+    /// Recomputes the cached best sender of `receiver` by walking A in ready
+    /// order through the heap, pruning once the next ready time exceeds the
+    /// best score found so far.
+    fn rescan(&mut self, problem: &BroadcastProblem, policy: &dyn SelectionPolicy, receiver: u32) {
+        let EngineState {
+            in_a,
+            ready,
+            heap,
+            scratch,
+            best_sender,
+            best_score,
+            ..
+        } = self;
+        let view = EngineView {
+            problem,
+            in_a,
+            ready,
+        };
+        scratch.clear();
+        let mut best: Option<(Time, u32)> = None;
+        while let Some(&Reverse((t, s))) = heap.peek() {
+            if let Some((score, _)) = best {
+                if t > score {
+                    break;
+                }
+            }
+            heap.pop();
+            // Stale entry: the cluster's ready time moved since it was pushed.
+            if ready[s as usize] != t || !in_a[s as usize] {
+                continue;
+            }
+            scratch.push((t, s));
+            let score =
+                policy.edge_score(&view, ClusterId(s as usize), ClusterId(receiver as usize));
+            if best.is_none_or(|(bs, bid)| (score, s) < (bs, bid)) {
+                best = Some((score, s));
+            }
+        }
+        for &(t, s) in scratch.iter() {
+            heap.push(Reverse((t, s)));
+        }
+        let (score, s) = best.expect("set A is never empty");
+        best_score[receiver as usize] = score;
+        best_sender[receiver as usize] = s;
+    }
+
+    fn commit(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &mut dyn SelectionPolicy,
+        sender: ClusterId,
+        receiver: ClusterId,
+    ) {
+        let (s, r) = (sender.index(), receiver.index());
+        debug_assert!(self.in_a[s] && !self.in_a[r]);
+        let start = self.ready[s];
+        let arrival = start + problem.transfer(sender, receiver);
+        self.events.push(ScheduleEvent {
+            sender,
+            receiver,
+            start,
+            arrival,
+        });
+        self.ready[s] = start + problem.gap(sender, receiver);
+        self.ready[r] = arrival;
+        self.in_a[r] = true;
+        // Remove the receiver from B (swap-remove keeps the list compact).
+        let pos = self.recv_pos[r] as usize;
+        let last = *self.receivers.last().expect("receiver is in B");
+        self.receivers.swap_remove(pos);
+        if pos < self.receivers.len() {
+            self.recv_pos[last as usize] = pos as u32;
+        }
+        self.recv_pos[r] = u32::MAX;
+        // Both touched clusters get fresh heap entries; old ones go stale.
+        self.heap.push(Reverse((self.ready[s], s as u32)));
+        self.heap.push(Reverse((self.ready[r], r as u32)));
+
+        let view = EngineView {
+            problem,
+            in_a: &self.in_a,
+            ready: &self.ready,
+        };
+        policy.on_commit(&view, sender, receiver);
+
+        // Incremental cache maintenance: the new sender is offered everywhere;
+        // receivers that relied on the committed sender are rescanned.
+        let sensitive = policy.sender_time_sensitive();
+        for i in 0..self.receivers.len() {
+            let j = self.receivers[i];
+            if sensitive && self.best_sender[j as usize] == s as u32 {
+                self.rescan(problem, policy, j);
+            } else {
+                let view = EngineView {
+                    problem,
+                    in_a: &self.in_a,
+                    ready: &self.ready,
+                };
+                let score = policy.edge_score(&view, receiver, ClusterId(j as usize));
+                if (score, r as u32) < (self.best_score[j as usize], self.best_sender[j as usize]) {
+                    self.best_score[j as usize] = score;
+                    self.best_sender[j as usize] = r as u32;
+                }
+            }
+        }
+    }
+
+    fn run(&mut self, problem: &BroadcastProblem, policy: &mut dyn SelectionPolicy) {
+        self.reset(problem);
+        policy.reset(problem);
+        self.init_caches(problem, policy);
+        let n = problem.num_clusters();
+        while self.events.len() + 1 < n {
+            let (sender, receiver) = self.select(problem, policy);
+            self.commit(problem, policy, sender, receiver);
+        }
+    }
+
+    /// Makespan of the events currently in the buffer, computed exactly like
+    /// [`Schedule::from_events`] but without allocating a [`Schedule`].
+    fn makespan_of_events(&mut self, problem: &BroadcastProblem) -> Time {
+        let n = problem.num_clusters();
+        self.arrival.clear();
+        self.arrival.resize(n, Time::ZERO);
+        self.busy.clear();
+        self.busy.resize(n, Time::ZERO);
+        for event in &self.events {
+            self.arrival[event.receiver.index()] = event.arrival;
+            let send_end = event.start + problem.gap(event.sender, event.receiver);
+            let cell = &mut self.busy[event.sender.index()];
+            *cell = (*cell).max(send_end);
+        }
+        let mut makespan = Time::ZERO;
+        for i in 0..n {
+            let coordinator_free = self.arrival[i].max(self.busy[i]);
+            makespan = makespan.max(coordinator_free + problem.intra_time(ClusterId(i)));
+        }
+        makespan
+    }
+}
+
+/// The reusable, pattern-agnostic scheduling engine.
+///
+/// One engine owns the A/B bookkeeping buffers and one policy instance per
+/// [`HeuristicKind`] (created lazily), so repeated scheduling — Monte-Carlo
+/// sweeps, benches, serving many requests — performs no per-round allocations
+/// and reuses every buffer across heuristics and problems.
+///
+/// ```
+/// use gridcast_core::{BroadcastProblem, HeuristicKind, ScheduleEngine};
+/// use gridcast_plogp::MessageSize;
+/// use gridcast_topology::{grid5000_table3, ClusterId};
+///
+/// let grid = grid5000_table3();
+/// let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1));
+/// let mut engine = ScheduleEngine::new();
+/// let schedules = engine.schedule_all(&problem, &HeuristicKind::all());
+/// assert_eq!(schedules.len(), 7);
+/// for s in &schedules {
+///     assert!(s.validate(&problem).is_ok());
+/// }
+/// ```
+#[derive(Default)]
+pub struct ScheduleEngine {
+    state: EngineState,
+    policies: [Option<Box<dyn SelectionPolicy>>; HeuristicKind::COUNT],
+}
+
+impl ScheduleEngine {
+    /// Creates an engine with empty buffers.
+    pub fn new() -> Self {
+        ScheduleEngine::default()
+    }
+
+    /// Schedules `problem` with the built-in policy for `kind`.
+    pub fn schedule(&mut self, problem: &BroadcastProblem, kind: HeuristicKind) -> Schedule {
+        let ScheduleEngine { state, policies } = self;
+        let policy = policies[kind.slot()].get_or_insert_with(|| kind.new_policy());
+        state.run(problem, policy.as_mut());
+        Schedule::from_events(problem, kind.name(), state.events.clone())
+    }
+
+    /// Schedules `problem` with a caller-provided policy.
+    pub fn schedule_with(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &mut dyn SelectionPolicy,
+    ) -> Schedule {
+        self.state.run(problem, policy);
+        Schedule::from_events(problem, policy.name().to_owned(), self.state.events.clone())
+    }
+
+    /// Makespan of `kind` on `problem` without materialising a [`Schedule`];
+    /// allocation-free once the engine is warm.
+    pub fn makespan(&mut self, problem: &BroadcastProblem, kind: HeuristicKind) -> Time {
+        let ScheduleEngine { state, policies } = self;
+        let policy = policies[kind.slot()].get_or_insert_with(|| kind.new_policy());
+        state.run(problem, policy.as_mut());
+        state.makespan_of_events(problem)
+    }
+
+    /// The events of the most recent run, without allocation.
+    pub fn events(&self) -> &[ScheduleEvent] {
+        &self.state.events
+    }
+
+    /// Schedules `problem` with every heuristic in `kinds`, reusing the state
+    /// buffers across heuristics. This is the batched entry point used by the
+    /// Monte-Carlo runner and the benches.
+    pub fn schedule_all(
+        &mut self,
+        problem: &BroadcastProblem,
+        kinds: &[HeuristicKind],
+    ) -> Vec<Schedule> {
+        let mut out = Vec::with_capacity(kinds.len());
+        self.schedule_all_into(problem, kinds, &mut out);
+        out
+    }
+
+    /// Like [`ScheduleEngine::schedule_all`], writing into a caller-owned
+    /// buffer (cleared first) so sweeps can reuse the output allocation too.
+    pub fn schedule_all_into(
+        &mut self,
+        problem: &BroadcastProblem,
+        kinds: &[HeuristicKind],
+        out: &mut Vec<Schedule>,
+    ) {
+        out.clear();
+        out.reserve(kinds.len());
+        for &kind in kinds {
+            out.push(self.schedule(problem, kind));
+        }
+    }
+
+    /// Makespans of every heuristic in `kinds` on `problem`, written into a
+    /// caller-owned buffer; allocation-free once the engine is warm.
+    pub fn makespans_into(
+        &mut self,
+        problem: &BroadcastProblem,
+        kinds: &[HeuristicKind],
+        out: &mut Vec<Time>,
+    ) {
+        out.clear();
+        out.reserve(kinds.len());
+        for &kind in kinds {
+            out.push(self.makespan(problem, kind));
+        }
+    }
+}
+
+thread_local! {
+    static SHARED_ENGINE: RefCell<ScheduleEngine> = RefCell::new(ScheduleEngine::new());
+}
+
+/// Runs `f` with this thread's shared engine — the buffer-reusing fast path
+/// behind [`HeuristicKind::schedule`] and the [`crate::heuristics::Heuristic`]
+/// impls.
+pub fn with_shared_engine<R>(f: impl FnOnce(&mut ScheduleEngine) -> R) -> R {
+    SHARED_ENGINE.with(|engine| f(&mut engine.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::MessageSize;
+    use gridcast_topology::GridGenerator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_problem(clusters: usize, seed: u64) -> BroadcastProblem {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1))
+    }
+
+    #[test]
+    fn engine_reuse_is_deterministic() {
+        let mut engine = ScheduleEngine::new();
+        let p = random_problem(12, 3);
+        let first = engine.schedule(&p, HeuristicKind::EcefLaMax);
+        // Interleave other problems and heuristics, then repeat.
+        let q = random_problem(30, 4);
+        for kind in HeuristicKind::all() {
+            let s = engine.schedule(&q, kind);
+            assert!(s.validate(&q).is_ok(), "{kind}");
+        }
+        let second = engine.schedule(&p, HeuristicKind::EcefLaMax);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn makespan_matches_schedule() {
+        let mut engine = ScheduleEngine::new();
+        for clusters in [2usize, 5, 17, 40] {
+            let p = random_problem(clusters, clusters as u64);
+            for kind in HeuristicKind::all() {
+                let schedule = engine.schedule(&p, kind);
+                let fast = engine.makespan(&p, kind);
+                assert_eq!(schedule.makespan(), fast, "{kind} on {clusters}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_all_covers_every_kind_in_order() {
+        let mut engine = ScheduleEngine::new();
+        let p = random_problem(9, 1);
+        let kinds = HeuristicKind::all();
+        let schedules = engine.schedule_all(&p, &kinds);
+        assert_eq!(schedules.len(), kinds.len());
+        for (kind, schedule) in kinds.iter().zip(&schedules) {
+            assert_eq!(schedule.heuristic, kind.name());
+            assert!(schedule.validate(&p).is_ok());
+        }
+        // The batched buffer variant agrees.
+        let mut buffer = Vec::new();
+        engine.schedule_all_into(&p, &kinds, &mut buffer);
+        assert_eq!(buffer, schedules);
+        let mut spans = Vec::new();
+        engine.makespans_into(&p, &kinds, &mut spans);
+        let expected: Vec<_> = schedules.iter().map(|s| s.makespan()).collect();
+        assert_eq!(spans, expected);
+    }
+
+    #[test]
+    fn events_accessor_exposes_last_run() {
+        let mut engine = ScheduleEngine::new();
+        let p = random_problem(6, 9);
+        let schedule = engine.schedule(&p, HeuristicKind::Fef);
+        assert_eq!(engine.events(), schedule.events.as_slice());
+    }
+
+    #[test]
+    fn two_cluster_problems_work() {
+        let mut engine = ScheduleEngine::new();
+        let p = random_problem(2, 5);
+        for kind in HeuristicKind::all() {
+            let s = engine.schedule(&p, kind);
+            assert_eq!(s.num_transfers(), 1, "{kind}");
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! The BottomUp heuristic (Section 5.3).
 
+use crate::engine::{with_shared_engine, EngineView, Objective, SelectionPolicy};
 use crate::heuristics::Heuristic;
-use crate::{BroadcastProblem, Schedule, ScheduleState};
+use crate::{BroadcastProblem, Schedule};
 use gridcast_plogp::Time;
 use gridcast_topology::ClusterId;
 
@@ -30,39 +31,30 @@ impl Heuristic for BottomUp {
     }
 
     fn schedule(&self, problem: &BroadcastProblem) -> Schedule {
-        let mut state = ScheduleState::new(problem);
-        while !state.is_complete() {
-            let (sender, receiver) = select_bottom_up(&state);
-            state.commit(sender, receiver);
-        }
-        state.finish(self.name())
+        with_shared_engine(|engine| engine.schedule_with(problem, &mut BottomUpPolicy))
     }
 }
 
-fn select_bottom_up(state: &ScheduleState<'_>) -> (ClusterId, ClusterId) {
-    let problem = state.problem();
-    let mut chosen: Option<(ClusterId, ClusterId)> = None;
-    let mut chosen_score = Time::ZERO - Time::from_secs(1.0); // below any real score
-    for receiver in state.set_b() {
-        // Best way to serve this receiver right now. Ready times are included so
-        // that "cheapest available sender" accounts for senders still busy with a
-        // previous transfer.
-        let (best_sender, best_cost) = state
-            .set_a()
-            .map(|sender| {
-                (
-                    sender,
-                    state.completion_estimate(sender, receiver) + problem.intra_time(receiver),
-                )
-            })
-            .min_by_key(|&(_, cost)| cost)
-            .expect("set A is never empty");
-        if chosen.is_none() || best_cost > chosen_score {
-            chosen_score = best_cost;
-            chosen = Some((best_sender, receiver));
-        }
+/// [`SelectionPolicy`] for BottomUp: each candidate edge is scored by its full
+/// service cost `RT_i + g_ij + L_ij + T_j` (ready times included, so "cheapest
+/// available sender" accounts for senders still busy with a previous transfer)
+/// and the cross-receiver objective is **maximised** — the engine's max-min
+/// mode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BottomUpPolicy;
+
+impl SelectionPolicy for BottomUpPolicy {
+    fn name(&self) -> &str {
+        "BottomUp"
     }
-    chosen.expect("set B is non-empty while the schedule is incomplete")
+
+    fn edge_score(&self, view: &EngineView<'_>, sender: ClusterId, receiver: ClusterId) -> Time {
+        view.completion_estimate(sender, receiver) + view.problem().intra_time(receiver)
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
 }
 
 #[cfg(test)]
@@ -83,25 +75,14 @@ mod tests {
             latency[(i, i)] = Time::ZERO;
             gap[(i, i)] = Time::ZERO;
         }
-        BroadcastProblem::from_parts(
-            ClusterId(0),
-            MessageSize::from_mib(1),
-            latency,
-            gap,
-            intra,
-        )
+        BroadcastProblem::from_parts(ClusterId(0), MessageSize::from_mib(1), latency, gap, intra)
     }
 
     #[test]
     fn slowest_cluster_is_served_first() {
         // Cluster 3 has by far the longest internal broadcast; BottomUp must
         // contact it in the very first round.
-        let problem = problem_with_intra(vec![
-            Time::ZERO,
-            ms(50.0),
-            ms(100.0),
-            ms(2000.0),
-        ]);
+        let problem = problem_with_intra(vec![Time::ZERO, ms(50.0), ms(100.0), ms(2000.0)]);
         let schedule = BottomUp.schedule(&problem);
         assert!(schedule.validate(&problem).is_ok());
         assert_eq!(schedule.events[0].receiver, ClusterId(3));
@@ -163,7 +144,9 @@ mod tests {
             vec![Time::ZERO, ms(20.0), ms(20.0), ms(20.0), ms(2500.0)],
         );
         let bottom_up = BottomUp.schedule(&problem).makespan();
-        let fef = crate::heuristics::FastestEdgeFirst.schedule(&problem).makespan();
+        let fef = crate::heuristics::FastestEdgeFirst
+            .schedule(&problem)
+            .makespan();
         assert!(
             bottom_up < fef,
             "BottomUp ({bottom_up}) should beat FEF ({fef}) when a slow cluster dominates"

@@ -1,8 +1,9 @@
 //! The ECEF family: Early Completion Edge First and its lookahead variants
 //! (Sections 4.3, 4.4, 5.1 and 5.2).
 
+use crate::engine::{with_shared_engine, EngineView, SelectionPolicy};
 use crate::heuristics::Heuristic;
-use crate::{BroadcastProblem, Schedule, ScheduleState};
+use crate::{BroadcastProblem, Schedule};
 use gridcast_plogp::Time;
 use gridcast_topology::ClusterId;
 use serde::{Deserialize, Serialize};
@@ -40,7 +41,12 @@ impl Lookahead {
     ///
     /// `remaining` must not include `j` itself; if no other cluster remains the
     /// lookahead is zero (the last receiver needs no forwarding ability).
-    fn evaluate(
+    ///
+    /// This is the direct `O(|remaining|)` definition; [`EcefPolicy`] evaluates
+    /// the same quantity incrementally inside the engine. It stays public as
+    /// the executable specification of `F_j` (and as the reference the parity
+    /// property tests compare against).
+    pub fn evaluate(
         &self,
         problem: &BroadcastProblem,
         j: ClusterId,
@@ -121,35 +127,156 @@ impl Heuristic for Ecef {
     }
 
     fn schedule(&self, problem: &BroadcastProblem) -> Schedule {
-        let mut state = ScheduleState::new(problem);
-        while !state.is_complete() {
-            let (sender, receiver) = self.select(&state);
-            state.commit(sender, receiver);
-        }
-        state.finish(self.name)
+        let mut policy = EcefPolicy::new(self.lookahead);
+        with_shared_engine(|engine| engine.schedule_with(problem, &mut policy))
     }
 }
 
-impl Ecef {
-    fn select(&self, state: &ScheduleState<'_>) -> (ClusterId, ClusterId) {
-        let problem = state.problem();
-        let set_b: Vec<ClusterId> = state.set_b().collect();
-        let mut best: Option<(ClusterId, ClusterId)> = None;
-        let mut best_score = Time::INFINITY;
-        for &receiver in &set_b {
-            // Clusters that would remain in B if `receiver` were chosen.
-            let remaining: Vec<ClusterId> =
-                set_b.iter().copied().filter(|&k| k != receiver).collect();
-            let lookahead = self.lookahead.evaluate(problem, receiver, &remaining);
-            for sender in state.set_a() {
-                let score = state.completion_estimate(sender, receiver) + lookahead;
-                if score < best_score {
-                    best_score = score;
-                    best = Some((sender, receiver));
+/// [`SelectionPolicy`] for the whole ECEF family: the edge score is the
+/// completion estimate `RT_i + g_ij + L_ij`, and the configured [`Lookahead`]
+/// enters as the engine's receiver-level bias `F_j`.
+///
+/// The min/max lookaheads are evaluated incrementally: at reset the policy
+/// sorts, for every receiver `j`, the other clusters by their lookahead value
+/// `g_jk + L_jk (+ T_k)`. Because set B only ever shrinks, a per-receiver
+/// cursor that skips departed clusters yields `F_j` in amortised `O(1)` per
+/// round instead of the seed's `O(|B|)` rescan — the values are identical
+/// (a minimum does not depend on evaluation order). The average lookahead is
+/// still summed in ascending cluster order so the floating-point result stays
+/// bit-identical to the original implementation.
+#[derive(Debug, Clone)]
+pub struct EcefPolicy {
+    lookahead: Lookahead,
+    name: &'static str,
+    clusters: usize,
+    /// Per-receiver rows of candidate clusters, sorted by lookahead value
+    /// (ascending for the min variants, descending for the max variant).
+    rows: Vec<u32>,
+    /// Per-receiver cursor into `rows`, advanced past clusters that left B.
+    cursor: Vec<u32>,
+}
+
+impl EcefPolicy {
+    /// Creates the policy for one lookahead variant.
+    pub fn new(lookahead: Lookahead) -> Self {
+        EcefPolicy {
+            lookahead,
+            name: Ecef::with_lookahead(lookahead).name,
+            clusters: 0,
+            rows: Vec::new(),
+            cursor: Vec::new(),
+        }
+    }
+
+    /// The lookahead value of candidate `k` seen from receiver `j`.
+    #[inline]
+    fn lookahead_value(&self, problem: &BroadcastProblem, j: ClusterId, k: ClusterId) -> Time {
+        match self.lookahead {
+            Lookahead::MinEdge => problem.transfer(j, k),
+            Lookahead::MinEdgePlusIntra | Lookahead::MaxEdgePlusIntra => {
+                problem.transfer(j, k) + problem.intra_time(k)
+            }
+            Lookahead::None | Lookahead::AvgEdge => Time::ZERO,
+        }
+    }
+
+    fn uses_sorted_rows(&self) -> bool {
+        matches!(
+            self.lookahead,
+            Lookahead::MinEdge | Lookahead::MinEdgePlusIntra | Lookahead::MaxEdgePlusIntra
+        )
+    }
+}
+
+impl SelectionPolicy for EcefPolicy {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn reset(&mut self, problem: &BroadcastProblem) {
+        let n = problem.num_clusters();
+        self.clusters = n;
+        if !self.uses_sorted_rows() {
+            return;
+        }
+        self.rows.clear();
+        self.rows.reserve(n * n);
+        for j in 0..n {
+            let row_start = self.rows.len();
+            self.rows.extend(0..n as u32);
+            let row = &mut self.rows[row_start..];
+            let jc = ClusterId(j);
+            let descending = matches!(self.lookahead, Lookahead::MaxEdgePlusIntra);
+            row.sort_unstable_by(|&a, &b| {
+                let va = match self.lookahead {
+                    Lookahead::MinEdge => problem.transfer(jc, ClusterId(a as usize)),
+                    _ => {
+                        problem.transfer(jc, ClusterId(a as usize))
+                            + problem.intra_time(ClusterId(a as usize))
+                    }
+                };
+                let vb = match self.lookahead {
+                    Lookahead::MinEdge => problem.transfer(jc, ClusterId(b as usize)),
+                    _ => {
+                        problem.transfer(jc, ClusterId(b as usize))
+                            + problem.intra_time(ClusterId(b as usize))
+                    }
+                };
+                if descending {
+                    vb.cmp(&va)
+                } else {
+                    va.cmp(&vb)
+                }
+            });
+        }
+        self.cursor.clear();
+        self.cursor.resize(n, 0);
+    }
+
+    fn edge_score(&self, view: &EngineView<'_>, sender: ClusterId, receiver: ClusterId) -> Time {
+        view.completion_estimate(sender, receiver)
+    }
+
+    fn receiver_bias(&mut self, view: &EngineView<'_>, receiver: ClusterId) -> Time {
+        let problem = view.problem();
+        match self.lookahead {
+            Lookahead::None => Time::ZERO,
+            Lookahead::AvgEdge => {
+                // Recomputed in ascending cluster order, exactly like the
+                // original `Lookahead::evaluate`, to keep the sum bit-identical.
+                let mut total = Time::ZERO;
+                let mut count = 0usize;
+                for k in problem.cluster_ids() {
+                    if k != receiver && view.in_b(k) {
+                        total += problem.transfer(receiver, k);
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    Time::ZERO
+                } else {
+                    total / count as f64
                 }
             }
+            Lookahead::MinEdge | Lookahead::MinEdgePlusIntra | Lookahead::MaxEdgePlusIntra => {
+                let n = self.clusters;
+                let j = receiver.index();
+                let row = &self.rows[j * n..(j + 1) * n];
+                let cursor = &mut self.cursor[j];
+                while (*cursor as usize) < n {
+                    let k = row[*cursor as usize];
+                    // Skip the receiver itself and clusters that already left B;
+                    // both exclusions are permanent, so the cursor may advance
+                    // for good.
+                    if k as usize == j || !view.in_b(ClusterId(k as usize)) {
+                        *cursor += 1;
+                        continue;
+                    }
+                    return self.lookahead_value(problem, receiver, ClusterId(k as usize));
+                }
+                Time::ZERO
+            }
         }
-        best.expect("set B is non-empty while the schedule is incomplete")
     }
 }
 
@@ -197,7 +324,9 @@ mod tests {
         // 0 → 2 would complete at 100 + 101 = 201 ms; ECEF must pick the relay.
         assert_eq!(schedule.events[1].sender, ClusterId(1));
         assert_eq!(schedule.events[1].receiver, ClusterId(2));
-        assert!(schedule.makespan().approx_eq(ms(122.0), Time::from_micros(1.0)));
+        assert!(schedule
+            .makespan()
+            .approx_eq(ms(122.0), Time::from_micros(1.0)));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Fastest Edge First (Section 4.2).
 
+use crate::engine::{with_shared_engine, EngineView, SelectionPolicy, TieBreak};
 use crate::heuristics::Heuristic;
-use crate::{BroadcastProblem, Schedule, ScheduleState};
+use crate::{BroadcastProblem, Schedule};
+use gridcast_plogp::Time;
 use gridcast_topology::ClusterId;
 
 /// Bhat et al.'s *Fastest Edge First* heuristic.
@@ -22,29 +24,33 @@ impl Heuristic for FastestEdgeFirst {
     }
 
     fn schedule(&self, problem: &BroadcastProblem) -> Schedule {
-        let mut state = ScheduleState::new(problem);
-        while !state.is_complete() {
-            let (sender, receiver) = select_fastest_edge(&state);
-            state.commit(sender, receiver);
-        }
-        state.finish(self.name())
+        with_shared_engine(|engine| engine.schedule_with(problem, &mut FefPolicy))
     }
 }
 
-fn select_fastest_edge(state: &ScheduleState<'_>) -> (ClusterId, ClusterId) {
-    let problem = state.problem();
-    let mut best: Option<(ClusterId, ClusterId)> = None;
-    let mut best_weight = gridcast_plogp::Time::INFINITY;
-    for sender in state.set_a() {
-        for receiver in state.set_b() {
-            let weight = problem.latency(sender, receiver);
-            if weight < best_weight {
-                best_weight = weight;
-                best = Some((sender, receiver));
-            }
-        }
+/// [`SelectionPolicy`] for Fastest Edge First: the edge score is the static
+/// link latency, so sender ready times never invalidate the engine's candidate
+/// cache. The sender-then-receiver tie-break mirrors the original
+/// sender-outer/receiver-inner scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FefPolicy;
+
+impl SelectionPolicy for FefPolicy {
+    fn name(&self) -> &str {
+        "FEF"
     }
-    best.expect("set B is non-empty while the schedule is incomplete")
+
+    fn edge_score(&self, view: &EngineView<'_>, sender: ClusterId, receiver: ClusterId) -> Time {
+        view.problem().latency(sender, receiver)
+    }
+
+    fn tie_break(&self) -> TieBreak {
+        TieBreak::SenderThenReceiver
+    }
+
+    fn sender_time_sensitive(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -60,10 +66,22 @@ mod tests {
         let latency = SquareMatrix::from_rows(
             4,
             vec![
-                l(0.0), l(1.0), l(5.0), l(9.0),
-                l(1.0), l(0.0), l(2.0), l(3.0),
-                l(5.0), l(2.0), l(0.0), l(1.0),
-                l(9.0), l(3.0), l(1.0), l(0.0),
+                l(0.0),
+                l(1.0),
+                l(5.0),
+                l(9.0),
+                l(1.0),
+                l(0.0),
+                l(2.0),
+                l(3.0),
+                l(5.0),
+                l(2.0),
+                l(0.0),
+                l(1.0),
+                l(9.0),
+                l(3.0),
+                l(1.0),
+                l(0.0),
             ],
         );
         let mut gap = SquareMatrix::filled(4, Time::from_millis(100.0));
@@ -106,9 +124,15 @@ mod tests {
         let latency = SquareMatrix::from_rows(
             3,
             vec![
-                l(0.0), l(1.0), l(2.0),
-                l(1.0), l(0.0), l(50.0),
-                l(2.0), l(50.0), l(0.0),
+                l(0.0),
+                l(1.0),
+                l(2.0),
+                l(1.0),
+                l(0.0),
+                l(50.0),
+                l(2.0),
+                l(50.0),
+                l(0.0),
             ],
         );
         let mut gap = SquareMatrix::filled(3, Time::from_millis(100.0));

@@ -1,7 +1,10 @@
 //! The Flat Tree baseline (Section 4.1).
 
+use crate::engine::{with_shared_engine, EngineView, SelectionPolicy};
 use crate::heuristics::Heuristic;
-use crate::{BroadcastProblem, Schedule, ScheduleState};
+use crate::{BroadcastProblem, Schedule};
+use gridcast_plogp::Time;
+use gridcast_topology::ClusterId;
 
 /// The strategy used by the ECO and MagPIe libraries: the root coordinator sends
 /// the message to every other cluster coordinator itself, sequentially, in the
@@ -19,16 +22,46 @@ impl Heuristic for FlatTree {
     }
 
     fn schedule(&self, problem: &BroadcastProblem) -> Schedule {
-        let mut state = ScheduleState::new(problem);
-        let root = problem.root;
-        // Clusters are contacted in identifier order, skipping the root — this is
-        // the "depends on how the clusters list is arranged" behaviour the paper
-        // criticises.
-        let receivers: Vec<_> = problem.cluster_ids().filter(|&c| c != root).collect();
-        for receiver in receivers {
-            state.commit(root, receiver);
+        with_shared_engine(|engine| engine.schedule_with(problem, &mut FlatTreePolicy::new()))
+    }
+}
+
+/// [`SelectionPolicy`] expressing the flat tree in the engine's formalism: only
+/// edges leaving the root are admissible (everything else scores infinity), and
+/// with all objectives equal the receiver tie-break walks cluster ids in order
+/// — the "depends on how the clusters list is arranged" behaviour the paper
+/// criticises.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlatTreePolicy {
+    root: ClusterId,
+}
+
+impl FlatTreePolicy {
+    /// Creates the policy; the root is captured at [`SelectionPolicy::reset`].
+    pub fn new() -> Self {
+        FlatTreePolicy::default()
+    }
+}
+
+impl SelectionPolicy for FlatTreePolicy {
+    fn name(&self) -> &str {
+        "Flat Tree"
+    }
+
+    fn reset(&mut self, problem: &BroadcastProblem) {
+        self.root = problem.root;
+    }
+
+    fn edge_score(&self, _view: &EngineView<'_>, sender: ClusterId, _receiver: ClusterId) -> Time {
+        if sender == self.root {
+            Time::ZERO
+        } else {
+            Time::INFINITY
         }
-        state.finish(self.name())
+    }
+
+    fn sender_time_sensitive(&self) -> bool {
+        false
     }
 }
 

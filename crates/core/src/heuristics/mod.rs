@@ -5,11 +5,12 @@ pub mod ecef;
 pub mod fef;
 pub mod flat_tree;
 
-pub use bottom_up::BottomUp;
-pub use ecef::{Ecef, Lookahead};
-pub use fef::FastestEdgeFirst;
-pub use flat_tree::FlatTree;
+pub use bottom_up::{BottomUp, BottomUpPolicy};
+pub use ecef::{Ecef, EcefPolicy, Lookahead};
+pub use fef::{FastestEdgeFirst, FefPolicy};
+pub use flat_tree::{FlatTree, FlatTreePolicy};
 
+use crate::engine::{with_shared_engine, SelectionPolicy};
 use crate::{BroadcastProblem, Schedule};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -45,6 +46,9 @@ pub enum HeuristicKind {
 }
 
 impl HeuristicKind {
+    /// Number of heuristic kinds (the engine sizes its policy store with it).
+    pub const COUNT: usize = 7;
+
     /// The seven heuristics of Figures 1 and 2, in the paper's legend order.
     pub fn all() -> [HeuristicKind; 7] {
         [
@@ -81,20 +85,38 @@ impl HeuristicKind {
         }
     }
 
-    /// Schedules `problem` with this heuristic.
+    /// Schedules `problem` with this heuristic, through the thread's shared
+    /// [`crate::ScheduleEngine`] (buffer reuse without explicit engine
+    /// management; sweeps should hold their own engine and call
+    /// [`crate::ScheduleEngine::schedule_all`]).
     pub fn schedule(&self, problem: &BroadcastProblem) -> Schedule {
+        with_shared_engine(|engine| engine.schedule(problem, *self))
+    }
+
+    /// Dense index of this kind in `HeuristicKind::all()` order; used by the
+    /// engine's per-kind policy store.
+    pub(crate) fn slot(&self) -> usize {
         match self {
-            HeuristicKind::FlatTree => FlatTree.schedule(problem),
-            HeuristicKind::Fef => FastestEdgeFirst.schedule(problem),
-            HeuristicKind::Ecef => Ecef::plain().schedule(problem),
-            HeuristicKind::EcefLa => Ecef::with_lookahead(Lookahead::MinEdge).schedule(problem),
-            HeuristicKind::EcefLaMin => {
-                Ecef::with_lookahead(Lookahead::MinEdgePlusIntra).schedule(problem)
-            }
-            HeuristicKind::EcefLaMax => {
-                Ecef::with_lookahead(Lookahead::MaxEdgePlusIntra).schedule(problem)
-            }
-            HeuristicKind::BottomUp => BottomUp.schedule(problem),
+            HeuristicKind::FlatTree => 0,
+            HeuristicKind::Fef => 1,
+            HeuristicKind::Ecef => 2,
+            HeuristicKind::EcefLa => 3,
+            HeuristicKind::EcefLaMax => 4,
+            HeuristicKind::EcefLaMin => 5,
+            HeuristicKind::BottomUp => 6,
+        }
+    }
+
+    /// Builds a fresh [`SelectionPolicy`] implementing this heuristic.
+    pub fn new_policy(&self) -> Box<dyn SelectionPolicy> {
+        match self {
+            HeuristicKind::FlatTree => Box::new(FlatTreePolicy::new()),
+            HeuristicKind::Fef => Box::new(FefPolicy),
+            HeuristicKind::Ecef => Box::new(EcefPolicy::new(Lookahead::None)),
+            HeuristicKind::EcefLa => Box::new(EcefPolicy::new(Lookahead::MinEdge)),
+            HeuristicKind::EcefLaMin => Box::new(EcefPolicy::new(Lookahead::MinEdgePlusIntra)),
+            HeuristicKind::EcefLaMax => Box::new(EcefPolicy::new(Lookahead::MaxEdgePlusIntra)),
+            HeuristicKind::BottomUp => Box::new(BottomUpPolicy),
         }
     }
 

@@ -34,6 +34,12 @@
 //! coordinator's network interface is free again), so every heuristic shares the
 //! exact same timing semantics and only differs in its selection rule.
 //!
+//! That selection rule is a [`SelectionPolicy`]; the round loop itself lives in
+//! one place, the incremental, allocation-free [`ScheduleEngine`] ([`engine`]),
+//! which also drives non-broadcast patterns such as the scatter orderings of
+//! [`patterns`]. Heuristic structs and [`HeuristicKind::schedule`] are thin
+//! wrappers over the engine.
+//!
 //! ```
 //! use gridcast_core::{BroadcastProblem, HeuristicKind};
 //! use gridcast_plogp::MessageSize;
@@ -49,6 +55,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod engine;
 pub mod global_minimum;
 pub mod heuristics;
 pub mod mixed;
@@ -58,11 +65,12 @@ pub mod problem;
 pub mod schedule;
 pub mod state;
 
+pub use engine::{EngineView, Objective, ScheduleEngine, SelectionPolicy, TieBreak};
 pub use global_minimum::{global_minimum, per_heuristic_makespans};
 pub use heuristics::{Heuristic, HeuristicKind};
 pub use mixed::MixedStrategy;
 pub use optimal::{optimal_schedule, OptimalSearch};
-pub use patterns::{alltoall_estimate, ScatterOrdering, ScatterProblem};
+pub use patterns::{alltoall_estimate, ScatterOrdering, ScatterProblem, ScatterTailPolicy};
 pub use problem::BroadcastProblem;
 pub use schedule::{Schedule, ScheduleError, ScheduleEvent};
 pub use state::ScheduleState;

@@ -22,11 +22,21 @@
 //! one-machine scheduling problem; [`ScatterOrdering::LongestTailFirst`]
 //! implements it, and the tests verify optimality against brute-force
 //! enumeration on small instances.
+//!
+//! Scheduling itself goes through the same pattern-agnostic
+//! [`ScheduleEngine`](crate::ScheduleEngine) as the broadcast heuristics: a
+//! scatter is embedded as a broadcast problem whose non-root links are
+//! infinitely expensive ([`ScatterProblem::as_broadcast_problem`]), and each
+//! [`ScatterOrdering`] is a tiny [`SelectionPolicy`]. Intra-cluster pattern
+//! costs come from the shared
+//! [`PatternCost`] trait rather than a
+//! duplicated formula.
 
+use crate::engine::{with_shared_engine, EngineView, Objective, SelectionPolicy};
 use crate::BroadcastProblem;
-use gridcast_collectives::patterns::{alltoall_time, scatter_time};
+use gridcast_collectives::{Pattern, PatternCost};
 use gridcast_plogp::{MessageSize, Time};
-use gridcast_topology::{ClusterId, Grid};
+use gridcast_topology::{ClusterId, Grid, SquareMatrix};
 use serde::{Deserialize, Serialize};
 
 /// A scatter problem at the inter-cluster level: the root must push each
@@ -65,7 +75,8 @@ impl ScatterProblem {
                 latency[id.index()] = grid.latency(root, id);
             }
             if let Some(plogp) = cluster.intra.plogp() {
-                local_scatter[id.index()] = scatter_time(plogp, cluster.size, per_node);
+                local_scatter[id.index()] =
+                    Pattern::Scatter.intra_time(plogp, cluster.size, per_node);
             }
         }
         ScatterProblem {
@@ -111,6 +122,35 @@ impl ScatterProblem {
             .filter(|&c| c != self.root)
             .collect()
     }
+
+    /// Embeds the scatter into the broadcast formalism consumed by the
+    /// [`ScheduleEngine`](crate::ScheduleEngine): only the root can send (every
+    /// other link is infinitely expensive), the per-receiver gap is the cost of
+    /// pushing that cluster's aggregate block, and the intra-cluster time is
+    /// the local scatter. Relaying is thereby structurally excluded — exactly
+    /// the MagPIe behaviour this module models.
+    pub fn as_broadcast_problem(&self) -> BroadcastProblem {
+        let n = self.num_clusters();
+        let mut latency = SquareMatrix::filled(n, Time::INFINITY);
+        let mut gap = SquareMatrix::filled(n, Time::INFINITY);
+        for i in 0..n {
+            latency[(i, i)] = Time::ZERO;
+            gap[(i, i)] = Time::ZERO;
+        }
+        for j in 0..n {
+            if j != self.root.index() {
+                latency[(self.root.index(), j)] = self.latency[j];
+                gap[(self.root.index(), j)] = self.root_gap[j];
+            }
+        }
+        BroadcastProblem::from_parts(
+            self.root,
+            self.per_node,
+            latency,
+            gap,
+            self.local_scatter.clone(),
+        )
+    }
 }
 
 /// The send orderings evaluated for the inter-cluster scatter.
@@ -126,24 +166,76 @@ pub enum ScatterOrdering {
 }
 
 impl ScatterOrdering {
-    /// The send order this policy produces.
+    /// The send order this policy produces, scheduled by the shared
+    /// pattern-agnostic engine (see [`ScatterTailPolicy`]): each round picks
+    /// the receiver optimising the policy's tail objective, which reproduces
+    /// the corresponding stable sort exactly (ties fall back to cluster-id
+    /// order).
     pub fn order(&self, problem: &ScatterProblem) -> Vec<ClusterId> {
-        let mut order = problem.receivers();
-        match self {
-            ScatterOrdering::ListOrder => {}
-            ScatterOrdering::LongestTailFirst => {
-                order.sort_by(|&a, &b| problem.tail(b).cmp(&problem.tail(a)));
-            }
-            ScatterOrdering::ShortestTailFirst => {
-                order.sort_by(|&a, &b| problem.tail(a).cmp(&problem.tail(b)));
-            }
-        }
-        order
+        let broadcast = problem.as_broadcast_problem();
+        let mut policy = ScatterTailPolicy {
+            root: problem.root,
+            ordering: *self,
+        };
+        with_shared_engine(|engine| {
+            engine.schedule_with(&broadcast, &mut policy);
+            engine.events().iter().map(|e| e.receiver).collect()
+        })
     }
 
     /// The makespan this policy achieves on `problem`.
     pub fn makespan(&self, problem: &ScatterProblem) -> Time {
         problem.makespan(&self.order(problem))
+    }
+}
+
+/// [`SelectionPolicy`] realising a [`ScatterOrdering`] on the engine: only
+/// root-outgoing edges are admissible, and the receiver bias is the cluster's
+/// *tail* (`L + local scatter`), minimised or maximised depending on the
+/// ordering. Demonstrates that the engine serves patterns beyond broadcast —
+/// the same round loop, candidate cache and tie-breaking drive the scatter.
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterTailPolicy {
+    root: ClusterId,
+    ordering: ScatterOrdering,
+}
+
+impl SelectionPolicy for ScatterTailPolicy {
+    fn name(&self) -> &str {
+        match self.ordering {
+            ScatterOrdering::ListOrder => "Scatter(list)",
+            ScatterOrdering::LongestTailFirst => "Scatter(longest-tail)",
+            ScatterOrdering::ShortestTailFirst => "Scatter(shortest-tail)",
+        }
+    }
+
+    fn edge_score(&self, _view: &EngineView<'_>, sender: ClusterId, _receiver: ClusterId) -> Time {
+        if sender == self.root {
+            Time::ZERO
+        } else {
+            Time::INFINITY
+        }
+    }
+
+    fn receiver_bias(&mut self, view: &EngineView<'_>, receiver: ClusterId) -> Time {
+        match self.ordering {
+            ScatterOrdering::ListOrder => Time::ZERO,
+            ScatterOrdering::LongestTailFirst | ScatterOrdering::ShortestTailFirst => {
+                let problem = view.problem();
+                problem.latency(self.root, receiver) + problem.intra_time(receiver)
+            }
+        }
+    }
+
+    fn objective(&self) -> Objective {
+        match self.ordering {
+            ScatterOrdering::LongestTailFirst => Objective::Maximize,
+            ScatterOrdering::ListOrder | ScatterOrdering::ShortestTailFirst => Objective::Minimize,
+        }
+    }
+
+    fn sender_time_sensitive(&self) -> bool {
+        false
     }
 }
 
@@ -168,7 +260,7 @@ pub fn alltoall_estimate(grid: &Grid, per_pair: MessageSize) -> Time {
             total += grid.gap(i, j, MessageSize::from_bytes(bytes)) + grid.latency(i, j);
         }
         if let Some(plogp) = ci.intra.plogp() {
-            total += alltoall_time(plogp, ci.size, per_pair);
+            total += Pattern::AllToAll.intra_time(plogp, ci.size, per_pair);
         }
         worst = worst.max(total);
     }
@@ -270,8 +362,7 @@ mod tests {
     #[test]
     fn scatter_problem_like_reuses_root_and_message() {
         let grid = grid5000_table3();
-        let broadcast =
-            BroadcastProblem::from_grid(&grid, ClusterId(5), MessageSize::from_kib(32));
+        let broadcast = BroadcastProblem::from_grid(&grid, ClusterId(5), MessageSize::from_kib(32));
         let scatter = scatter_problem_like(&broadcast, &grid);
         assert_eq!(scatter.root, ClusterId(5));
         assert_eq!(scatter.per_node, MessageSize::from_kib(32));

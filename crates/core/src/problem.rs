@@ -71,7 +71,11 @@ impl BroadcastProblem {
     ) -> Self {
         let n = latency.dim();
         assert_eq!(gap.dim(), n, "gap matrix dimension mismatch");
-        assert_eq!(intra_time.len(), n, "intra-cluster time vector length mismatch");
+        assert_eq!(
+            intra_time.len(),
+            n,
+            "intra-cluster time vector length mismatch"
+        );
         assert!(root.index() < n, "root cluster {root} outside the problem");
         BroadcastProblem {
             root,
@@ -180,22 +184,22 @@ mod tests {
             Time::from_millis(500.0),
             Time::from_millis(20.0),
         ];
-        BroadcastProblem::from_parts(
-            ClusterId(0),
-            MessageSize::from_mib(1),
-            latency,
-            gap,
-            intra,
-        )
+        BroadcastProblem::from_parts(ClusterId(0), MessageSize::from_mib(1), latency, gap, intra)
     }
 
     #[test]
     fn accessors_return_the_configured_values() {
         let p = tiny_problem();
         assert_eq!(p.num_clusters(), 3);
-        assert_eq!(p.latency(ClusterId(0), ClusterId(2)), Time::from_millis(2.0));
+        assert_eq!(
+            p.latency(ClusterId(0), ClusterId(2)),
+            Time::from_millis(2.0)
+        );
         assert_eq!(p.gap(ClusterId(1), ClusterId(2)), Time::from_millis(300.0));
-        assert_eq!(p.transfer(ClusterId(0), ClusterId(1)), Time::from_millis(101.0));
+        assert_eq!(
+            p.transfer(ClusterId(0), ClusterId(1)),
+            Time::from_millis(101.0)
+        );
         assert_eq!(p.intra_time(ClusterId(1)), Time::from_millis(500.0));
     }
 

@@ -65,10 +65,16 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::RootReceives => write!(f, "the root cluster appears as a receiver"),
             ScheduleError::SendsBeforeReady { event } => {
-                write!(f, "event #{event}: sender transmits before holding the message")
+                write!(
+                    f,
+                    "event #{event}: sender transmits before holding the message"
+                )
             }
             ScheduleError::WrongArrival { event } => {
-                write!(f, "event #{event}: arrival time inconsistent with link parameters")
+                write!(
+                    f,
+                    "event #{event}: arrival time inconsistent with link parameters"
+                )
             }
             ScheduleError::OverlappingSends { cluster } => {
                 write!(f, "cluster {cluster} has overlapping outgoing transfers")
@@ -248,11 +254,7 @@ mod tests {
             MessageSize::from_mib(1),
             latency,
             gap,
-            vec![
-                Time::from_millis(5.0),
-                Time::from_millis(7.0),
-                Time::ZERO,
-            ],
+            vec![Time::from_millis(5.0), Time::from_millis(7.0), Time::ZERO],
         )
     }
 
@@ -276,11 +278,17 @@ mod tests {
         );
         let eps = Time::from_micros(1.0);
         // Root coordinator is busy until 20 ms, then 5 ms intra: 25 ms.
-        assert!(s.completion_of(ClusterId(0)).approx_eq(Time::from_millis(25.0), eps));
+        assert!(s
+            .completion_of(ClusterId(0))
+            .approx_eq(Time::from_millis(25.0), eps));
         // Cluster 1 receives at 11, no forwarding, 7 ms intra: 18 ms.
-        assert!(s.completion_of(ClusterId(1)).approx_eq(Time::from_millis(18.0), eps));
+        assert!(s
+            .completion_of(ClusterId(1))
+            .approx_eq(Time::from_millis(18.0), eps));
         // Cluster 2 receives at 21, no intra time: 21 ms.
-        assert!(s.completion_of(ClusterId(2)).approx_eq(Time::from_millis(21.0), eps));
+        assert!(s
+            .completion_of(ClusterId(2))
+            .approx_eq(Time::from_millis(21.0), eps));
         assert!(s.makespan().approx_eq(Time::from_millis(25.0), eps));
         assert_eq!(s.num_transfers(), 2);
         assert_eq!(s.arrival_at(ClusterId(2)), Time::from_millis(21.0));
@@ -300,7 +308,9 @@ mod tests {
         assert!(s.validate(&p).is_ok());
         let eps = Time::from_micros(1.0);
         // Cluster 1 forwards until 21 ms and only then broadcasts internally.
-        assert!(s.completion_of(ClusterId(1)).approx_eq(Time::from_millis(28.0), eps));
+        assert!(s
+            .completion_of(ClusterId(1))
+            .approx_eq(Time::from_millis(28.0), eps));
         assert!(s.makespan().approx_eq(Time::from_millis(28.0), eps));
     }
 

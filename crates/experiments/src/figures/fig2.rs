@@ -26,12 +26,7 @@ mod tests {
     fn flat_tree_diverges_while_ecef_family_stays_flat() {
         let config = ExperimentConfig::quick().with_iterations(120);
         // A reduced sweep keeps the test fast while preserving the shape checks.
-        let fig = completion_sweep(
-            "fig2-test",
-            &[5, 25, 50],
-            &HeuristicKind::all(),
-            &config,
-        );
+        let fig = completion_sweep("fig2-test", &[5, 25, 50], &HeuristicKind::all(), &config);
         let flat = fig.series_by_label("Flat Tree").unwrap();
         let ecef_lat = fig.series_by_label("ECEF-LAT").unwrap();
 

@@ -90,7 +90,10 @@ mod tests {
         assert!(ecef_la < 3.5, "ECEF-LA measured {ecef_la}");
         assert!(ecef_lat < 3.5, "ECEF-LAT measured {ecef_lat}");
         assert!(lam < flat, "Default LAM {lam} should beat Flat Tree {flat}");
-        assert!(ecef_la < lam, "ECEF-LA {ecef_la} should beat Default LAM {lam}");
+        assert!(
+            ecef_la < lam,
+            "ECEF-LA {ecef_la} should beat Default LAM {lam}"
+        );
         assert!(
             flat > 3.0 * ecef_la,
             "Flat Tree {flat} should be several times ECEF-LA {ecef_la}"

@@ -6,15 +6,19 @@
 //! iterations this yields the mean completion times (Figures 1–3) and the hit
 //! rates against the per-iteration global minimum (Figure 4).
 //!
-//! Iterations are independent, so the runner splits them across threads with
-//! `crossbeam::scope`; each iteration derives its own RNG from `seed + index`,
-//! making the result identical regardless of the thread count.
+//! Iterations are independent, so the runner splits them into contiguous
+//! chunks across `std::thread::scope` threads. Every thread owns one
+//! [`ScheduleEngine`] whose buffers are reused across its whole chunk — no
+//! per-iteration `Vec` churn — and writes each iteration's makespans into a
+//! dedicated slot of a shared results table. Because iteration `i` derives its
+//! RNG from `seed + i` and the final aggregation walks the table sequentially
+//! in iteration order, the outcome is **bit-identical regardless of the thread
+//! count** (floating-point summation order never changes).
 
 use crate::params::ExperimentConfig;
-use gridcast_core::{BroadcastProblem, HeuristicKind};
+use gridcast_core::{BroadcastProblem, HeuristicKind, ScheduleEngine};
 use gridcast_plogp::Time;
 use gridcast_topology::{ClusterId, GridGenerator};
-use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -61,71 +65,35 @@ impl MonteCarloOutcome {
     }
 }
 
-/// Per-thread accumulator merged at the end of the sweep.
-#[derive(Debug, Clone)]
-struct Partial {
-    sum_makespan: Vec<f64>,
-    hits: Vec<usize>,
-    sum_global_min: f64,
-    iterations: usize,
-}
-
-impl Partial {
-    fn new(k: usize) -> Self {
-        Partial {
-            sum_makespan: vec![0.0; k],
-            hits: vec![0; k],
-            sum_global_min: 0.0,
-            iterations: 0,
-        }
-    }
-
-    fn merge(&mut self, other: &Partial) {
-        for (a, b) in self.sum_makespan.iter_mut().zip(&other.sum_makespan) {
-            *a += b;
-        }
-        for (a, b) in self.hits.iter_mut().zip(&other.hits) {
-            *a += b;
-        }
-        self.sum_global_min += other.sum_global_min;
-        self.iterations += other.iterations;
-    }
-}
-
 /// Relative tolerance under which two makespans count as "equal" for the hit
 /// rate: different heuristics frequently construct the exact same schedule, and
 /// floating-point noise must not break the tie.
 const HIT_RELATIVE_TOLERANCE: f64 = 1e-9;
 
-fn run_iteration(
-    iteration: usize,
+/// One worker thread's state: a reusable engine plus the slice of the results
+/// table covering its iteration chunk.
+fn run_chunk(
+    first_iteration: usize,
     num_clusters: usize,
     kinds: &[HeuristicKind],
     config: &ExperimentConfig,
-    partial: &mut Partial,
+    rows: &mut [f64],
 ) {
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(iteration as u64));
-    let generator = GridGenerator::with_ranges(config.ranges.clone()).cluster_size(config.cluster_size);
-    let grid = generator.generate(num_clusters, &mut rng);
-    let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), config.message);
-
-    let makespans: Vec<f64> = kinds
-        .iter()
-        .map(|kind| kind.schedule(&problem).makespan().as_secs())
-        .collect();
-    let global_min = makespans
-        .iter()
-        .copied()
-        .fold(f64::INFINITY, f64::min);
-
-    for (i, &span) in makespans.iter().enumerate() {
-        partial.sum_makespan[i] += span;
-        if span <= global_min * (1.0 + HIT_RELATIVE_TOLERANCE) {
-            partial.hits[i] += 1;
+    let k = kinds.len();
+    let mut engine = ScheduleEngine::new();
+    let mut spans: Vec<Time> = Vec::with_capacity(k);
+    for (offset, row) in rows.chunks_mut(k).enumerate() {
+        let iteration = first_iteration + offset;
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(iteration as u64));
+        let generator =
+            GridGenerator::with_ranges(config.ranges.clone()).cluster_size(config.cluster_size);
+        let grid = generator.generate(num_clusters, &mut rng);
+        let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), config.message);
+        engine.makespans_into(&problem, kinds, &mut spans);
+        for (cell, span) in row.iter_mut().zip(&spans) {
+            *cell = span.as_secs();
         }
     }
-    partial.sum_global_min += global_min;
-    partial.iterations += 1;
 }
 
 /// Runs the Monte-Carlo sweep for one cluster count.
@@ -135,43 +103,57 @@ pub fn run_monte_carlo(
     config: &ExperimentConfig,
 ) -> MonteCarloOutcome {
     assert!(num_clusters >= 2, "a broadcast needs at least two clusters");
-    assert!(!kinds.is_empty(), "at least one heuristic must be evaluated");
+    assert!(
+        !kinds.is_empty(),
+        "at least one heuristic must be evaluated"
+    );
 
+    let iterations = config.iterations;
+    let k = kinds.len();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(config.iterations.max(1));
-    let merged = Mutex::new(Partial::new(kinds.len()));
+        .min(iterations.max(1));
 
-    crossbeam::scope(|scope| {
-        for thread_id in 0..threads {
-            let merged = &merged;
-            scope.spawn(move |_| {
-                let mut partial = Partial::new(kinds.len());
-                let mut iteration = thread_id;
-                while iteration < config.iterations {
-                    run_iteration(iteration, num_clusters, kinds, config, &mut partial);
-                    iteration += threads;
-                }
-                merged.lock().merge(&partial);
+    // One row of `k` makespans per iteration; threads fill disjoint chunks.
+    let mut table = vec![0.0f64; iterations * k];
+    let rows_per_thread = iterations.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in table.chunks_mut(rows_per_thread * k).enumerate() {
+            let first_iteration = chunk_idx * rows_per_thread;
+            scope.spawn(move || {
+                run_chunk(first_iteration, num_clusters, kinds, config, chunk);
             });
         }
-    })
-    .expect("monte-carlo worker panicked");
+    });
 
-    let partial = merged.into_inner();
-    let iterations = partial.iterations.max(1);
+    // Sequential aggregation in iteration order: the summation order — and
+    // therefore the floating-point result — is independent of `threads`.
+    let mut sum_makespan = vec![0.0f64; k];
+    let mut hits = vec![0usize; k];
+    let mut sum_global_min = 0.0f64;
+    for row in table.chunks(k) {
+        let global_min = row.iter().copied().fold(f64::INFINITY, f64::min);
+        for (i, &span) in row.iter().enumerate() {
+            sum_makespan[i] += span;
+            if span <= global_min * (1.0 + HIT_RELATIVE_TOLERANCE) {
+                hits[i] += 1;
+            }
+        }
+        sum_global_min += global_min;
+    }
+
+    let divisor = iterations.max(1) as f64;
     MonteCarloOutcome {
         num_clusters,
-        iterations: partial.iterations,
+        iterations,
         heuristics: kinds.to_vec(),
-        mean_makespan: partial
-            .sum_makespan
+        mean_makespan: sum_makespan
             .iter()
-            .map(|&s| Time::from_secs(s / iterations as f64))
+            .map(|&s| Time::from_secs(s / divisor))
             .collect(),
-        hits: partial.hits,
-        mean_global_minimum: Time::from_secs(partial.sum_global_min / iterations as f64),
+        hits,
+        mean_global_minimum: Time::from_secs(sum_global_min / divisor),
     }
 }
 
@@ -189,12 +171,35 @@ mod tests {
         let a = run_monte_carlo(5, &kinds, &quick());
         let b = run_monte_carlo(5, &kinds, &quick());
         assert_eq!(a, b);
-        let different_seed = ExperimentConfig {
-            seed: 1,
-            ..quick()
-        };
+        let different_seed = ExperimentConfig { seed: 1, ..quick() };
         let c = run_monte_carlo(5, &kinds, &different_seed);
         assert_ne!(a.mean_makespan, c.mean_makespan);
+    }
+
+    #[test]
+    fn outcome_is_bit_identical_across_chunkings() {
+        // The public entry point adapts to the machine's parallelism; driving
+        // `run_chunk` directly with different chunk splits must reproduce the
+        // exact same table a single chunk produces.
+        let kinds = HeuristicKind::all();
+        let config = quick().with_iterations(24);
+        let k = kinds.len();
+        let mut whole = vec![0.0f64; 24 * k];
+        run_chunk(0, 5, &kinds, &config, &mut whole);
+        for split in [1usize, 2, 3, 5, 8] {
+            let mut table = vec![0.0f64; 24 * k];
+            let rows_per_chunk = 24usize.div_ceil(split);
+            for (chunk_idx, chunk) in table.chunks_mut(rows_per_chunk * k).enumerate() {
+                run_chunk(chunk_idx * rows_per_chunk, 5, &kinds, &config, chunk);
+            }
+            assert!(
+                table
+                    .iter()
+                    .zip(&whole)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "split into {split} chunks changed the results"
+            );
+        }
     }
 
     #[test]

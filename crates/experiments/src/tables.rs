@@ -13,8 +13,15 @@ use std::fmt::Write as _;
 /// library uses to classify measured links.
 pub fn table1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Table 1: communication levels according to their latency");
-    let _ = writeln!(out, "{:<10} {:<40} {}", "level", "transport", "classification threshold");
+    let _ = writeln!(
+        out,
+        "# Table 1: communication levels according to their latency"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<40} classification threshold",
+        "level", "transport"
+    );
     let thresholds = ["≥ 1 ms", "≥ 100 µs", "≥ 10 µs", "< 10 µs"];
     for (level, threshold) in CommunicationLevel::all().iter().zip(thresholds) {
         let _ = writeln!(
@@ -32,8 +39,15 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let ranges = ParameterRanges::table2();
     let mut out = String::new();
-    let _ = writeln!(out, "# Table 2: performance parameters used in the simulations");
-    let _ = writeln!(out, "{:<12} {:>12} {:>12}", "parameter", "minimum", "maximum");
+    let _ = writeln!(
+        out,
+        "# Table 2: performance parameters used in the simulations"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12}",
+        "parameter", "minimum", "maximum"
+    );
     let row = |name: &str, (lo, hi): (Time, Time)| {
         format!(
             "{:<12} {:>10.0} ms {:>10.0} ms",
@@ -55,7 +69,10 @@ pub fn table2() -> String {
 pub fn table3() -> String {
     let spec = Grid5000Spec::table3();
     let mut out = String::new();
-    let _ = writeln!(out, "# Table 3: latency between different clusters (in microseconds)");
+    let _ = writeln!(
+        out,
+        "# Table 3: latency between different clusters (in microseconds)"
+    );
     let _ = write!(out, "{:<16}", "");
     for (name, size) in spec.names.iter().zip(&spec.sizes) {
         let _ = write!(out, "{:>16}", format!("{size} x {name}"));
@@ -91,7 +108,9 @@ pub fn table3() -> String {
         .latency_us
         .iter()
         .filter(|&(i, j, _)| i < j)
-        .filter(|&(_, _, &us)| classify_latency(Time::from_micros(us)) == CommunicationLevel::WideArea)
+        .filter(|&(_, _, &us)| {
+            classify_latency(Time::from_micros(us)) == CommunicationLevel::WideArea
+        })
         .count();
     let _ = writeln!(out, "wide-area cluster pairs: {wide_area_links}");
     out

@@ -57,11 +57,11 @@ mod tests {
         assert!(e.to_string().contains("sample 3"));
         let e = PLogPError::InsufficientSamples { got: 1, needed: 2 };
         assert!(e.to_string().contains("1 samples"));
-        assert!(PLogPError::EmptyGapTable.to_string().contains("at least one"));
-        assert!(
-            PLogPError::NegativeTime { parameter: "L" }
-                .to_string()
-                .contains("`L`")
-        );
+        assert!(PLogPError::EmptyGapTable
+            .to_string()
+            .contains("at least one"));
+        assert!(PLogPError::NegativeTime { parameter: "L" }
+            .to_string()
+            .contains("`L`"));
     }
 }

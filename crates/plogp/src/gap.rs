@@ -85,9 +85,7 @@ impl GapFunction {
     /// Evaluates the gap for a message of size `m`.
     pub fn gap(&self, m: MessageSize) -> Time {
         match self {
-            GapFunction::Affine { g0, bandwidth } => {
-                *g0 + Time::from_secs(m.as_f64() / bandwidth)
-            }
+            GapFunction::Affine { g0, bandwidth } => *g0 + Time::from_secs(m.as_f64() / bandwidth),
             GapFunction::Constant { gap } => *gap,
             GapFunction::Table { samples } => Self::interpolate(samples, m),
         }
@@ -106,8 +104,7 @@ impl GapFunction {
             }
             // Extrapolate using the final segment's slope, clamped at zero.
             let prev = samples[samples.len() - 2];
-            let slope = (last.gap - prev.gap).as_secs()
-                / (last.size.as_f64() - prev.size.as_f64());
+            let slope = (last.gap - prev.gap).as_secs() / (last.size.as_f64() - prev.size.as_f64());
             let extra = (m.as_f64() - last.size.as_f64()) * slope;
             return (last.gap + Time::from_secs(extra)).clamp_non_negative();
         }
@@ -192,7 +189,10 @@ mod tests {
         ])
         .unwrap();
         // Exact sample points.
-        assert_eq!(g.gap(MessageSize::from_bytes(1000)), Time::from_micros(110.0));
+        assert_eq!(
+            g.gap(MessageSize::from_bytes(1000)),
+            Time::from_micros(110.0)
+        );
         // Midpoint of the first segment.
         let mid = g.gap(MessageSize::from_bytes(500));
         assert!((mid.as_micros() - 60.0).abs() < 1e-9);
@@ -220,7 +220,9 @@ mod tests {
     #[test]
     fn effective_bandwidth_is_size_over_gap() {
         let g = GapFunction::constant(Time::from_secs(1.0));
-        let bw = g.effective_bandwidth(MessageSize::from_bytes(1_000_000)).unwrap();
+        let bw = g
+            .effective_bandwidth(MessageSize::from_bytes(1_000_000))
+            .unwrap();
         assert!((bw - 1_000_000.0).abs() < 1e-6);
         assert!(g.effective_bandwidth(MessageSize::ZERO).is_none());
     }

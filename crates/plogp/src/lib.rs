@@ -10,8 +10,8 @@
 //!
 //! * `L`      — end-to-end latency,
 //! * `g(m)`   — the *gap* per message of size `m`: the minimum interval between
-//!              consecutive message transmissions, i.e. the reciprocal of the
-//!              effective bandwidth for that size,
+//!   consecutive message transmissions, i.e. the reciprocal of the effective
+//!   bandwidth for that size,
 //! * `os(m)`  — send overhead (CPU time the sender is busy),
 //! * `or(m)`  — receive overhead (CPU time the receiver is busy).
 //!
@@ -53,7 +53,7 @@ pub mod time;
 
 pub use error::PLogPError;
 pub use gap::GapFunction;
-pub use measurement::{MeasurementConfig, MeasurementRun, estimate_from_rtt};
+pub use measurement::{estimate_from_rtt, MeasurementConfig, MeasurementRun};
 pub use message::MessageSize;
 pub use model::{PLogP, PointToPoint};
 pub use time::Time;

@@ -107,10 +107,7 @@ impl MeasurementRun {
 /// The latency is recovered as `L = RTT(0)/2 − g(0)` (clamped at zero), and the
 /// gap function as the piecewise-linear interpolation of the observed train
 /// intervals, each corrected by removing the residual `L/k` latency share.
-pub fn estimate_from_rtt(
-    run: &MeasurementRun,
-    train_length: u32,
-) -> Result<PLogP, PLogPError> {
+pub fn estimate_from_rtt(run: &MeasurementRun, train_length: u32) -> Result<PLogP, PLogPError> {
     if run.train_intervals.len() < 2 {
         return Err(PLogPError::InsufficientSamples {
             got: run.train_intervals.len(),
@@ -172,7 +169,9 @@ mod tests {
             ..MeasurementConfig::default()
         };
         // Deterministic "noise" alternating around zero.
-        let noise: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 0.8 } else { -0.8 }).collect();
+        let noise: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 0.8 } else { -0.8 })
+            .collect();
         let run = MeasurementRun::simulate(&truth, &config, &noise);
         let estimated = estimate_from_rtt(&run, config.train_length).unwrap();
         let m = MessageSize::from_mib(1);

@@ -66,9 +66,9 @@ impl MessageSize {
 impl fmt::Display for MessageSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        if b >= 1024 * 1024 && b % (1024 * 1024) == 0 {
+        if b >= 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
             write!(f, "{}MiB", b / (1024 * 1024))
-        } else if b >= 1024 && b % 1024 == 0 {
+        } else if b >= 1024 && b.is_multiple_of(1024) {
             write!(f, "{}KiB", b / 1024)
         } else {
             write!(f, "{}B", b)

@@ -68,7 +68,9 @@ impl PLogP {
         samples: Vec<crate::gap::GapSample>,
     ) -> Result<Self, PLogPError> {
         if latency < Time::ZERO {
-            return Err(PLogPError::NegativeTime { parameter: "latency" });
+            return Err(PLogPError::NegativeTime {
+                parameter: "latency",
+            });
         }
         Ok(PLogP {
             latency,
@@ -80,8 +82,14 @@ impl PLogP {
 
     /// Overrides the overhead fractions (both must be within `[0, 1]`).
     pub fn with_overheads(mut self, os_fraction: f64, or_fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&os_fraction), "os fraction out of range");
-        assert!((0.0..=1.0).contains(&or_fraction), "or fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&os_fraction),
+            "os fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&or_fraction),
+            "or fraction out of range"
+        );
         self.os_fraction = os_fraction;
         self.or_fraction = or_fraction;
         self
@@ -166,8 +174,12 @@ mod tests {
         let m = MessageSize::from_mib(1);
         assert_eq!(p.sequential_sends(m, 0), Time::ZERO);
         let eps = Time::from_micros(0.001);
-        assert!(p.sequential_sends(m, 1).approx_eq(Time::from_millis(105.0), eps));
-        assert!(p.sequential_sends(m, 4).approx_eq(Time::from_millis(405.0), eps));
+        assert!(p
+            .sequential_sends(m, 1)
+            .approx_eq(Time::from_millis(105.0), eps));
+        assert!(p
+            .sequential_sends(m, 4)
+            .approx_eq(Time::from_millis(405.0), eps));
     }
 
     #[test]
@@ -195,7 +207,9 @@ mod tests {
         let err = PLogP::from_samples(Time::from_millis(-1.0), vec![]);
         assert_eq!(
             err,
-            Err(PLogPError::NegativeTime { parameter: "latency" })
+            Err(PLogPError::NegativeTime {
+                parameter: "latency"
+            })
         );
         let ok = PLogP::from_samples(
             Time::from_millis(2.0),

@@ -173,11 +173,7 @@ pub fn execute_plan(
 
     // Machines never reached keep an infinite receive time; the completion below
     // then propagates the problem loudly instead of silently reporting success.
-    let completion = receive_times
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(Time::ZERO);
+    let completion = receive_times.iter().copied().max().unwrap_or(Time::ZERO);
     SimulationOutcome {
         completion,
         receive_times,
@@ -247,9 +243,10 @@ mod tests {
         let m = MessageSize::from_mib(1);
         let base = execute_plan(&network, &plan, m, Time::ZERO, None);
         let offset = execute_plan(&network, &plan, m, Time::from_millis(5.0), None);
-        assert!(offset
-            .receive_time(NodeId(1))
-            .approx_eq(base.receive_time(NodeId(1)) + Time::from_millis(5.0), Time::from_micros(1.0)));
+        assert!(offset.receive_time(NodeId(1)).approx_eq(
+            base.receive_time(NodeId(1)) + Time::from_millis(5.0),
+            Time::from_micros(1.0)
+        ));
     }
 
     #[test]

@@ -35,11 +35,7 @@ impl NodeNetwork {
         NodeNetwork {
             nodes: grid.enumerate_nodes(),
             grid: grid.clone(),
-            fallback_lan: PLogP::affine(
-                Time::from_micros(50.0),
-                Time::from_micros(20.0),
-                110e6,
-            ),
+            fallback_lan: PLogP::affine(Time::from_micros(50.0), Time::from_micros(20.0), 110e6),
             wan_concurrency: DEFAULT_WAN_CONCURRENCY,
         }
     }

@@ -8,7 +8,7 @@
 //! baseline of the same figure).
 
 use gridcast_collectives::binomial_tree;
-use gridcast_core::Schedule;
+use gridcast_core::{Schedule, ScheduleEvent};
 use gridcast_topology::{ClusterId, Grid, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -77,13 +77,25 @@ impl SendPlan {
     ///    the paper's "the cluster can finally broadcast the message among the
     ///    cluster processes" rule.
     pub fn from_grid_schedule(grid: &Grid, schedule: &Schedule) -> Self {
+        Self::from_inter_cluster_events(grid, schedule.root, &schedule.events)
+    }
+
+    /// Builds the node-level plan from raw inter-cluster events — the output
+    /// of `gridcast_core::ScheduleEngine::events()` — without requiring a
+    /// materialised [`Schedule`]. Useful when driving many simulations off one
+    /// reusable engine.
+    pub fn from_inter_cluster_events(
+        grid: &Grid,
+        root: ClusterId,
+        events: &[ScheduleEvent],
+    ) -> Self {
         let num_nodes = grid.num_nodes() as usize;
-        let source = grid.coordinator(schedule.root);
+        let source = grid.coordinator(root);
         let mut plan = SendPlan::empty(source, num_nodes);
 
         // Inter-cluster forwards, in schedule order (the order events were
         // committed is the order each coordinator issues its sends).
-        for event in &schedule.events {
+        for event in events {
             let from = grid.coordinator(event.sender);
             let to = grid.coordinator(event.receiver);
             plan.forwards[from.index()].push(to);
@@ -188,5 +200,21 @@ mod tests {
         let plan = SendPlan::empty(NodeId(0), 4);
         let missing = plan.unreachable();
         assert_eq!(missing, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn engine_events_build_the_same_plan_as_the_schedule() {
+        use gridcast_core::ScheduleEngine;
+        let grid = grid5000_table3();
+        let problem = BroadcastProblem::from_grid(&grid, ClusterId(2), MessageSize::from_mib(1));
+        let mut engine = ScheduleEngine::new();
+        let schedule = engine.schedule(&problem, HeuristicKind::EcefLaMax);
+        let from_schedule = SendPlan::from_grid_schedule(&grid, &schedule);
+        // Re-run so `events()` reflects this heuristic, then build straight
+        // from the engine buffer.
+        let _ = engine.makespan(&problem, HeuristicKind::EcefLaMax);
+        let from_events = SendPlan::from_inter_cluster_events(&grid, problem.root, engine.events());
+        assert_eq!(from_schedule, from_events);
+        assert!(from_events.unreachable().is_empty());
     }
 }

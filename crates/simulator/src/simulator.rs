@@ -58,7 +58,13 @@ impl Simulator {
         scheduling_overhead: Time,
     ) -> SimulationOutcome {
         let plan = SendPlan::from_grid_schedule(&self.grid, schedule);
-        execute_plan(&self.network, &plan, self.message, scheduling_overhead, None)
+        execute_plan(
+            &self.network,
+            &plan,
+            self.message,
+            scheduling_overhead,
+            None,
+        )
     }
 
     /// Executes an already-computed schedule and records the full trace.
@@ -82,7 +88,11 @@ impl Simulator {
     /// Schedules the broadcast with `kind` rooted at `root` and executes it,
     /// charging the measured wall-clock scheduling cost as start-up overhead
     /// (the paper's Section 7 concern about algorithm complexity).
-    pub fn run_heuristic(&self, kind: HeuristicKind, root: ClusterId) -> (Schedule, SimulationOutcome) {
+    pub fn run_heuristic(
+        &self,
+        kind: HeuristicKind,
+        root: ClusterId,
+    ) -> (Schedule, SimulationOutcome) {
         let problem = self.problem(root);
         let overhead = measure_scheduling_overhead(kind, &problem, 3);
         let schedule = kind.schedule(&problem);
@@ -118,9 +128,15 @@ mod tests {
         let sim = simulator(1);
         for kind in HeuristicKind::all() {
             let (schedule, outcome) = sim.run_heuristic(kind, ClusterId(0));
-            assert!(schedule.validate(&sim.problem(ClusterId(0))).is_ok(), "{kind}");
+            assert!(
+                schedule.validate(&sim.problem(ClusterId(0))).is_ok(),
+                "{kind}"
+            );
             assert!(outcome.completion.is_finite(), "{kind}");
-            assert!(outcome.receive_times.iter().all(|t| t.is_finite()), "{kind}");
+            assert!(
+                outcome.receive_times.iter().all(|t| t.is_finite()),
+                "{kind}"
+            );
             assert_eq!(outcome.messages, 87, "{kind}");
         }
     }
@@ -131,9 +147,15 @@ mod tests {
         // strategy on the 88-machine grid, and the ECEF family wins.
         let sim = simulator(4);
         let root = ClusterId(0);
-        let flat = sim.run_heuristic(HeuristicKind::FlatTree, root).1.completion;
+        let flat = sim
+            .run_heuristic(HeuristicKind::FlatTree, root)
+            .1
+            .completion;
         let ecef_la = sim.run_heuristic(HeuristicKind::EcefLa, root).1.completion;
-        let ecef_lat = sim.run_heuristic(HeuristicKind::EcefLaMax, root).1.completion;
+        let ecef_lat = sim
+            .run_heuristic(HeuristicKind::EcefLaMax, root)
+            .1
+            .completion;
         assert!(ecef_la < flat, "ECEF-LA {ecef_la} vs Flat {flat}");
         assert!(ecef_lat < flat, "ECEF-LAT {ecef_lat} vs Flat {flat}");
         // And the default (grid-unaware) MPI binomial sits in between: better
@@ -184,8 +206,14 @@ mod tests {
         let small = simulator(1);
         let large = simulator(4);
         let root = ClusterId(0);
-        let t_small = small.run_heuristic(HeuristicKind::EcefLa, root).1.completion;
-        let t_large = large.run_heuristic(HeuristicKind::EcefLa, root).1.completion;
+        let t_small = small
+            .run_heuristic(HeuristicKind::EcefLa, root)
+            .1
+            .completion;
+        let t_large = large
+            .run_heuristic(HeuristicKind::EcefLa, root)
+            .1
+            .completion;
         assert!(t_large > t_small);
     }
 

@@ -108,12 +108,7 @@ impl Cluster {
 
     /// Creates a cluster whose intra-cluster broadcast time is predicted from a
     /// pLogP model and the cluster size.
-    pub fn with_plogp(
-        id: ClusterId,
-        name: impl Into<String>,
-        size: u32,
-        plogp: PLogP,
-    ) -> Self {
+    pub fn with_plogp(id: ClusterId, name: impl Into<String>, size: u32, plogp: PLogP) -> Self {
         Cluster {
             id,
             name: name.into(),

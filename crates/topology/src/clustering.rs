@@ -149,7 +149,7 @@ pub fn detect_logical_clusters(
     let mut cluster_of_root: Vec<Option<usize>> = vec![None; n];
     let mut clusters: Vec<Vec<usize>> = Vec::new();
     let mut assignment = vec![0usize; n];
-    for node in 0..n {
+    for (node, slot) in assignment.iter_mut().enumerate() {
         let root = uf.find(node);
         let idx = match cluster_of_root[root] {
             Some(idx) => idx,
@@ -161,7 +161,7 @@ pub fn detect_logical_clusters(
             }
         };
         clusters[idx].push(node);
-        assignment[node] = idx;
+        *slot = idx;
     }
 
     LogicalClustering {

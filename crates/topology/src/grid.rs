@@ -139,7 +139,10 @@ impl Grid {
     /// The node id of the coordinator of `cluster` under [`Grid::enumerate_nodes`]
     /// numbering.
     pub fn coordinator(&self, cluster: ClusterId) -> NodeId {
-        let before: u32 = self.clusters[..cluster.index()].iter().map(|c| c.size).sum();
+        let before: u32 = self.clusters[..cluster.index()]
+            .iter()
+            .map(|c| c.size)
+            .sum();
         NodeId(before)
     }
 

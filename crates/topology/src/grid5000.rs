@@ -43,7 +43,12 @@ pub const TABLE3_LATENCY_US: [[f64; NUM_CLUSTERS]; NUM_CLUSTERS] = [
 
 /// Cluster names as used in the paper.
 pub const CLUSTER_NAMES: [&str; NUM_CLUSTERS] = [
-    "Orsay-A", "Orsay-B", "IDPOT", "IDPOT-solo-1", "IDPOT-solo-2", "Toulouse",
+    "Orsay-A",
+    "Orsay-B",
+    "IDPOT",
+    "IDPOT-solo-1",
+    "IDPOT-solo-2",
+    "Toulouse",
 ];
 
 /// Cluster sizes (machines) as used in the paper. Total: 88.
@@ -108,7 +113,11 @@ fn bandwidth_for_latency(latency: Time) -> f64 {
 
 fn link_model(latency_us: f64) -> PLogP {
     let latency = Time::from_micros(latency_us);
-    PLogP::affine(latency, Time::from_micros(FIXED_GAP_US), bandwidth_for_latency(latency))
+    PLogP::affine(
+        latency,
+        Time::from_micros(FIXED_GAP_US),
+        bandwidth_for_latency(latency),
+    )
 }
 
 /// Builds the full 88-machine, 6-cluster grid of Table 3.
@@ -206,8 +215,14 @@ mod tests {
     fn singleton_clusters_have_zero_intra_time() {
         let grid = grid5000_table3();
         let m = MessageSize::from_mib(4);
-        assert_eq!(grid.cluster(ClusterId(3)).naive_broadcast_time(m), Time::ZERO);
-        assert_eq!(grid.cluster(ClusterId(4)).naive_broadcast_time(m), Time::ZERO);
+        assert_eq!(
+            grid.cluster(ClusterId(3)).naive_broadcast_time(m),
+            Time::ZERO
+        );
+        assert_eq!(
+            grid.cluster(ClusterId(4)).naive_broadcast_time(m),
+            Time::ZERO
+        );
         assert!(grid.cluster(ClusterId(0)).naive_broadcast_time(m) > Time::ZERO);
     }
 }

@@ -1,0 +1,132 @@
+//! Minimal, self-contained replacement for the `rand` crate.
+//!
+//! Provides the subset of the 0.8-era API the workspace uses: the
+//! [`RngCore`]/[`Rng`] traits, [`SeedableRng::seed_from_u64`], and
+//! `distributions::{Distribution, Uniform}` for `f64`. Generators are supplied
+//! by the sibling in-tree `rand_chacha` crate.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level convenience methods; blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        // Take the top 53 bits, as the standard `Open01`-style conversion does.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[low, high)`.
+    fn gen_range_u64(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "empty range");
+        let span = high - low;
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // span sizes used in this workspace (tests and simulations only).
+        low + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it into the full
+    /// internal state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod distributions {
+    //! Value distributions over a random source.
+
+    use super::Rng;
+
+    /// Sampling a value of type `T` from a random source.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// A uniform distribution over a floating-point range.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform {
+        low: f64,
+        span: f64,
+    }
+
+    impl Uniform {
+        /// Uniform over the closed interval `[low, high]`.
+        pub fn new_inclusive(low: f64, high: f64) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+            assert!(low.is_finite() && high.is_finite(), "bounds must be finite");
+            Uniform {
+                low,
+                span: high - low,
+            }
+        }
+
+        /// Uniform over the half-open interval `[low, high)`.
+        pub fn new(low: f64, high: f64) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform {
+                low,
+                span: high - low,
+            }
+        }
+    }
+
+    impl Distribution<f64> for Uniform {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            self.low + rng.gen_f64() * self.span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let dist = Uniform::new_inclusive(2.0, 5.0);
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((2.0..=5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

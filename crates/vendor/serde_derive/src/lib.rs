@@ -1,0 +1,442 @@
+//! Derive macros for the in-tree `serde` replacement.
+//!
+//! Implemented without `syn`/`quote`: the derive input is tokenised by hand,
+//! which is sufficient because the macro only needs the type name, the generic
+//! parameter names and the field/variant names — never the field types (those
+//! are resolved by trait dispatch in the generated code).
+//!
+//! Supported shapes, matching what the workspace derives on:
+//! * structs with named fields (serialized as a map),
+//! * tuple structs with one field (transparent, like serde newtypes),
+//! * tuple structs with several fields (serialized as a sequence),
+//! * enums with unit variants (serialized as the variant name string),
+//! * enums with struct or tuple variants (externally tagged single-entry map).
+//!
+//! `#[serde(...)]` attributes are accepted and ignored; the only one used in
+//! the workspace is `transparent` on newtypes, which is the default behaviour
+//! here anyway.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Data {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    data: Data,
+}
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Advances past any `#[...]` attributes (including doc comments).
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        i += 2;
+    }
+    i
+}
+
+/// Advances past a `pub` / `pub(crate)` visibility marker.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level (angle-bracket aware) commas to split tuple fields.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for tok in &toks {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1; // past the name
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut fields = Fields::Unit;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            fields = match g.delimiter() {
+                Delimiter::Brace => Fields::Named(parse_named_fields(g)),
+                Delimiter::Parenthesis => Fields::Tuple(count_tuple_fields(g)),
+                _ => Fields::Unit,
+            };
+            i += 1;
+        }
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(toks.get(*i), Some(t) if is_punct(t, '<')) {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1i32;
+    let mut expecting_param = true;
+    while *i < toks.len() && depth > 0 {
+        match &toks[*i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expecting_param = true,
+                ':' if depth == 1 => expecting_param = false,
+                '\'' => expecting_param = false, // lifetimes are unsupported
+                _ => {}
+            },
+            TokenTree::Ident(id) if expecting_param && depth == 1 => {
+                params.push(id.to_string());
+                expecting_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        match toks.get(i) {
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+    let is_struct = matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    let generics = parse_generics(&toks, &mut i);
+
+    let data = if is_struct {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g)))
+            }
+            _ => Data::Struct(Fields::Unit),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        data,
+    }
+}
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    if input.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", input.name)
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}> ",
+            bounded.join(", "),
+            input.name,
+            input.generics.join(", ")
+        )
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Data::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Data::Struct(Fields::Unit) => "::serde::Value::Unit".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let tokens = format!(
+        "{}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(&input, "Serialize")
+    );
+    tokens
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{f}` in {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::Error::custom(\"tuple struct {name} too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Seq(items) => ::std::result::Result::Ok({name}({})), _ => ::std::result::Result::Err(::serde::Error::custom(\"expected sequence for {name}\")) }}",
+                inits.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| {
+                    format!(
+                        "::serde::Value::Str(s) if s == \"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| {
+                    let build = match fields {
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{f}` in {name}::{v}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "::std::result::Result::Ok({name}::{v} {{ {} }})",
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(inner)?))"
+                        ),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::Error::custom(\"variant {name}::{v} too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "match inner {{ ::serde::Value::Seq(items) => ::std::result::Result::Ok({name}::{v}({})), _ => ::std::result::Result::Err(::serde::Error::custom(\"expected sequence for {name}::{v}\")) }}",
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Unit => unreachable!(),
+                    };
+                    format!(
+                        "::serde::Value::Map(entries) if entries.len() == 1 && entries[0].0 == \"{v}\" => {{ let inner = &entries[0].1; {build} }}"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ {} {} _ => ::std::result::Result::Err(::serde::Error::custom(\"unknown variant for {name}\")) }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    let tokens = format!(
+        "{}{{ fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(&input, "Deserialize")
+    );
+    tokens
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}

@@ -17,13 +17,32 @@ use gridcast::topology::{detect_logical_clusters, LowekampConfig, SquareMatrix};
 fn main() {
     // Site link parameters: latency + a constant gap for the 2 MiB payload.
     let lan = |lat_us: f64, mb_per_s: f64| {
-        PLogP::affine(Time::from_micros(lat_us), Time::from_micros(25.0), mb_per_s * 1e6)
+        PLogP::affine(
+            Time::from_micros(lat_us),
+            Time::from_micros(25.0),
+            mb_per_s * 1e6,
+        )
     };
 
     let grid = Grid::builder()
-        .cluster(Cluster::with_plogp(ClusterId(0), "on-prem", 64, lan(45.0, 110.0)))
-        .cluster(Cluster::with_plogp(ClusterId(1), "office", 12, lan(60.0, 90.0)))
-        .cluster(Cluster::with_plogp(ClusterId(2), "cloud", 24, lan(120.0, 60.0)))
+        .cluster(Cluster::with_plogp(
+            ClusterId(0),
+            "on-prem",
+            64,
+            lan(45.0, 110.0),
+        ))
+        .cluster(Cluster::with_plogp(
+            ClusterId(1),
+            "office",
+            12,
+            lan(60.0, 90.0),
+        ))
+        .cluster(Cluster::with_plogp(
+            ClusterId(2),
+            "cloud",
+            24,
+            lan(120.0, 60.0),
+        ))
         .link_symmetric(ClusterId(0), ClusterId(1), lan(8_000.0, 5.0))
         .link_symmetric(ClusterId(0), ClusterId(2), lan(25_000.0, 2.0))
         .link_symmetric(ClusterId(1), ClusterId(2), lan(30_000.0, 1.5))
@@ -31,7 +50,11 @@ fn main() {
         .expect("all links configured");
 
     let message = MessageSize::from_mib(2);
-    println!("custom grid: {} machines in {} sites", grid.num_nodes(), grid.num_clusters());
+    println!(
+        "custom grid: {} machines in {} sites",
+        grid.num_nodes(),
+        grid.num_clusters()
+    );
     for cluster in grid.clusters() {
         println!(
             "  {:<8} {:>3} machines, intra-cluster broadcast of {message}: {}",
@@ -47,7 +70,11 @@ fn main() {
     let mut latency_us = Vec::with_capacity(grid.num_clusters() * grid.num_clusters());
     for i in grid.cluster_ids() {
         for j in grid.cluster_ids() {
-            latency_us.push(if i == j { 50.0 } else { grid.latency(i, j).as_micros() });
+            latency_us.push(if i == j {
+                50.0
+            } else {
+                grid.latency(i, j).as_micros()
+            });
         }
     }
     let sizes: Vec<u32> = grid.clusters().iter().map(|c| c.size).collect();

@@ -25,7 +25,10 @@ fn main() {
     );
     let outcome = run_monte_carlo(clusters, &kinds, &config);
 
-    println!("{:<12} {:>16} {:>12}", "heuristic", "mean makespan", "hit rate");
+    println!(
+        "{:<12} {:>16} {:>12}",
+        "heuristic", "mean makespan", "hit rate"
+    );
     for kind in kinds {
         println!(
             "{:<12} {:>15.3}s {:>11.1}%",

@@ -25,7 +25,11 @@ fn main() {
 
     // 2. Schedule it with the paper's grid-aware ECEF-LAT heuristic.
     let schedule = HeuristicKind::EcefLaMax.schedule(&problem);
-    println!("{} schedule ({} inter-cluster transfers):", schedule.heuristic, schedule.num_transfers());
+    println!(
+        "{} schedule ({} inter-cluster transfers):",
+        schedule.heuristic,
+        schedule.num_transfers()
+    );
     for event in &schedule.events {
         println!(
             "  {} -> {}  start {}  arrival {}",
@@ -42,10 +46,7 @@ fn main() {
     let simulator = Simulator::new(&grid, message);
     let outcome = simulator.execute_schedule(&schedule, Time::ZERO);
     println!("simulated completion: {}", outcome.completion);
-    println!(
-        "last machine to receive: {:?}",
-        outcome.last_receiver()
-    );
+    println!("last machine to receive: {:?}", outcome.last_receiver());
 
     // 4. Compare against the naive flat tree — the strategy the paper's
     //    grid-aware heuristics were designed to replace.

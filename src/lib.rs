@@ -12,7 +12,10 @@
 //! * **intra-cluster collective algorithms** and their cost models
 //!   ([`collectives`]),
 //! * the paper's **inter-cluster broadcast scheduling heuristics** — Flat Tree,
-//!   FEF, ECEF, ECEF-LA, ECEF-LAt, ECEF-LAT and BottomUp ([`core`]),
+//!   FEF, ECEF, ECEF-LA, ECEF-LAt, ECEF-LAT and BottomUp — all driven by one
+//!   pattern-agnostic, allocation-free
+//!   [`ScheduleEngine`](gridcast_core::ScheduleEngine) with per-heuristic
+//!   [`SelectionPolicy`](gridcast_core::SelectionPolicy) rules ([`core`]),
 //! * a **discrete-event simulator** standing in for the paper's GRID'5000 +
 //!   MagPIe/LAM-MPI testbed ([`simulator`]),
 //! * the **experiment harness** regenerating every figure and table of the
@@ -33,6 +36,13 @@
 //! let schedule = HeuristicKind::EcefLaMax.schedule(&problem);
 //! println!("predicted makespan: {}", schedule.makespan());
 //! assert!(schedule.makespan() > Time::ZERO);
+//!
+//! // Sweeps and services should hold a reusable engine and batch heuristics:
+//! // buffers are shared across runs and the round loop never allocates.
+//! let mut engine = ScheduleEngine::new();
+//! let all = engine.schedule_all(&problem, &HeuristicKind::all());
+//! assert_eq!(all.len(), 7);
+//! assert_eq!(all[4].makespan(), schedule.makespan()); // ECEF-LAT appears in both
 //! ```
 
 pub use gridcast_collectives as collectives;
@@ -44,13 +54,13 @@ pub use gridcast_topology as topology;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use gridcast_collectives::{intra_broadcast_time, BroadcastAlgorithm};
+    pub use gridcast_collectives::{
+        intra_broadcast_time, BroadcastAlgorithm, Pattern, PatternCost,
+    };
     pub use gridcast_core::{
-        BroadcastProblem, HeuristicKind, Schedule, ScheduleEvent,
+        BroadcastProblem, HeuristicKind, Schedule, ScheduleEngine, ScheduleEvent, SelectionPolicy,
     };
     pub use gridcast_plogp::{MessageSize, PLogP, Time};
     pub use gridcast_simulator::{SimulationOutcome, Simulator};
-    pub use gridcast_topology::{
-        grid5000_table3, Cluster, ClusterId, Grid, GridGenerator, NodeId,
-    };
+    pub use gridcast_topology::{grid5000_table3, Cluster, ClusterId, Grid, GridGenerator, NodeId};
 }

@@ -1,0 +1,106 @@
+//! Allocation probe for the engine's hot path.
+//!
+//! A counting `#[global_allocator]` verifies the `ScheduleEngine` claims:
+//!
+//! * once warm, `makespan` (the Monte-Carlo hot path) performs **zero** heap
+//!   allocations — nothing allocates inside the round loop;
+//! * `schedule_all` allocates only to materialise the returned `Schedule`s:
+//!   the allocation **count** is independent of the cluster count (a single
+//!   per-round allocation anywhere would scale it with `n`).
+
+use gridcast::core::{BroadcastProblem, HeuristicKind, ScheduleEngine};
+use gridcast::plogp::MessageSize;
+use gridcast::topology::{ClusterId, GridGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a relaxed
+// atomic with no further side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn problem(clusters: usize, seed: u64) -> BroadcastProblem {
+    let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+    BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1))
+}
+
+#[test]
+fn warm_makespan_is_allocation_free_at_200_clusters() {
+    let kinds = HeuristicKind::all();
+    let p = problem(200, 7);
+    let mut engine = ScheduleEngine::new();
+    // Warm-up: sizes every buffer and instantiates every policy.
+    for kind in kinds {
+        let _ = engine.makespan(&p, kind);
+    }
+    for kind in kinds {
+        let allocs = count_allocations(|| {
+            let span = engine.makespan(&p, kind);
+            assert!(span > gridcast::plogp::Time::ZERO);
+        });
+        assert_eq!(
+            allocs, 0,
+            "{kind}: warm makespan allocated {allocs} times on a 200-cluster grid"
+        );
+    }
+}
+
+#[test]
+fn schedule_all_allocation_count_is_independent_of_cluster_count() {
+    let kinds = HeuristicKind::all();
+    let small = problem(50, 3);
+    let large = problem(200, 4);
+    let mut engine = ScheduleEngine::new();
+    let mut out = Vec::new();
+    // Warm up on the larger instance so buffer growth is behind us.
+    engine.schedule_all_into(&large, &kinds, &mut out);
+    engine.schedule_all_into(&small, &kinds, &mut out);
+
+    let count = |p: &BroadcastProblem, engine: &mut ScheduleEngine, out: &mut Vec<_>| {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        engine.schedule_all_into(p, &kinds, out);
+        ALLOCATIONS.load(Ordering::Relaxed) - before
+    };
+
+    let at_small = count(&small, &mut engine, &mut out);
+    let at_large = count(&large, &mut engine, &mut out);
+    // Materialising each Schedule costs a constant number of allocations
+    // (events clone, completion vector, name); the round loop must add none.
+    assert_eq!(
+        at_small, at_large,
+        "allocation count varies with cluster count: {at_small} at 50 vs {at_large} at 200"
+    );
+    assert!(
+        at_large <= kinds.len() as u64 * 8,
+        "schedule_all allocates too much: {at_large} for {} schedules",
+        kinds.len()
+    );
+}

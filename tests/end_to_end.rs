@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: topology → scheduling → prediction →
 //! simulated execution, on both random Table 2 grids and the GRID'5000 snapshot.
 
-use gridcast::core::{optimal_schedule, BroadcastProblem, HeuristicKind, MixedStrategy};
 use gridcast::core::heuristics::Heuristic;
+use gridcast::core::{optimal_schedule, BroadcastProblem, HeuristicKind, MixedStrategy};
 use gridcast::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -26,10 +26,10 @@ fn full_pipeline_on_random_grids() {
             assert!(schedule.makespan() >= problem.lower_bound());
             let outcome = simulator.execute_schedule(&schedule, Time::ZERO);
             assert!(outcome.completion.is_finite(), "{kind}");
-            assert!(outcome
-                .receive_times
-                .iter()
-                .all(|t| t.is_finite()), "{kind} left machines unreached");
+            assert!(
+                outcome.receive_times.iter().all(|t| t.is_finite()),
+                "{kind} left machines unreached"
+            );
         }
     }
 }

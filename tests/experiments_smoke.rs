@@ -18,7 +18,12 @@ fn tables_render() {
 
 #[test]
 fn figure1_and_figure2_have_all_heuristics() {
-    let fig1 = figures::completion_sweep("f1", &[2, 6], &gridcast::core::HeuristicKind::all(), &quick());
+    let fig1 = figures::completion_sweep(
+        "f1",
+        &[2, 6],
+        &gridcast::core::HeuristicKind::all(),
+        &quick(),
+    );
     assert_eq!(fig1.series.len(), 7);
     assert_eq!(fig1.x_values(), vec![2.0, 6.0]);
     for series in &fig1.series {
