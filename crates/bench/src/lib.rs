@@ -4,6 +4,35 @@
 //! per-experiment index). The helpers here build the deterministic problem
 //! instances the benches operate on so that all benches agree on the workloads
 //! and stay reproducible across runs.
+//!
+//! # `BENCH_engine_scaling.json` schema
+//!
+//! `benches/engine_scaling.rs` writes a machine-readable report to the
+//! workspace root (atomically: a sibling `.tmp` file renamed into place, so a
+//! crashed run never leaves a torn report). Top-level keys:
+//!
+//! * `bench` — always `"engine_scaling"`;
+//! * `unit` — `"ns per schedule_all (7 heuristics)"`;
+//! * `fitted_exponent` — least-squares slope of `log(median_ns)` over
+//!   `log(clusters)` across **all** points (the growth gate; a pure
+//!   `O(n^p)` cost would fit `p`);
+//! * `points` — one object per cluster count, with:
+//!   * `clusters`, `median_ns` — batched `schedule_all` median wall time;
+//!   * `growth_vs_prev` — ratio to the previous point's `median_ns`;
+//!   * `sharded_median_ns` — median wall time of the heuristic-sharded
+//!     `schedule_all_sharded` (only emitted for 500+ clusters, where the
+//!     per-thread problem is big enough to amortise thread spawning);
+//!   * `per_heuristic_median_ns` — object keyed by heuristic display name,
+//!     median `ScheduleEngine::makespan` wall time each;
+//!   * `telemetry` — [`gridcast_core::EngineTelemetry`] deltas of one
+//!     batch: `rounds`, `invalidations`, `second_best_hits`, `promotions`,
+//!     `rescans`, `heap_pops` (senders examined by rescan walks) and the
+//!     derived `repair_rate` (repaired-from-runner-up / invalidations).
+//!
+//! The bench fails when `fitted_exponent` exceeds 2.3 (the engine's
+//! `O(n² log n)` target leaves comfortable headroom) and — with
+//! `ENGINE_SCALING_BASELINE_GATE=1`, as set in CI — when the 200-cluster
+//! `median_ns` regresses more than 15% against the committed report.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

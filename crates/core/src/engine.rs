@@ -9,28 +9,57 @@
 //!
 //! ## Incremental candidate maintenance
 //!
-//! The engine maintains, for every receiver still in B, the best known sender
-//! (lexicographically smallest `(edge score, sender id)` over A). After a
-//! commit only two things change:
+//! The engine maintains, for every receiver still in B, a row of up to
+//! [`K_BEST`] cached sender candidates sorted by `(edge score, sender id)`,
+//! plus a **floor** entry bounding every sender outside the row. The row's
+//! head is kept *exact* at all times — its stored score always equals the
+//! sender's current edge score, and it is the lexicographic minimum over all
+//! of A — because the selection must stay byte-identical to the paper's
+//! nested loops. The remaining cached scores are *lower bounds* on their
+//! senders' current scores. All three invariants lean on the monotonicity
+//! contract of [`SelectionPolicy::edge_score`]: a time-sensitive score never
+//! *decreases* when the sender's ready time grows.
 //!
-//! * the committed **receiver** joined A — it is offered as a candidate sender
-//!   to every remaining receiver in `O(1)` each;
+//! After a commit only two things change:
+//!
+//! * the committed **receiver** joined A — it is offered as a candidate to
+//!   every remaining receiver in `O(K_BEST)` each: inserted into the row at
+//!   its sorted position (folding any displaced last entry into the floor) or
+//!   tightening the floor directly;
 //! * the committed **sender**'s ready time grew — receivers whose cached best
-//!   sender is that cluster are rescanned. The rescan walks senders in ready
-//!   order through a lazily-invalidated **binary heap** of ready times and
-//!   stops as soon as the next ready time exceeds the best score found, which
-//!   is sound for every time-sensitive policy because an edge score is bounded
-//!   below by its sender's ready time.
+//!   sender is that cluster are *repaired* in `O(K_BEST)`: the head is
+//!   refreshed and bubbled to its sorted position, surfacing runners-up until
+//!   the head is fresh. A fresh head underruns every cached lower bound, so it
+//!   is the exact minimum over the row; if it also beats the floor it is the
+//!   global minimum (a **second-best hit** when the old best held on, a
+//!   **promotion** when a runner-up took over) and the repair is done. Only
+//!   when the whole row deteriorated past the floor does the engine fall back
+//!   to a **rescan**.
+//!
+//! All rescans triggered by one commit share a single pruned walk over the
+//! senders in ready order (a sorted array kept incrementally — ready times
+//! only grow, so a commit re-sorts with one bubble pass and one insert).
+//! Each pending receiver retires from the walk as soon as the next ready time
+//! plus its static score offset ([`SelectionPolicy::edge_score_offset`])
+//! exceeds its provisional `(K_BEST+1)`-smallest score — sound because an
+//! edge score is bounded below by its sender's ready time plus that offset —
+//! and leaves with an exact rebuilt row and floor.
 //!
 //! Policies whose scores do not depend on ready times (Flat Tree, FEF) declare
 //! [`SelectionPolicy::sender_time_sensitive`] `false` and never trigger
-//! rescans. Together with the sorted-lookahead workspaces of the ECEF policies
-//! this brings a full schedule to `O(n² log n)` from the seed's `O(n³)` (and
-//! worse with lookahead).
+//! repairs. Together with the shared sorted-lookahead rows of
+//! [`LookaheadWorkspace`] this brings a full schedule to `O(n² log n)` from the
+//! seed's `O(n³)` (and worse with lookahead), with the rescan term — the
+//! remaining super-quadratic contribution — amortised away by the runner-up
+//! repairs (`benches/engine_scaling.rs` counts them; on Table-2 grids the
+//! repair rate is >99% at 100 clusters and still ~89% at 1000 — see the
+//! committed `BENCH_engine_scaling.json`).
 //!
 //! All engine buffers are reused across rounds, heuristics and problems: after
 //! warm-up, a call to [`ScheduleEngine::makespan`] performs **zero heap
-//! allocations** (asserted by `tests/alloc_probe.rs`).
+//! allocations** (asserted by `tests/alloc_probe.rs`). The
+//! [`EngineTelemetry`] counters compile to nothing unless the crate's
+//! `telemetry` feature is enabled.
 //!
 //! Tie-breaking replicates the seed heuristics exactly — byte-identical
 //! schedules are asserted by `tests/proptest_invariants.rs` — so the engine is
@@ -53,8 +82,17 @@ use crate::{BroadcastProblem, Schedule, ScheduleEvent};
 use gridcast_plogp::Time;
 use gridcast_topology::ClusterId;
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+
+/// Sentinel sender id meaning "no cached entry".
+const NO_SENDER: u32 = u32::MAX;
+
+/// Number of cached sender candidates per receiver (the best entry plus
+/// `K_BEST - 1` runners-up). Small enough that a repair's insertion shuffles
+/// stay within a couple of cache lines per row, large enough that most
+/// invalidations find their new best among the cached entries instead of
+/// falling back to a ready-order rescan (Table-2 repair rate: >99% at 100
+/// clusters, ~89% at 1000).
+const K_BEST: usize = 16;
 
 /// Read-only view of the engine state handed to policies.
 #[derive(Clone, Copy)]
@@ -62,6 +100,11 @@ pub struct EngineView<'a> {
     problem: &'a BroadcastProblem,
     in_a: &'a [bool],
     ready: &'a [Time],
+    /// Flat sender-major copy of `g_ij + L_ij`, prebuilt per run so a
+    /// completion estimate costs one memory read instead of two matrix
+    /// lookups.
+    tx: &'a [Time],
+    n: usize,
 }
 
 impl<'a> EngineView<'a> {
@@ -92,7 +135,7 @@ impl<'a> EngineView<'a> {
     /// `RT_i + g_ij + L_ij`: completion estimate of a hypothetical transfer.
     #[inline]
     pub fn completion_estimate(&self, sender: ClusterId, receiver: ClusterId) -> Time {
-        self.ready_time(sender) + self.problem.transfer(sender, receiver)
+        self.ready[sender.index()] + self.tx[sender.index() * self.n + receiver.index()]
     }
 }
 
@@ -119,6 +162,169 @@ pub enum TieBreak {
     SenderThenReceiver,
 }
 
+/// Flat, cache-friendly per-receiver candidate rows with monotone cursors,
+/// owned by the engine and shared by every [`SelectionPolicy`].
+///
+/// The ECEF lookahead variants need, per receiver `j`, the remaining cluster
+/// minimising (or maximising) a static key `g_jk + L_jk (+ T_k)`. Each policy
+/// used to carry its own `n × n` row matrix; the engine now owns a single flat
+/// buffer that the active policy rebuilds at [`SelectionPolicy::reset`] — one
+/// allocation reused across all heuristics, problems and rounds. Row `j`
+/// occupies `rows[j·n .. (j+1)·n]` and is sorted by the policy's key; because
+/// set B only ever shrinks, a per-receiver cursor that skips departed clusters
+/// serves each lookup in amortised `O(1)`.
+#[derive(Debug, Default)]
+pub struct LookaheadWorkspace {
+    rows: Vec<u32>,
+    cursor: Vec<u32>,
+    /// Scratch of `(key, id)` pairs: keys are computed once per row instead of
+    /// `O(log n)` times inside the sort comparator (the matrix lookups, not the
+    /// comparisons, dominate the rebuild).
+    scratch: Vec<(Time, u32)>,
+    stride: usize,
+}
+
+impl LookaheadWorkspace {
+    /// Rebuilds the rows for an `n`-cluster problem: row `j` holds every
+    /// cluster id sorted by `key(j, k)` — ascending, or descending when
+    /// `descending` — with ties broken by cluster id for determinism.
+    pub fn build_rows(
+        &mut self,
+        n: usize,
+        descending: bool,
+        mut key: impl FnMut(usize, usize) -> Time,
+    ) {
+        self.stride = n;
+        self.rows.clear();
+        self.rows.reserve(n * n);
+        self.cursor.clear();
+        self.cursor.resize(n, 0);
+        for j in 0..n {
+            self.scratch.clear();
+            self.scratch.reserve(n);
+            for k in 0..n {
+                self.scratch.push((key(j, k), k as u32));
+            }
+            if descending {
+                self.scratch
+                    .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            } else {
+                self.scratch.sort_unstable();
+            }
+            self.rows.extend(self.scratch.iter().map(|&(_, k)| k));
+        }
+    }
+
+    /// First entry of row `j` for which `alive` holds, advancing the cursor
+    /// permanently past rejected entries (callers must only reject entries
+    /// that can never become alive again — set B only shrinks).
+    #[inline]
+    pub fn first_alive(&mut self, j: usize, mut alive: impl FnMut(usize) -> bool) -> Option<usize> {
+        let row = &self.rows[j * self.stride..(j + 1) * self.stride];
+        let cursor = &mut self.cursor[j];
+        while (*cursor as usize) < row.len() {
+            let k = row[*cursor as usize] as usize;
+            if alive(k) {
+                return Some(k);
+            }
+            *cursor += 1;
+        }
+        None
+    }
+}
+
+/// Counters describing how the engine's incremental cache behaved.
+///
+/// All counters are cumulative across runs of one [`ScheduleEngine`]; sample
+/// them with [`ScheduleEngine::telemetry`] or [`ScheduleEngine::take_telemetry`].
+/// Recording is compiled in only with the crate's `telemetry` feature — without
+/// it every recording call is an empty inline function and the counters stay
+/// zero, so the hot path pays nothing.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTelemetry {
+    /// Rounds executed (one committed transfer each).
+    pub rounds: u64,
+    /// Best-sender invalidations: a committed sender's ready time grew while it
+    /// was some receiver's cached best sender.
+    pub invalidations: u64,
+    /// Invalidations repaired in `O(1)` because the refreshed score still beat
+    /// the runner-up floor.
+    pub second_best_hits: u64,
+    /// Invalidations repaired in `O(1)` by promoting a fresh runner-up to best.
+    pub promotions: u64,
+    /// Invalidations that fell back to a pruned ready-order rescan.
+    pub rescans: u64,
+    /// Senders examined by the shared rescan walks (the dominant rescan cost;
+    /// the name survives from the binary-heap implementation this replaced).
+    pub heap_pops: u64,
+}
+
+impl EngineTelemetry {
+    /// Invalidations repaired from the runner-up entry without a rescan
+    /// (second-best hits plus promotions).
+    pub fn repaired_from_second_best(&self) -> u64 {
+        self.second_best_hits + self.promotions
+    }
+
+    /// Fraction of invalidations repaired without a rescan (1.0 when no
+    /// invalidation occurred).
+    pub fn repair_rate(&self) -> f64 {
+        if self.invalidations == 0 {
+            1.0
+        } else {
+            self.repaired_from_second_best() as f64 / self.invalidations as f64
+        }
+    }
+
+    #[inline]
+    fn round(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.rounds += 1;
+        }
+    }
+
+    #[inline]
+    fn invalidation(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.invalidations += 1;
+        }
+    }
+
+    #[inline]
+    fn second_best_hit(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.second_best_hits += 1;
+        }
+    }
+
+    #[inline]
+    fn promotion(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.promotions += 1;
+        }
+    }
+
+    #[inline]
+    fn rescan(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.rescans += 1;
+        }
+    }
+
+    #[inline]
+    fn heap_pop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.heap_pops += 1;
+        }
+    }
+}
+
 /// A scheduling heuristic reduced to its selection rule.
 ///
 /// Per round the engine selects the receiver optimising
@@ -128,22 +334,59 @@ pub trait SelectionPolicy {
     /// Display name recorded in produced [`Schedule`]s.
     fn name(&self) -> &str;
 
-    /// Called once before each schedule; (re)build per-problem workspaces.
-    fn reset(&mut self, problem: &BroadcastProblem) {
-        let _ = problem;
+    /// Called once before each schedule; (re)build per-problem state. Policies
+    /// that need per-receiver sorted candidate rows build them into the
+    /// engine-owned `workspace` instead of carrying their own buffers.
+    fn reset(&mut self, problem: &BroadcastProblem, workspace: &mut LookaheadWorkspace) {
+        let _ = (problem, workspace);
     }
 
     /// Score of the candidate edge `sender → receiver`; lower is better.
     ///
-    /// Time-sensitive policies must guarantee
-    /// `edge_score(s, r) >= view.ready_time(s)` — the engine's pruned rescans
-    /// rely on that bound.
+    /// Time-sensitive policies must guarantee two things the engine's
+    /// incremental cache relies on:
+    ///
+    /// * `edge_score(s, r) >= view.ready_time(s)` — the pruned rescans stop
+    ///   walking the ready-ordered senders on this bound;
+    /// * the score depends on mutable engine state only through the sender's
+    ///   ready time and never *decreases* when that ready time grows — the
+    ///   runner-up (second-best) floor invariant depends on this monotonicity.
     fn edge_score(&self, view: &EngineView<'_>, sender: ClusterId, receiver: ClusterId) -> Time;
 
     /// Receiver-level additive term (the lookahead `F_j`); defaults to zero.
-    fn receiver_bias(&mut self, view: &EngineView<'_>, receiver: ClusterId) -> Time {
-        let _ = (view, receiver);
+    fn receiver_bias(
+        &mut self,
+        view: &EngineView<'_>,
+        workspace: &mut LookaheadWorkspace,
+        receiver: ClusterId,
+    ) -> Time {
+        let _ = (view, workspace, receiver);
         Time::ZERO
+    }
+
+    /// Whether [`SelectionPolicy::receiver_bias`] can be non-zero. When
+    /// `false` the engine skips bias evaluation in the selection scan
+    /// entirely.
+    fn uses_receiver_bias(&self) -> bool {
+        true
+    }
+
+    /// Batched form of [`SelectionPolicy::receiver_bias`]: fill `out` with the
+    /// bias of every receiver in `receivers`, in order. Called once per round
+    /// — policies with per-receiver bias state should override it with a
+    /// monomorphic loop so the per-receiver virtual dispatch of the default
+    /// disappears from the selection hot path.
+    fn receiver_biases(
+        &mut self,
+        view: &EngineView<'_>,
+        workspace: &mut LookaheadWorkspace,
+        receivers: &[u32],
+        out: &mut Vec<Time>,
+    ) {
+        out.clear();
+        for &r in receivers {
+            out.push(self.receiver_bias(view, workspace, ClusterId(r as usize)));
+        }
     }
 
     /// Whether the cross-receiver objective is minimised or maximised.
@@ -162,10 +405,46 @@ pub trait SelectionPolicy {
         true
     }
 
+    /// A static per-receiver bound `c_j` tightening the generic
+    /// `edge_score(s, r) >= ready_time(s)` contract to
+    /// `edge_score(s, r) >= ready_time(s) + c_j` for **every** possible sender
+    /// — e.g. the receiver's cheapest incoming transfer for completion-time
+    /// scores. The engine adds it to the walked ready time when pruning
+    /// rescans, retiring receivers from the ready-order walk much earlier.
+    ///
+    /// `min_incoming_transfer` is `min_{k != receiver} (g_kj + L_kj)`,
+    /// precomputed by the engine in one sequential pass per problem —
+    /// completion-estimate scores can simply return it instead of re-scanning
+    /// a matrix column per receiver.
+    ///
+    /// The inequality must hold under *rounded* float arithmetic: the engine
+    /// evaluates the bound as the single rounded sum `fl(t + c_j)`, which is
+    /// dominated by any score of the shape `fl(t + x)` with `x >= c_j`
+    /// (rounded addition is monotone). A `c_j` that is itself a rounded sum of
+    /// score components is **not** automatically safe — addition is not
+    /// associative under rounding. Only consulted for time-sensitive
+    /// policies; defaults to zero (no tightening).
+    fn edge_score_offset(
+        &self,
+        problem: &BroadcastProblem,
+        receiver: ClusterId,
+        min_incoming_transfer: Time,
+    ) -> Time {
+        let _ = (problem, receiver, min_incoming_transfer);
+        Time::ZERO
+    }
+
     /// Notification that `sender → receiver` was committed (B shrank by
-    /// `receiver`); policies use it to advance incremental lookahead state.
-    fn on_commit(&mut self, view: &EngineView<'_>, sender: ClusterId, receiver: ClusterId) {
-        let _ = (view, sender, receiver);
+    /// `receiver`); policies use it to advance incremental lookahead state
+    /// held in their own buffers or in the shared `workspace`.
+    fn on_commit(
+        &mut self,
+        view: &EngineView<'_>,
+        workspace: &mut LookaheadWorkspace,
+        sender: ClusterId,
+        receiver: ClusterId,
+    ) {
+        let _ = (view, workspace, sender, receiver);
     }
 }
 
@@ -193,6 +472,28 @@ fn candidate_improves(
 
 /// Reusable buffers of one engine; split from the policy store so the two can
 /// be borrowed independently.
+///
+/// ## Cache invariants (time-sensitive policies)
+///
+/// Per receiver `j` still in B the engine caches up to [`K_BEST`] candidate
+/// senders in the flat row `cand_*[j·K_BEST ..]` (lexicographically sorted by
+/// `(score, sender id)`), plus a **floor** entry. Between commits:
+///
+/// 1. **Head is exact**: the row's first entry is the current lexicographic
+///    minimum of `(edge_score(s, j), s)` over all `s ∈ A`, and its stored
+///    score equals the sender's *current* edge score.
+/// 2. **Cached scores are lower bounds**: every row entry's stored score is
+///    `<=` its sender's current edge score (scores only grow — the
+///    monotonicity contract of [`SelectionPolicy::edge_score`]).
+/// 3. **The floor bounds everyone else**: every sender in A that is *not* in
+///    the row currently satisfies
+///    `(edge_score(s, j), s) >= (floor_score[j], floor_sender[j])`
+///    lexicographically (`(∞, NO_SENDER)` when the row holds all of A).
+///
+/// Together these make an invalidation repairable in `O(K_BEST)`: refresh the
+/// grown head, bubble it to its sorted position, refresh whichever cached
+/// entry surfaces until the head is fresh, and accept it iff it still beats
+/// the floor — only then is a ready-order rescan needed.
 #[derive(Debug, Default)]
 struct EngineState {
     in_a: Vec<bool>,
@@ -201,18 +502,50 @@ struct EngineState {
     /// Clusters still in B (unordered; positions tracked by `recv_pos`).
     receivers: Vec<u32>,
     recv_pos: Vec<u32>,
-    /// Per-receiver cached lexicographic minimum of `(edge_score, sender id)`.
-    best_sender: Vec<u32>,
+    /// Flat per-receiver candidate rows (`K_BEST` slots each), lex-sorted by
+    /// `(score, sender)`; see the invariants above.
+    cand_score: Vec<Time>,
+    cand_sender: Vec<u32>,
+    cand_len: Vec<u32>,
+    /// Dense mirrors of each row's head entry: the per-round `select` scan and
+    /// the invalidation test stream these contiguously instead of striding
+    /// through the rows.
     best_score: Vec<Time>,
-    /// Min-heap of `(ready time, cluster)` entries for senders in A; entries
-    /// are lazily invalidated (valid iff the stored time equals the cluster's
-    /// current ready time).
-    heap: BinaryHeap<Reverse<(Time, u32)>>,
-    /// Scratch for valid heap entries popped during a pruned rescan.
-    scratch: Vec<(Time, u32)>,
+    best_sender: Vec<u32>,
+    /// Per-receiver floor entry bounding every sender outside the row.
+    floor_score: Vec<Time>,
+    floor_sender: Vec<u32>,
+    /// Senders in A, sorted ascending by `(ready time, id)`. Ready times only
+    /// grow, so a commit maintains the order with one bubble-right pass for
+    /// the sender and one sorted insert for the new receiver; rescans then
+    /// walk a contiguous, always-valid array instead of a lazily-invalidated
+    /// heap.
+    order: Vec<u32>,
+    /// Position of each sender in `order` (`u32::MAX` while still in B).
+    order_pos: Vec<u32>,
+    /// Receivers of the current commit that could not be repaired and await
+    /// the shared rescan walk.
+    pending: Vec<u32>,
+    /// Per-receiver static score offsets (`SelectionPolicy::edge_score_offset`)
+    /// sharpening the walk's retirement bound.
+    score_offset: Vec<Time>,
+    /// Per-pending-receiver top `K_BEST + 1` buffers of the shared walk.
+    tops: Vec<(Time, u32)>,
+    topn: Vec<u32>,
     /// Scratch for makespan computation without building a [`Schedule`].
     arrival: Vec<Time>,
     busy: Vec<Time>,
+    /// Shared sorted-candidate rows for lookahead policies.
+    lookahead: LookaheadWorkspace,
+    /// Per-round receiver-bias buffer filled by the policy's batched hook.
+    bias_buf: Vec<Time>,
+    /// Flat sender-major `g_ij + L_ij` combined per problem for the view's
+    /// one-read completion estimates.
+    tx: Vec<Time>,
+    /// Per-receiver column minima of `tx` (cheapest incoming transfer),
+    /// handed to [`SelectionPolicy::edge_score_offset`].
+    min_in: Vec<Time>,
+    telemetry: EngineTelemetry,
 }
 
 impl EngineState {
@@ -235,15 +568,39 @@ impl EngineState {
                 self.receivers.push(c as u32);
             }
         }
-        self.best_sender.clear();
-        self.best_sender.resize(n, u32::MAX);
+        self.cand_score.clear();
+        self.cand_score.resize(n * K_BEST, Time::INFINITY);
+        self.cand_sender.clear();
+        self.cand_sender.resize(n * K_BEST, NO_SENDER);
+        self.cand_len.clear();
+        self.cand_len.resize(n, 0);
+        self.floor_score.clear();
+        self.floor_score.resize(n, Time::INFINITY);
+        self.floor_sender.clear();
+        self.floor_sender.resize(n, NO_SENDER);
         self.best_score.clear();
         self.best_score.resize(n, Time::INFINITY);
-        self.heap.clear();
-        self.heap.reserve(2 * n + 2);
-        self.heap.push(Reverse((Time::ZERO, root as u32)));
-        self.scratch.clear();
-        self.scratch.reserve(n);
+        self.best_sender.clear();
+        self.best_sender.resize(n, NO_SENDER);
+        self.order.clear();
+        self.order.reserve(n);
+        self.order.push(root as u32);
+        self.order_pos.clear();
+        self.order_pos.resize(n, u32::MAX);
+        self.order_pos[root] = 0;
+        self.pending.clear();
+        self.pending.reserve(n);
+        self.bias_buf.clear();
+        self.bias_buf.reserve(n);
+        debug_assert_eq!(
+            self.tx.len(),
+            n * n,
+            "prepare_tx must run before the round loop"
+        );
+        self.tops.clear();
+        self.tops.reserve(n * (K_BEST + 1));
+        self.topn.clear();
+        self.topn.reserve(n);
     }
 
     fn init_caches(&mut self, problem: &BroadcastProblem, policy: &mut dyn SelectionPolicy) {
@@ -251,11 +608,32 @@ impl EngineState {
             problem,
             in_a: &self.in_a,
             ready: &self.ready,
+            tx: &self.tx,
+            n: problem.num_clusters(),
         };
         let root = problem.root;
         for &r in &self.receivers {
-            self.best_sender[r as usize] = root.index() as u32;
-            self.best_score[r as usize] = policy.edge_score(&view, root, ClusterId(r as usize));
+            let row = r as usize * K_BEST;
+            self.cand_sender[row] = root.index() as u32;
+            self.cand_score[row] = policy.edge_score(&view, root, ClusterId(r as usize));
+            self.cand_len[r as usize] = 1;
+            self.best_score[r as usize] = self.cand_score[row];
+            self.best_sender[r as usize] = self.cand_sender[row];
+            // A is the singleton {root}: the row holds all of A, so the floor
+            // bounds nothing.
+            self.floor_score[r as usize] = Time::INFINITY;
+            self.floor_sender[r as usize] = NO_SENDER;
+        }
+        self.score_offset.clear();
+        self.score_offset.resize(problem.num_clusters(), Time::ZERO);
+        if policy.sender_time_sensitive() {
+            for &r in &self.receivers {
+                self.score_offset[r as usize] = policy.edge_score_offset(
+                    problem,
+                    ClusterId(r as usize),
+                    self.min_in[r as usize],
+                );
+            }
         }
     }
 
@@ -266,20 +644,32 @@ impl EngineState {
     ) -> (ClusterId, ClusterId) {
         let objective = policy.objective();
         let tie = policy.tie_break();
+        let EngineState {
+            in_a,
+            ready,
+            receivers,
+            best_score,
+            best_sender,
+            lookahead,
+            bias_buf,
+            tx,
+            ..
+        } = self;
         let view = EngineView {
             problem,
-            in_a: &self.in_a,
-            ready: &self.ready,
+            in_a,
+            ready,
+            tx,
+            n: problem.num_clusters(),
         };
+        let biased = policy.uses_receiver_bias();
+        if biased {
+            policy.receiver_biases(&view, lookahead, receivers, bias_buf);
+        }
         let mut best: Option<(Time, u32, u32)> = None;
-        for i in 0..self.receivers.len() {
-            let r = self.receivers[i];
-            let bias = policy.receiver_bias(&view, ClusterId(r as usize));
-            let candidate = (
-                self.best_score[r as usize] + bias,
-                r,
-                self.best_sender[r as usize],
-            );
+        for (i, &r) in receivers.iter().enumerate() {
+            let bias = if biased { bias_buf[i] } else { Time::ZERO };
+            let candidate = (best_score[r as usize] + bias, r, best_sender[r as usize]);
             if best.is_none_or(|cur| candidate_improves(objective, tie, candidate, cur)) {
                 best = Some(candidate);
             }
@@ -288,50 +678,294 @@ impl EngineState {
         (ClusterId(s as usize), ClusterId(r as usize))
     }
 
-    /// Recomputes the cached best sender of `receiver` by walking A in ready
-    /// order through the heap, pruning once the next ready time exceeds the
-    /// best score found so far.
-    fn rescan(&mut self, problem: &BroadcastProblem, policy: &dyn SelectionPolicy, receiver: u32) {
+    /// Rebuilds the candidate rows (and floors) of every receiver in
+    /// `pending` with **one shared walk** over A in ready order (the sorted
+    /// `order` array — contiguous and always valid, so the walk is a plain
+    /// scan). All rescans triggered by one commit share that scan; each
+    /// receiver still gets its exact top `K_BEST + 1` entries (the last one
+    /// becomes the floor). The walk prunes once the next ready time exceeds
+    /// every pending receiver's `(K_BEST + 1)`-smallest score found so far —
+    /// any unwalked sender scores at least its ready time, so it cannot enter
+    /// a row or lower a floor.
+    fn rescan_pending(&mut self, problem: &BroadcastProblem, policy: &dyn SelectionPolicy) {
+        const STRIDE: usize = K_BEST + 1;
         let EngineState {
             in_a,
             ready,
-            heap,
-            scratch,
-            best_sender,
+            order,
+            cand_score,
+            cand_sender,
+            cand_len,
             best_score,
+            best_sender,
+            floor_score,
+            floor_sender,
+            pending,
+            score_offset,
+            tops,
+            topn,
+            tx,
+            telemetry,
             ..
         } = self;
         let view = EngineView {
             problem,
             in_a,
             ready,
+            tx,
+            n: problem.num_clusters(),
         };
-        scratch.clear();
-        let mut best: Option<(Time, u32)> = None;
-        while let Some(&Reverse((t, s))) = heap.peek() {
-            if let Some((score, _)) = best {
-                if t > score {
-                    break;
+        let m = pending.len();
+        tops.clear();
+        tops.resize(m * STRIDE, (Time::INFINITY, NO_SENDER));
+        topn.clear();
+        topn.resize(m, 0);
+        // Receivers in `pending[..live]` are still collecting entries; a
+        // receiver whose buffer is full and whose floor is below the walk's
+        // ready time can never be affected again (scores are bounded below by
+        // ready times, which the walk visits in ascending order) and is
+        // retired to the tail, so each receiver pays exactly its own window.
+        let mut live = m;
+        'walk: for &s in order.iter() {
+            let t = ready[s as usize];
+            telemetry.heap_pop();
+            let mut p = 0;
+            while p < live {
+                let filled = topn[p] as usize;
+                // Any unwalked sender scores at least `fl(t + c_j)` (rounded
+                // float addition is monotone in both operands): retire the
+                // receiver once that strictly exceeds its provisional floor.
+                // The sum must be computed exactly as written — a rearranged
+                // `t > floor - c_j` is not float-equivalent and could retire
+                // one sender too early.
+                if filled == STRIDE
+                    && t + score_offset[pending[p] as usize] > tops[p * STRIDE + K_BEST].0
+                {
+                    live -= 1;
+                    pending.swap(p, live);
+                    topn.swap(p, live);
+                    for slot in 0..STRIDE {
+                        tops.swap(p * STRIDE + slot, live * STRIDE + slot);
+                    }
+                    continue;
                 }
+                let score =
+                    policy.edge_score(&view, ClusterId(s as usize), ClusterId(pending[p] as usize));
+                let entry = (score, s);
+                let row = &mut tops[p * STRIDE..(p + 1) * STRIDE];
+                if filled < STRIDE {
+                    let mut slot = filled;
+                    while slot > 0 && row[slot - 1] > entry {
+                        row[slot] = row[slot - 1];
+                        slot -= 1;
+                    }
+                    row[slot] = entry;
+                    topn[p] = (filled + 1) as u32;
+                } else if entry < row[K_BEST] {
+                    let mut slot = K_BEST;
+                    while slot > 0 && row[slot - 1] > entry {
+                        row[slot] = row[slot - 1];
+                        slot -= 1;
+                    }
+                    row[slot] = entry;
+                }
+                p += 1;
             }
-            heap.pop();
-            // Stale entry: the cluster's ready time moved since it was pushed.
-            if ready[s as usize] != t || !in_a[s as usize] {
-                continue;
-            }
-            scratch.push((t, s));
-            let score =
-                policy.edge_score(&view, ClusterId(s as usize), ClusterId(receiver as usize));
-            if best.is_none_or(|(bs, bid)| (score, s) < (bs, bid)) {
-                best = Some((score, s));
+            if live == 0 {
+                break 'walk;
             }
         }
-        for &(t, s) in scratch.iter() {
-            heap.push(Reverse((t, s)));
+        for p in 0..m {
+            telemetry.rescan();
+            let filled = topn[p] as usize;
+            debug_assert!(filled > 0, "set A is never empty");
+            let j = pending[p] as usize;
+            let keep = filled.min(K_BEST);
+            for (slot, &(score, s)) in tops[p * STRIDE..p * STRIDE + keep].iter().enumerate() {
+                cand_score[j * K_BEST + slot] = score;
+                cand_sender[j * K_BEST + slot] = s;
+            }
+            cand_len[j] = keep as u32;
+            best_score[j] = cand_score[j * K_BEST];
+            best_sender[j] = cand_sender[j * K_BEST];
+            if filled == STRIDE {
+                floor_score[j] = tops[p * STRIDE + K_BEST].0;
+                floor_sender[j] = tops[p * STRIDE + K_BEST].1;
+            } else {
+                // The row holds all of A: nothing to bound.
+                floor_score[j] = Time::INFINITY;
+                floor_sender[j] = NO_SENDER;
+            }
         }
-        let (score, s) = best.expect("set A is never empty");
-        best_score[receiver as usize] = score;
-        best_sender[receiver as usize] = s;
+        pending.clear();
+    }
+
+    /// Repairs `receiver`'s cache after its best sender `s` grew its ready
+    /// time: refresh the head entry, bubble it to its sorted position, and
+    /// keep refreshing whichever cached entry surfaces until the head is
+    /// fresh. The fresh head is the exact minimum over the row's senders
+    /// (cached scores are lower bounds, so a fresh head underruns them all);
+    /// it is the global minimum iff it still beats the floor. Returns `false`
+    /// when it does not and only a ready-order rescan can restore the
+    /// invariants.
+    #[inline]
+    fn repair_invalidated(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &dyn SelectionPolicy,
+        receiver: u32,
+        s: u32,
+    ) -> bool {
+        let j = receiver as usize;
+        let len = self.cand_len[j] as usize;
+        let row = &mut self.cand_score[j * K_BEST..j * K_BEST + len];
+        let senders = &mut self.cand_sender[j * K_BEST..j * K_BEST + len];
+        let view = EngineView {
+            problem,
+            in_a: &self.in_a,
+            ready: &self.ready,
+            tx: &self.tx,
+            n: problem.num_clusters(),
+        };
+        debug_assert_eq!(senders[0], s);
+        // Refresh the head until it is exact: recompute its score, and if it
+        // grew, bubble the entry to its lex position and look again. Every
+        // refreshed entry is exact as of now, so each is refreshed at most
+        // once and the loop ends within `len` iterations.
+        loop {
+            let head = (row[0], senders[0]);
+            let current = policy.edge_score(&view, ClusterId(senders[0] as usize), ClusterId(j));
+            if current == row[0] {
+                break;
+            }
+            debug_assert!(current > row[0], "edge scores never decrease");
+            let grown = (current, head.1);
+            let mut slot = 0;
+            while slot + 1 < len && (row[slot + 1], senders[slot + 1]) < grown {
+                row[slot] = row[slot + 1];
+                senders[slot] = senders[slot + 1];
+                slot += 1;
+            }
+            row[slot] = grown.0;
+            senders[slot] = grown.1;
+        }
+        if (row[0], senders[0]) <= (self.floor_score[j], self.floor_sender[j]) {
+            self.best_score[j] = self.cand_score[j * K_BEST];
+            self.best_sender[j] = self.cand_sender[j * K_BEST];
+            if self.best_sender[j] == s {
+                self.telemetry.second_best_hit();
+            } else {
+                self.telemetry.promotion();
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Offers the freshly-joined sender `new_sender` to `receiver` in
+    /// `O(K_BEST)`: it is inserted into the candidate row at its lex position
+    /// (the overflowing last entry, a valid lower bound for its sender, is
+    /// folded into the floor) or, failing that, tightens the floor directly.
+    #[inline]
+    fn offer(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &dyn SelectionPolicy,
+        receiver: u32,
+        new_sender: u32,
+    ) {
+        let j = receiver as usize;
+        let view = EngineView {
+            problem,
+            in_a: &self.in_a,
+            ready: &self.ready,
+            tx: &self.tx,
+            n: problem.num_clusters(),
+        };
+        let score = policy.edge_score(&view, ClusterId(new_sender as usize), ClusterId(j));
+        let entry = (score, new_sender);
+        let len = self.cand_len[j] as usize;
+        let row = &mut self.cand_score[j * K_BEST..(j + 1) * K_BEST];
+        let senders = &mut self.cand_sender[j * K_BEST..(j + 1) * K_BEST];
+        if len < K_BEST {
+            // Room in the row: plain sorted insert.
+            let mut slot = len;
+            while slot > 0 && (row[slot - 1], senders[slot - 1]) > entry {
+                row[slot] = row[slot - 1];
+                senders[slot] = senders[slot - 1];
+                slot -= 1;
+            }
+            row[slot] = entry.0;
+            senders[slot] = entry.1;
+            self.cand_len[j] = (len + 1) as u32;
+            if slot == 0 {
+                self.best_score[j] = entry.0;
+                self.best_sender[j] = entry.1;
+            }
+        } else if entry < (row[K_BEST - 1], senders[K_BEST - 1]) {
+            // Displace the last entry; its cached score is a valid lower bound
+            // for its sender, so folding it into the floor keeps invariant 3.
+            let dropped = (row[K_BEST - 1], senders[K_BEST - 1]);
+            let mut slot = K_BEST - 1;
+            while slot > 0 && (row[slot - 1], senders[slot - 1]) > entry {
+                row[slot] = row[slot - 1];
+                senders[slot] = senders[slot - 1];
+                slot -= 1;
+            }
+            row[slot] = entry.0;
+            senders[slot] = entry.1;
+            if slot == 0 {
+                self.best_score[j] = entry.0;
+                self.best_sender[j] = entry.1;
+            }
+            if dropped < (self.floor_score[j], self.floor_sender[j]) {
+                self.floor_score[j] = dropped.0;
+                self.floor_sender[j] = dropped.1;
+            }
+        } else if entry < (self.floor_score[j], self.floor_sender[j]) {
+            // Outside the row: the floor must keep bounding it.
+            self.floor_score[j] = entry.0;
+            self.floor_sender[j] = entry.1;
+        }
+    }
+
+    /// Restores `order` after `s`'s ready time grew: bubble it right past the
+    /// senders that now sort before it. The walked distance is the number of
+    /// overtaken senders — typically a handful, and each step is one `u32`
+    /// move.
+    #[inline]
+    fn reposition_sender(&mut self, s: usize) {
+        let key = (self.ready[s], s as u32);
+        let mut pos = self.order_pos[s] as usize;
+        debug_assert_eq!(self.order[pos], s as u32);
+        while pos + 1 < self.order.len() {
+            let next = self.order[pos + 1];
+            if (self.ready[next as usize], next) < key {
+                self.order[pos] = next;
+                self.order_pos[next as usize] = pos as u32;
+                pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.order[pos] = s as u32;
+        self.order_pos[s] = pos as u32;
+    }
+
+    /// Inserts the freshly-joined sender `r` into `order` at its sorted
+    /// position (its arrival time usually sorts near the end, so the shifted
+    /// tail is short).
+    #[inline]
+    fn insert_sender(&mut self, r: usize) {
+        let key = (self.ready[r], r as u32);
+        let idx = self
+            .order
+            .binary_search_by(|&c| (self.ready[c as usize], c).cmp(&key))
+            .unwrap_err();
+        self.order.insert(idx, r as u32);
+        for pos in idx..self.order.len() {
+            self.order_pos[self.order[pos] as usize] = pos as u32;
+        }
     }
 
     fn commit(
@@ -343,6 +977,7 @@ impl EngineState {
     ) {
         let (s, r) = (sender.index(), receiver.index());
         debug_assert!(self.in_a[s] && !self.in_a[r]);
+        self.telemetry.round();
         let start = self.ready[s];
         let arrival = start + problem.transfer(sender, receiver);
         self.events.push(ScheduleEvent {
@@ -362,34 +997,63 @@ impl EngineState {
             self.recv_pos[last as usize] = pos as u32;
         }
         self.recv_pos[r] = u32::MAX;
-        // Both touched clusters get fresh heap entries; old ones go stale.
-        self.heap.push(Reverse((self.ready[s], s as u32)));
-        self.heap.push(Reverse((self.ready[r], r as u32)));
+        // Keep the ready-order array sorted: the sender's ready time grew (it
+        // bubbles right), the receiver enters A at its sorted position.
+        self.reposition_sender(s);
+        self.insert_sender(r);
 
         let view = EngineView {
             problem,
             in_a: &self.in_a,
             ready: &self.ready,
+            tx: &self.tx,
+            n: problem.num_clusters(),
         };
-        policy.on_commit(&view, sender, receiver);
+        policy.on_commit(&view, &mut self.lookahead, sender, receiver);
 
-        // Incremental cache maintenance: the new sender is offered everywhere;
-        // receivers that relied on the committed sender are rescanned.
+        // Incremental cache maintenance. Receivers that relied on the committed
+        // sender are repaired against their cached runners-up; the few that
+        // cannot be repaired are collected and rebuilt by one shared walk in
+        // ready order (which already sees the freshly-joined sender).
+        // Everyone else is offered the new sender in O(K_BEST).
         let sensitive = policy.sender_time_sensitive();
+        debug_assert!(self.pending.is_empty());
         for i in 0..self.receivers.len() {
             let j = self.receivers[i];
             if sensitive && self.best_sender[j as usize] == s as u32 {
-                self.rescan(problem, policy, j);
+                self.telemetry.invalidation();
+                if self.repair_invalidated(problem, policy, j, s as u32) {
+                    self.offer(problem, policy, j, r as u32);
+                } else {
+                    self.pending.push(j);
+                }
             } else {
-                let view = EngineView {
-                    problem,
-                    in_a: &self.in_a,
-                    ready: &self.ready,
-                };
-                let score = policy.edge_score(&view, receiver, ClusterId(j as usize));
-                if (score, r as u32) < (self.best_score[j as usize], self.best_sender[j as usize]) {
-                    self.best_score[j as usize] = score;
-                    self.best_sender[j as usize] = r as u32;
+                self.offer(problem, policy, j, r as u32);
+            }
+        }
+        if !self.pending.is_empty() {
+            self.rescan_pending(problem, policy);
+        }
+    }
+
+    /// (Re)builds the flat combined `g + L` matrix for `problem`. Called once
+    /// per problem by the public entry points — the batched ones share one
+    /// build across all heuristics instead of paying the `O(n²)` pass per
+    /// run.
+    fn prepare_tx(&mut self, problem: &BroadcastProblem) {
+        let n = problem.num_clusters();
+        self.tx.clear();
+        self.tx.reserve(n * n);
+        self.min_in.clear();
+        self.min_in.resize(n, Time::INFINITY);
+        for s in 0..n {
+            for r in 0..n {
+                let t = problem.transfer(ClusterId(s), ClusterId(r));
+                self.tx.push(t);
+                // Column minima (diagonal excluded — a cluster never sends to
+                // itself) feed the policies' static score offsets.
+                if s != r && t < self.min_in[r] {
+                    self.min_in[r] = t;
                 }
             }
         }
@@ -397,7 +1061,7 @@ impl EngineState {
 
     fn run(&mut self, problem: &BroadcastProblem, policy: &mut dyn SelectionPolicy) {
         self.reset(problem);
-        policy.reset(problem);
+        policy.reset(problem, &mut self.lookahead);
         self.init_caches(problem, policy);
         let n = problem.num_clusters();
         while self.events.len() + 1 < n {
@@ -464,6 +1128,14 @@ impl ScheduleEngine {
 
     /// Schedules `problem` with the built-in policy for `kind`.
     pub fn schedule(&mut self, problem: &BroadcastProblem, kind: HeuristicKind) -> Schedule {
+        self.state.prepare_tx(problem);
+        self.schedule_prepared(problem, kind)
+    }
+
+    /// Like [`ScheduleEngine::schedule`], but assumes [`EngineState::prepare_tx`]
+    /// already ran for this problem (the batched entry points build the
+    /// transfer matrix once and schedule every heuristic against it).
+    fn schedule_prepared(&mut self, problem: &BroadcastProblem, kind: HeuristicKind) -> Schedule {
         let ScheduleEngine { state, policies } = self;
         let policy = policies[kind.slot()].get_or_insert_with(|| kind.new_policy());
         state.run(problem, policy.as_mut());
@@ -476,6 +1148,7 @@ impl ScheduleEngine {
         problem: &BroadcastProblem,
         policy: &mut dyn SelectionPolicy,
     ) -> Schedule {
+        self.state.prepare_tx(problem);
         self.state.run(problem, policy);
         Schedule::from_events(problem, policy.name().to_owned(), self.state.events.clone())
     }
@@ -483,6 +1156,13 @@ impl ScheduleEngine {
     /// Makespan of `kind` on `problem` without materialising a [`Schedule`];
     /// allocation-free once the engine is warm.
     pub fn makespan(&mut self, problem: &BroadcastProblem, kind: HeuristicKind) -> Time {
+        self.state.prepare_tx(problem);
+        self.makespan_prepared(problem, kind)
+    }
+
+    /// [`ScheduleEngine::makespan`] without the per-problem transfer-matrix
+    /// build; see [`ScheduleEngine::schedule_prepared`].
+    fn makespan_prepared(&mut self, problem: &BroadcastProblem, kind: HeuristicKind) -> Time {
         let ScheduleEngine { state, policies } = self;
         let policy = policies[kind.slot()].get_or_insert_with(|| kind.new_policy());
         state.run(problem, policy.as_mut());
@@ -492,6 +1172,18 @@ impl ScheduleEngine {
     /// The events of the most recent run, without allocation.
     pub fn events(&self) -> &[ScheduleEvent] {
         &self.state.events
+    }
+
+    /// The cumulative cache telemetry of this engine. Counters only advance
+    /// when the crate is built with the `telemetry` feature.
+    pub fn telemetry(&self) -> EngineTelemetry {
+        self.state.telemetry
+    }
+
+    /// Returns the cumulative telemetry and resets the counters to zero —
+    /// convenient for per-batch deltas in benches.
+    pub fn take_telemetry(&mut self) -> EngineTelemetry {
+        std::mem::take(&mut self.state.telemetry)
     }
 
     /// Schedules `problem` with every heuristic in `kinds`, reusing the state
@@ -517,8 +1209,9 @@ impl ScheduleEngine {
     ) {
         out.clear();
         out.reserve(kinds.len());
+        self.state.prepare_tx(problem);
         for &kind in kinds {
-            out.push(self.schedule(problem, kind));
+            out.push(self.schedule_prepared(problem, kind));
         }
     }
 
@@ -532,10 +1225,65 @@ impl ScheduleEngine {
     ) {
         out.clear();
         out.reserve(kinds.len());
+        self.state.prepare_tx(problem);
         for &kind in kinds {
-            out.push(self.makespan(problem, kind));
+            out.push(self.makespan_prepared(problem, kind));
         }
     }
+}
+
+/// Schedules `problem` with every heuristic in `kinds`, sharding the heuristics
+/// across scoped worker threads (one fresh [`ScheduleEngine`] per thread).
+///
+/// Heuristics are independent, so the result is **bit-identical** to the
+/// sequential [`ScheduleEngine::schedule_all`] for any thread count. Worth it
+/// for large problems (hundreds of clusters), where one heuristic takes long
+/// enough to amortise thread spawning; small problems should prefer the
+/// sequential, buffer-reusing entry point.
+pub fn schedule_all_sharded(problem: &BroadcastProblem, kinds: &[HeuristicKind]) -> Vec<Schedule> {
+    let mut out: Vec<Option<Schedule>> = (0..kinds.len()).map(|_| None).collect();
+    let chunk = shard_chunk_size(kinds.len());
+    std::thread::scope(|scope| {
+        for (kind_chunk, out_chunk) in kinds.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                let mut engine = ScheduleEngine::new();
+                for (&kind, slot) in kind_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(engine.schedule(problem, kind));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("every kind was scheduled by its shard"))
+        .collect()
+}
+
+/// Makespans of every heuristic in `kinds`, sharded across scoped worker
+/// threads like [`schedule_all_sharded`]; bit-identical to the sequential
+/// [`ScheduleEngine::makespans_into`] for any thread count.
+pub fn makespans_sharded(problem: &BroadcastProblem, kinds: &[HeuristicKind]) -> Vec<Time> {
+    let mut out = vec![Time::ZERO; kinds.len()];
+    let chunk = shard_chunk_size(kinds.len());
+    std::thread::scope(|scope| {
+        for (kind_chunk, out_chunk) in kinds.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                let mut engine = ScheduleEngine::new();
+                for (&kind, slot) in kind_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = engine.makespan(problem, kind);
+                }
+            });
+        }
+    });
+    out
+}
+
+fn shard_chunk_size(kinds: usize) -> usize {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(kinds)
+        .max(1);
+    kinds.div_ceil(threads).max(1)
 }
 
 thread_local! {
@@ -612,6 +1360,27 @@ mod tests {
     }
 
     #[test]
+    fn sharded_batches_are_bit_identical_to_sequential() {
+        let kinds = HeuristicKind::all();
+        let mut engine = ScheduleEngine::new();
+        for clusters in [2usize, 7, 33, 80] {
+            let p = random_problem(clusters, 1000 + clusters as u64);
+            let sequential = engine.schedule_all(&p, &kinds);
+            let sharded = schedule_all_sharded(&p, &kinds);
+            assert_eq!(sequential, sharded, "{clusters} clusters");
+            let spans = makespans_sharded(&p, &kinds);
+            let expected: Vec<_> = sequential.iter().map(|s| s.makespan()).collect();
+            assert!(
+                spans
+                    .iter()
+                    .zip(&expected)
+                    .all(|(a, b)| a.as_secs().to_bits() == b.as_secs().to_bits()),
+                "makespans diverge at {clusters} clusters"
+            );
+        }
+    }
+
+    #[test]
     fn events_accessor_exposes_last_run() {
         let mut engine = ScheduleEngine::new();
         let p = random_problem(6, 9);
@@ -627,5 +1396,50 @@ mod tests {
             let s = engine.schedule(&p, kind);
             assert_eq!(s.num_transfers(), 1, "{kind}");
         }
+    }
+
+    #[test]
+    fn lookahead_workspace_rows_and_cursors() {
+        let mut ws = LookaheadWorkspace::default();
+        let vals = [5.0, 1.0, 3.0];
+        ws.build_rows(3, false, |_, k| Time::from_millis(vals[k]));
+        // Ascending by key: 1 (1ms), 2 (3ms), 0 (5ms) for every row.
+        assert_eq!(ws.first_alive(0, |_| true), Some(1));
+        // Rejections advance the cursor permanently.
+        assert_eq!(ws.first_alive(1, |k| k != 1), Some(2));
+        assert_eq!(ws.first_alive(1, |_| true), Some(2));
+        ws.build_rows(3, true, |_, k| Time::from_millis(vals[k]));
+        assert_eq!(ws.first_alive(2, |_| true), Some(0));
+        // Exhausted rows yield None.
+        assert_eq!(ws.first_alive(0, |_| false), None);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_counts_are_consistent() {
+        let mut engine = ScheduleEngine::new();
+        let p = random_problem(60, 11);
+        engine.take_telemetry();
+        for kind in HeuristicKind::all() {
+            let _ = engine.schedule(&p, kind);
+        }
+        let t = engine.take_telemetry();
+        // 7 heuristics x 59 transfers each.
+        assert_eq!(t.rounds, 7 * 59);
+        // Every invalidation is resolved exactly one way.
+        assert_eq!(
+            t.invalidations,
+            t.second_best_hits + t.promotions + t.rescans
+        );
+        // Time-sensitive policies on a 60-cluster grid invalidate plenty, and
+        // the runner-up entry must absorb most of it.
+        assert!(t.invalidations > 0);
+        assert!(
+            t.repair_rate() >= 0.5,
+            "runner-up repairs only {:.1}% of invalidations",
+            t.repair_rate() * 100.0
+        );
+        // Telemetry resets on take.
+        assert_eq!(engine.telemetry(), EngineTelemetry::default());
     }
 }

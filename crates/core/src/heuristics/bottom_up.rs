@@ -52,8 +52,28 @@ impl SelectionPolicy for BottomUpPolicy {
         view.completion_estimate(sender, receiver) + view.problem().intra_time(receiver)
     }
 
+    fn edge_score_offset(
+        &self,
+        _problem: &BroadcastProblem,
+        _receiver: ClusterId,
+        min_incoming_transfer: Time,
+    ) -> Time {
+        // Every candidate edge costs at least the receiver's cheapest incoming
+        // transfer. The receiver's intra-cluster broadcast is also part of
+        // every score, but folding it into the offset would not be float-safe:
+        // the engine bounds unwalked senders by `fl(t + offset)`, and
+        // `fl(fl(t + transfer) + intra)` is not guaranteed to dominate
+        // `fl(t + fl(min_transfer + intra))` (addition is monotone but not
+        // associative under rounding).
+        min_incoming_transfer
+    }
+
     fn objective(&self) -> Objective {
         Objective::Maximize
+    }
+
+    fn uses_receiver_bias(&self) -> bool {
+        false
     }
 }
 

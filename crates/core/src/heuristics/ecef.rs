@@ -1,7 +1,7 @@
 //! The ECEF family: Early Completion Edge First and its lookahead variants
 //! (Sections 4.3, 4.4, 5.1 and 5.2).
 
-use crate::engine::{with_shared_engine, EngineView, SelectionPolicy};
+use crate::engine::{with_shared_engine, EngineView, LookaheadWorkspace, SelectionPolicy};
 use crate::heuristics::Heuristic;
 use crate::{BroadcastProblem, Schedule};
 use gridcast_plogp::Time;
@@ -138,22 +138,29 @@ impl Heuristic for Ecef {
 ///
 /// The min/max lookaheads are evaluated incrementally: at reset the policy
 /// sorts, for every receiver `j`, the other clusters by their lookahead value
-/// `g_jk + L_jk (+ T_k)`. Because set B only ever shrinks, a per-receiver
+/// `g_jk + L_jk (+ T_k)` into the engine's shared [`LookaheadWorkspace`] —
+/// one flat row buffer reused by every policy instead of a private `n × n`
+/// matrix each. Because set B only ever shrinks, the workspace's per-receiver
 /// cursor that skips departed clusters yields `F_j` in amortised `O(1)` per
 /// round instead of the seed's `O(|B|)` rescan — the values are identical
-/// (a minimum does not depend on evaluation order). The average lookahead is
-/// still summed in ascending cluster order so the floating-point result stays
+/// (a minimum does not depend on evaluation order).
+///
+/// On top of the cursors the policy keeps a **dense bias cache**: `F_j` and
+/// the candidate cluster attaining it (`watch[j]`). `F_j` can only change when
+/// that candidate leaves B, so [`SelectionPolicy::on_commit`] refreshes
+/// exactly the receivers watching the departed cluster (found with one
+/// sequential scan) and the per-round selection reads biases from a flat
+/// array instead of chasing row cursors. The average lookahead is still
+/// summed in ascending cluster order so the floating-point result stays
 /// bit-identical to the original implementation.
 #[derive(Debug, Clone)]
 pub struct EcefPolicy {
     lookahead: Lookahead,
     name: &'static str,
-    clusters: usize,
-    /// Per-receiver rows of candidate clusters, sorted by lookahead value
-    /// (ascending for the min variants, descending for the max variant).
-    rows: Vec<u32>,
-    /// Per-receiver cursor into `rows`, advanced past clusters that left B.
-    cursor: Vec<u32>,
+    /// Dense per-receiver lookahead values (`F_j`).
+    bias: Vec<Time>,
+    /// The candidate cluster whose departure invalidates `bias[j]`.
+    watch: Vec<u32>,
 }
 
 impl EcefPolicy {
@@ -162,9 +169,30 @@ impl EcefPolicy {
         EcefPolicy {
             lookahead,
             name: Ecef::with_lookahead(lookahead).name,
-            clusters: 0,
-            rows: Vec::new(),
-            cursor: Vec::new(),
+            bias: Vec::new(),
+            watch: Vec::new(),
+        }
+    }
+
+    /// Recomputes the cached `F_j` of `j` from the workspace cursor, given the
+    /// aliveness predicate of the moment.
+    #[inline]
+    fn refresh_bias(
+        &mut self,
+        problem: &BroadcastProblem,
+        workspace: &mut LookaheadWorkspace,
+        j: usize,
+        alive: impl FnMut(usize) -> bool,
+    ) {
+        match workspace.first_alive(j, alive) {
+            Some(k) => {
+                self.watch[j] = k as u32;
+                self.bias[j] = self.lookahead_value(problem, ClusterId(j), ClusterId(k));
+            }
+            None => {
+                self.watch[j] = u32::MAX;
+                self.bias[j] = Time::ZERO;
+            }
         }
     }
 
@@ -193,51 +221,49 @@ impl SelectionPolicy for EcefPolicy {
         self.name
     }
 
-    fn reset(&mut self, problem: &BroadcastProblem) {
-        let n = problem.num_clusters();
-        self.clusters = n;
+    fn reset(&mut self, problem: &BroadcastProblem, workspace: &mut LookaheadWorkspace) {
         if !self.uses_sorted_rows() {
             return;
         }
-        self.rows.clear();
-        self.rows.reserve(n * n);
+        let descending = matches!(self.lookahead, Lookahead::MaxEdgePlusIntra);
+        let n = problem.num_clusters();
+        workspace.build_rows(n, descending, |j, k| {
+            self.lookahead_value(problem, ClusterId(j), ClusterId(k))
+        });
+        self.bias.clear();
+        self.bias.resize(n, Time::ZERO);
+        self.watch.clear();
+        self.watch.resize(n, u32::MAX);
+        // Initially B is everything but the root.
+        let root = problem.root.index();
         for j in 0..n {
-            let row_start = self.rows.len();
-            self.rows.extend(0..n as u32);
-            let row = &mut self.rows[row_start..];
-            let jc = ClusterId(j);
-            let descending = matches!(self.lookahead, Lookahead::MaxEdgePlusIntra);
-            row.sort_unstable_by(|&a, &b| {
-                let va = match self.lookahead {
-                    Lookahead::MinEdge => problem.transfer(jc, ClusterId(a as usize)),
-                    _ => {
-                        problem.transfer(jc, ClusterId(a as usize))
-                            + problem.intra_time(ClusterId(a as usize))
-                    }
-                };
-                let vb = match self.lookahead {
-                    Lookahead::MinEdge => problem.transfer(jc, ClusterId(b as usize)),
-                    _ => {
-                        problem.transfer(jc, ClusterId(b as usize))
-                            + problem.intra_time(ClusterId(b as usize))
-                    }
-                };
-                if descending {
-                    vb.cmp(&va)
-                } else {
-                    va.cmp(&vb)
-                }
-            });
+            if j != root {
+                self.refresh_bias(problem, workspace, j, |k| k != j && k != root);
+            }
         }
-        self.cursor.clear();
-        self.cursor.resize(n, 0);
     }
 
     fn edge_score(&self, view: &EngineView<'_>, sender: ClusterId, receiver: ClusterId) -> Time {
         view.completion_estimate(sender, receiver)
     }
 
-    fn receiver_bias(&mut self, view: &EngineView<'_>, receiver: ClusterId) -> Time {
+    fn edge_score_offset(
+        &self,
+        _problem: &BroadcastProblem,
+        _receiver: ClusterId,
+        min_incoming_transfer: Time,
+    ) -> Time {
+        // Every candidate edge costs at least the receiver's cheapest incoming
+        // transfer on top of the sender's ready time.
+        min_incoming_transfer
+    }
+
+    fn receiver_bias(
+        &mut self,
+        view: &EngineView<'_>,
+        workspace: &mut LookaheadWorkspace,
+        receiver: ClusterId,
+    ) -> Time {
         let problem = view.problem();
         match self.lookahead {
             Lookahead::None => Time::ZERO,
@@ -259,22 +285,63 @@ impl SelectionPolicy for EcefPolicy {
                 }
             }
             Lookahead::MinEdge | Lookahead::MinEdgePlusIntra | Lookahead::MaxEdgePlusIntra => {
-                let n = self.clusters;
-                let j = receiver.index();
-                let row = &self.rows[j * n..(j + 1) * n];
-                let cursor = &mut self.cursor[j];
-                while (*cursor as usize) < n {
-                    let k = row[*cursor as usize];
-                    // Skip the receiver itself and clusters that already left B;
-                    // both exclusions are permanent, so the cursor may advance
-                    // for good.
-                    if k as usize == j || !view.in_b(ClusterId(k as usize)) {
-                        *cursor += 1;
-                        continue;
-                    }
-                    return self.lookahead_value(problem, receiver, ClusterId(k as usize));
+                // Served from the dense cache maintained by `on_commit`.
+                let _ = workspace;
+                self.bias[receiver.index()]
+            }
+        }
+    }
+
+    fn uses_receiver_bias(&self) -> bool {
+        !matches!(self.lookahead, Lookahead::None)
+    }
+
+    fn receiver_biases(
+        &mut self,
+        view: &EngineView<'_>,
+        workspace: &mut LookaheadWorkspace,
+        receivers: &[u32],
+        out: &mut Vec<Time>,
+    ) {
+        match self.lookahead {
+            Lookahead::None => {
+                out.clear();
+                out.resize(receivers.len(), Time::ZERO);
+            }
+            Lookahead::AvgEdge => {
+                out.clear();
+                for &r in receivers {
+                    out.push(self.receiver_bias(view, workspace, ClusterId(r as usize)));
                 }
-                Time::ZERO
+            }
+            Lookahead::MinEdge | Lookahead::MinEdgePlusIntra | Lookahead::MaxEdgePlusIntra => {
+                // One sequential sweep over the dense cache — no per-receiver
+                // virtual dispatch, no row-cursor chasing in the hot loop.
+                out.clear();
+                out.extend(receivers.iter().map(|&r| self.bias[r as usize]));
+            }
+        }
+    }
+
+    fn on_commit(
+        &mut self,
+        view: &EngineView<'_>,
+        workspace: &mut LookaheadWorkspace,
+        _sender: ClusterId,
+        receiver: ClusterId,
+    ) {
+        if !self.uses_sorted_rows() {
+            return;
+        }
+        // `F_j` only changes when the candidate attaining it departs from B:
+        // refresh exactly the receivers that watched the committed one.
+        let departed = receiver.index() as u32;
+        let problem = view.problem();
+        for j in 0..self.watch.len() {
+            if self.watch[j] == departed && view.in_b(ClusterId(j)) {
+                self.refresh_bias(problem, workspace, j, |k| {
+                    k != j && !view.is_in_a(ClusterId(k))
+                });
             }
         }
     }

@@ -51,6 +51,10 @@ impl SelectionPolicy for FefPolicy {
     fn sender_time_sensitive(&self) -> bool {
         false
     }
+
+    fn uses_receiver_bias(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

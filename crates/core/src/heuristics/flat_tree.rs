@@ -1,6 +1,6 @@
 //! The Flat Tree baseline (Section 4.1).
 
-use crate::engine::{with_shared_engine, EngineView, SelectionPolicy};
+use crate::engine::{with_shared_engine, EngineView, LookaheadWorkspace, SelectionPolicy};
 use crate::heuristics::Heuristic;
 use crate::{BroadcastProblem, Schedule};
 use gridcast_plogp::Time;
@@ -48,7 +48,7 @@ impl SelectionPolicy for FlatTreePolicy {
         "Flat Tree"
     }
 
-    fn reset(&mut self, problem: &BroadcastProblem) {
+    fn reset(&mut self, problem: &BroadcastProblem, _workspace: &mut LookaheadWorkspace) {
         self.root = problem.root;
     }
 
@@ -61,6 +61,10 @@ impl SelectionPolicy for FlatTreePolicy {
     }
 
     fn sender_time_sensitive(&self) -> bool {
+        false
+    }
+
+    fn uses_receiver_bias(&self) -> bool {
         false
     }
 }

@@ -65,7 +65,10 @@ pub mod problem;
 pub mod schedule;
 pub mod state;
 
-pub use engine::{EngineView, Objective, ScheduleEngine, SelectionPolicy, TieBreak};
+pub use engine::{
+    makespans_sharded, schedule_all_sharded, EngineTelemetry, EngineView, LookaheadWorkspace,
+    Objective, ScheduleEngine, SelectionPolicy, TieBreak,
+};
 pub use global_minimum::{global_minimum, per_heuristic_makespans};
 pub use heuristics::{Heuristic, HeuristicKind};
 pub use mixed::MixedStrategy;

@@ -32,7 +32,9 @@
 //! [`PatternCost`] trait rather than a
 //! duplicated formula.
 
-use crate::engine::{with_shared_engine, EngineView, Objective, SelectionPolicy};
+use crate::engine::{
+    with_shared_engine, EngineView, LookaheadWorkspace, Objective, SelectionPolicy,
+};
 use crate::BroadcastProblem;
 use gridcast_collectives::{Pattern, PatternCost};
 use gridcast_plogp::{MessageSize, Time};
@@ -217,7 +219,12 @@ impl SelectionPolicy for ScatterTailPolicy {
         }
     }
 
-    fn receiver_bias(&mut self, view: &EngineView<'_>, receiver: ClusterId) -> Time {
+    fn receiver_bias(
+        &mut self,
+        view: &EngineView<'_>,
+        _workspace: &mut LookaheadWorkspace,
+        receiver: ClusterId,
+    ) -> Time {
         match self.ordering {
             ScatterOrdering::ListOrder => Time::ZERO,
             ScatterOrdering::LongestTailFirst | ScatterOrdering::ShortestTailFirst => {

@@ -1,0 +1,15 @@
+//! Regenerates the grid-scale sweep (50–1000 clusters, all seven heuristics).
+//! Usage: `scaling_sweep [--iterations N]` — N is the classic sweeps' budget;
+//! the scaling sweep derives its own reduced per-point iteration count from it
+//! (default 2000 → 8 instances per cluster count).
+
+use gridcast_experiments::{figures, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = ExperimentConfig::default().with_iterations_from_args(&args);
+    let figure = figures::scaling::run(&config);
+    print!("{}", figure.to_ascii_table());
+    eprintln!();
+    eprint!("{}", figure.to_csv());
+}

@@ -128,14 +128,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// The engine emits **byte-identical** schedules to the reference
-    /// implementations on random Table-2 grids up to 64 clusters: identical
+    /// implementations on random Table-2 grids up to 128 clusters: identical
     /// event sequences (senders, receivers, start/arrival bit patterns),
-    /// completion times and JSON serialisations.
+    /// completion times and JSON serialisations. The range deliberately
+    /// exceeds the 100-cluster grid whose rescan telemetry is pinned by the
+    /// bench crate, so the k-best repair/rescan machinery is exercised well
+    /// past the sizes where every invalidation still repairs in place.
     #[test]
     fn engine_matches_reference_implementations_exactly(
-        clusters in 2usize..=64,
+        clusters in 2usize..=128,
         seed in any::<u64>(),
-        root_idx in 0usize..64,
+        root_idx in 0usize..128,
     ) {
         let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
         let root = ClusterId(root_idx % clusters);
