@@ -35,5 +35,5 @@ pub mod tree;
 
 pub use algorithms::{binomial_tree, chain_tree, flat_tree, BroadcastAlgorithm};
 pub use cost::{best_algorithm, intra_broadcast_time, predict_broadcast_time};
-pub use patterns::{Pattern, PatternCost};
+pub use patterns::{concat_blocks, Pattern, PatternCost};
 pub use tree::{BroadcastTree, TreeError};

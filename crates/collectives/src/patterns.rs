@@ -24,6 +24,25 @@ pub trait PatternCost {
 
     /// Predicted intra-cluster completion time among `size` ranks.
     fn intra_time(&self, plogp: &PLogP, size: u32, per_rank: MessageSize) -> Time;
+
+    /// Bytes of the **aggregate block** a cluster of `size` ranks contributes to
+    /// (or receives from) the inter-cluster level of the pattern: the
+    /// concatenation of its ranks' individual blocks. This is the message a
+    /// coordinator pushes or relays over a wide-area link on behalf of a whole
+    /// cluster, so wide-area gaps must be priced for it — not for `per_rank`.
+    fn aggregate_bytes(&self, size: u32, per_rank: MessageSize) -> MessageSize {
+        MessageSize::from_bytes(per_rank.as_bytes() * u64::from(size))
+    }
+}
+
+/// Size of the concatenation of several blocks travelling as **one** wide-area
+/// message — the payload of a relayed transfer that carries other clusters'
+/// blocks alongside the receiver's own. Concatenation is plain byte addition;
+/// the saving of relaying comes from pricing one `g(Σ m_i)` instead of several
+/// `g(m_i)` (amortising the per-message cost) and from the relay's links, not
+/// from any compression.
+pub fn concat_blocks(blocks: impl IntoIterator<Item = MessageSize>) -> MessageSize {
+    MessageSize::from_bytes(blocks.into_iter().map(|b| b.as_bytes()).sum())
 }
 
 /// The personalised-data collective patterns modelled by this crate.
@@ -157,6 +176,19 @@ mod tests {
         let p = PLogP::constant(Time::from_millis(1.0), Time::ZERO);
         let t = scatter_time(&p, 16, MessageSize::from_kib(1));
         assert_eq!(t, Time::from_millis(4.0));
+    }
+
+    #[test]
+    fn aggregate_bytes_concatenate_per_rank_blocks() {
+        let agg = Pattern::Scatter.aggregate_bytes(20, MessageSize::from_kib(64));
+        assert_eq!(agg, MessageSize::from_kib(20 * 64));
+        // Concatenating several clusters' aggregates is plain byte addition.
+        let relay_payload = concat_blocks([
+            Pattern::Scatter.aggregate_bytes(4, MessageSize::from_kib(16)),
+            Pattern::Scatter.aggregate_bytes(1, MessageSize::from_kib(16)),
+            MessageSize::ZERO,
+        ]);
+        assert_eq!(relay_payload, MessageSize::from_kib(5 * 16));
     }
 
     #[test]

@@ -79,9 +79,27 @@
 
 use crate::heuristics::HeuristicKind;
 use crate::{BroadcastProblem, Schedule, ScheduleEvent};
-use gridcast_plogp::Time;
-use gridcast_topology::ClusterId;
+use gridcast_plogp::{MessageSize, Time};
+use gridcast_topology::{ClusterId, Grid};
 use std::cell::RefCell;
+
+/// Asserts (in debug builds) that a policy score is not NaN.
+///
+/// [`Time`] forbids NaN at *construction*, but its `Add`/`Sub` operators work
+/// on raw `f64` for speed — so `INF − INF` or `0 × INF` arithmetic inside a
+/// policy can smuggle a NaN into the engine, where `total_cmp` sorts it
+/// *above* `+∞` and silently corrupts the k-best rows (a NaN head would never
+/// be displaced). Problems with infinite sentinel edges (e.g.
+/// [`ScatterProblem::as_broadcast_problem`](crate::ScatterProblem::as_broadcast_problem))
+/// are exactly the inputs that can trip this, so every score entering the
+/// candidate cache or the selection scan passes through this check.
+#[inline]
+fn debug_assert_score_not_nan(score: Time) {
+    debug_assert!(
+        !score.as_secs().is_nan(),
+        "selection produced a NaN score (INF − INF or 0 × INF in a policy?)"
+    );
+}
 
 /// Sentinel sender id meaning "no cached entry".
 const NO_SENDER: u32 = u32::MAX;
@@ -230,6 +248,235 @@ impl LookaheadWorkspace {
             *cursor += 1;
         }
         None
+    }
+}
+
+/// Per-edge payload sizes and transfer costs, overriding the uniform-message
+/// matrices of a [`BroadcastProblem`] so committed transfers can carry
+/// **receiver-specific blocks** — the relayed scatters and pair exchanges of
+/// [`patterns`](crate::patterns).
+///
+/// The broadcast engine prices every edge for the problem's single message
+/// size. Personalised patterns break that assumption: a scatter edge carries
+/// the receiver's aggregate block (and a relayed edge a whole concatenation of
+/// blocks), so `g` must be evaluated per edge, for the payload that edge
+/// actually moves. `EdgeCosts` is that evaluation, flat and sender-major like
+/// the engine's own `tx` matrix; [`ScheduleEngine::schedule_with_costs`] runs
+/// the ordinary round loop against it. With
+/// [`EdgeCosts::uniform`] the engine's behaviour — schedules, floating-point
+/// times, tie-breaks — is **byte-identical** to the uncosted path (asserted by
+/// the workspace parity proptests), so the broadcast fast path pays nothing
+/// for the generality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeCosts {
+    n: usize,
+    payload: Vec<MessageSize>,
+    gap: Vec<Time>,
+    latency: Vec<Time>,
+}
+
+impl EdgeCosts {
+    /// Prices every directed edge of `grid` for the payload returned by
+    /// `payload(sender, receiver)`: the gap is `g_{s,r}(payload)` and the
+    /// latency the link latency. Diagonal entries are zero.
+    pub fn priced_by_grid(
+        grid: &Grid,
+        mut payload: impl FnMut(ClusterId, ClusterId) -> MessageSize,
+    ) -> Self {
+        let n = grid.num_clusters();
+        let mut costs = EdgeCosts {
+            n,
+            payload: Vec::with_capacity(n * n),
+            gap: Vec::with_capacity(n * n),
+            latency: Vec::with_capacity(n * n),
+        };
+        for s in 0..n {
+            for r in 0..n {
+                if s == r {
+                    costs.payload.push(MessageSize::ZERO);
+                    costs.gap.push(Time::ZERO);
+                    costs.latency.push(Time::ZERO);
+                } else {
+                    let m = payload(ClusterId(s), ClusterId(r));
+                    costs.payload.push(m);
+                    costs.gap.push(grid.gap(ClusterId(s), ClusterId(r), m));
+                    costs.latency.push(grid.latency(ClusterId(s), ClusterId(r)));
+                }
+            }
+        }
+        costs
+    }
+
+    /// The degenerate uniform-payload case: every edge carries the problem's
+    /// message and costs exactly what the problem's matrices say. Scheduling
+    /// with these costs reproduces the plain engine path bit for bit.
+    pub fn uniform(problem: &BroadcastProblem) -> Self {
+        let n = problem.num_clusters();
+        let mut costs = EdgeCosts {
+            n,
+            payload: Vec::with_capacity(n * n),
+            gap: Vec::with_capacity(n * n),
+            latency: Vec::with_capacity(n * n),
+        };
+        for s in 0..n {
+            for r in 0..n {
+                let payload = if s == r {
+                    MessageSize::ZERO
+                } else {
+                    problem.message
+                };
+                costs.payload.push(payload);
+                costs.gap.push(problem.gap(ClusterId(s), ClusterId(r)));
+                costs
+                    .latency
+                    .push(problem.latency(ClusterId(s), ClusterId(r)));
+            }
+        }
+        costs
+    }
+
+    /// Number of clusters the cost matrix covers.
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.n
+    }
+
+    /// Payload carried by the directed edge `from → to`.
+    #[inline]
+    pub fn payload(&self, from: ClusterId, to: ClusterId) -> MessageSize {
+        self.payload[from.index() * self.n + to.index()]
+    }
+
+    /// Gap `g_{from,to}(payload)` of the edge.
+    #[inline]
+    pub fn gap(&self, from: ClusterId, to: ClusterId) -> Time {
+        self.gap[from.index() * self.n + to.index()]
+    }
+
+    /// Latency of the edge.
+    #[inline]
+    pub fn latency(&self, from: ClusterId, to: ClusterId) -> Time {
+        self.latency[from.index() * self.n + to.index()]
+    }
+
+    /// Full transfer time `g(payload) + L` of the edge.
+    #[inline]
+    pub fn transfer(&self, from: ClusterId, to: ClusterId) -> Time {
+        self.gap(from, to) + self.latency(from, to)
+    }
+}
+
+/// One point-to-point transfer of a [`TransferSet`]: a payload moving between
+/// two cluster coordinators, with its wide-area gap and latency already priced
+/// for that payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// Sending cluster.
+    pub from: ClusterId,
+    /// Receiving cluster.
+    pub to: ClusterId,
+    /// Bytes this transfer moves (e.g. one cluster pair's personalised data).
+    pub payload: MessageSize,
+    /// Interface occupancy `g_{from,to}(payload)` on **both** endpoints.
+    pub gap: Time,
+    /// Link latency `L_{from,to}`.
+    pub latency: Time,
+}
+
+/// A set of independent point-to-point transfers to place on the clusters'
+/// single network interfaces — the many-transfer sibling of the engine's A/B
+/// broadcast loop, used for personalised exchanges where every cluster both
+/// sends and receives many times (an all-to-all decomposes into one transfer
+/// per ordered cluster pair; see
+/// [`alltoall_schedule`](crate::patterns::alltoall_schedule)).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransferSet {
+    n: usize,
+    transfers: Vec<Transfer>,
+}
+
+impl TransferSet {
+    /// An empty set over `n` clusters.
+    pub fn new(n: usize) -> Self {
+        TransferSet {
+            n,
+            transfers: Vec::new(),
+        }
+    }
+
+    /// Adds a transfer to the set.
+    pub fn push(&mut self, transfer: Transfer) {
+        assert!(
+            transfer.from.index() < self.n && transfer.to.index() < self.n,
+            "transfer endpoints outside the cluster set"
+        );
+        assert_ne!(
+            transfer.from, transfer.to,
+            "a cluster never sends to itself"
+        );
+        self.transfers.push(transfer);
+    }
+
+    /// Number of clusters the set spans.
+    pub fn num_clusters(&self) -> usize {
+        self.n
+    }
+
+    /// The transfers, in insertion order.
+    pub fn transfers(&self) -> &[Transfer] {
+        &self.transfers
+    }
+}
+
+/// A committed transfer of an [`ExchangeSchedule`], with its timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedTransfer {
+    /// Sending cluster.
+    pub from: ClusterId,
+    /// Receiving cluster.
+    pub to: ClusterId,
+    /// Bytes moved.
+    pub payload: MessageSize,
+    /// When the sender's interface starts pushing (both interfaces are then
+    /// occupied until `start + gap`).
+    pub start: Time,
+    /// When the receiver holds the payload: `start + gap + latency`.
+    pub arrival: Time,
+}
+
+/// The timed placement of a [`TransferSet`] produced by
+/// [`ScheduleEngine::schedule_transfers`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeSchedule {
+    /// The transfers in the order they were committed.
+    pub transfers: Vec<TimedTransfer>,
+    /// Per cluster: when its network interface is free for good (all sends
+    /// and receives drained).
+    pub interface_free: Vec<Time>,
+    /// Per cluster: arrival time of the last payload it receives.
+    pub last_arrival: Vec<Time>,
+}
+
+impl ExchangeSchedule {
+    /// Completion time of each cluster once a per-cluster local phase of
+    /// `local[i]` (e.g. the intra-cluster all-to-all) runs after its last
+    /// wide-area send or receive.
+    pub fn completion_with_local(&self, local: &[Time]) -> Vec<Time> {
+        assert_eq!(local.len(), self.interface_free.len());
+        self.interface_free
+            .iter()
+            .zip(&self.last_arrival)
+            .zip(local)
+            .map(|((&nic, &arr), &l)| nic.max(arr) + l)
+            .collect()
+    }
+
+    /// The exchange makespan: the latest per-cluster completion.
+    pub fn makespan_with_local(&self, local: &[Time]) -> Time {
+        self.completion_with_local(local)
+            .into_iter()
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 }
 
@@ -540,8 +787,15 @@ struct EngineState {
     /// Per-round receiver-bias buffer filled by the policy's batched hook.
     bias_buf: Vec<Time>,
     /// Flat sender-major `g_ij + L_ij` combined per problem for the view's
-    /// one-read completion estimates.
+    /// one-read completion estimates. Built from the problem's uniform-message
+    /// matrices by [`EngineState::prepare_tx`], or from per-edge payload
+    /// prices by [`EngineState::prepare_costs`] — the round loop itself is
+    /// payload-agnostic and only ever reads these flat copies.
     tx: Vec<Time>,
+    /// Flat sender-major gap matrix paired with `tx`: the interface occupancy
+    /// a commit charges the sender. Identical to the problem's gap matrix on
+    /// the uniform path, per-edge payload-priced on the costed path.
+    gp: Vec<Time>,
     /// Per-receiver column minima of `tx` (cheapest incoming transfer),
     /// handed to [`SelectionPolicy::edge_score_offset`].
     min_in: Vec<Time>,
@@ -597,6 +851,11 @@ impl EngineState {
             n * n,
             "prepare_tx must run before the round loop"
         );
+        debug_assert_eq!(
+            self.gp.len(),
+            n * n,
+            "prepare_tx must run before the round loop"
+        );
         self.tops.clear();
         self.tops.reserve(n * (K_BEST + 1));
         self.topn.clear();
@@ -616,6 +875,7 @@ impl EngineState {
             let row = r as usize * K_BEST;
             self.cand_sender[row] = root.index() as u32;
             self.cand_score[row] = policy.edge_score(&view, root, ClusterId(r as usize));
+            debug_assert_score_not_nan(self.cand_score[row]);
             self.cand_len[r as usize] = 1;
             self.best_score[r as usize] = self.cand_score[row];
             self.best_sender[r as usize] = self.cand_sender[row];
@@ -670,6 +930,7 @@ impl EngineState {
         for (i, &r) in receivers.iter().enumerate() {
             let bias = if biased { bias_buf[i] } else { Time::ZERO };
             let candidate = (best_score[r as usize] + bias, r, best_sender[r as usize]);
+            debug_assert_score_not_nan(candidate.0);
             if best.is_none_or(|cur| candidate_improves(objective, tie, candidate, cur)) {
                 best = Some(candidate);
             }
@@ -751,6 +1012,7 @@ impl EngineState {
                 }
                 let score =
                     policy.edge_score(&view, ClusterId(s as usize), ClusterId(pending[p] as usize));
+                debug_assert_score_not_nan(score);
                 let entry = (score, s);
                 let row = &mut tops[p * STRIDE..(p + 1) * STRIDE];
                 if filled < STRIDE {
@@ -835,6 +1097,7 @@ impl EngineState {
         loop {
             let head = (row[0], senders[0]);
             let current = policy.edge_score(&view, ClusterId(senders[0] as usize), ClusterId(j));
+            debug_assert_score_not_nan(current);
             if current == row[0] {
                 break;
             }
@@ -883,6 +1146,7 @@ impl EngineState {
             n: problem.num_clusters(),
         };
         let score = policy.edge_score(&view, ClusterId(new_sender as usize), ClusterId(j));
+        debug_assert_score_not_nan(score);
         let entry = (score, new_sender);
         let len = self.cand_len[j] as usize;
         let row = &mut self.cand_score[j * K_BEST..(j + 1) * K_BEST];
@@ -978,15 +1242,19 @@ impl EngineState {
         let (s, r) = (sender.index(), receiver.index());
         debug_assert!(self.in_a[s] && !self.in_a[r]);
         self.telemetry.round();
+        let n = problem.num_clusters();
         let start = self.ready[s];
-        let arrival = start + problem.transfer(sender, receiver);
+        // Committed timings read the flat `tx`/`gp` copies, not the problem
+        // matrices: on the uniform path they hold the exact same floats, and
+        // on the costed path they carry the per-edge payload prices.
+        let arrival = start + self.tx[s * n + r];
         self.events.push(ScheduleEvent {
             sender,
             receiver,
             start,
             arrival,
         });
-        self.ready[s] = start + problem.gap(sender, receiver);
+        self.ready[s] = start + self.gp[s * n + r];
         self.ready[r] = arrival;
         self.in_a[r] = true;
         // Remove the receiver from B (swap-remove keeps the list compact).
@@ -1040,16 +1308,28 @@ impl EngineState {
     /// per problem by the public entry points — the batched ones share one
     /// build across all heuristics instead of paying the `O(n²)` pass per
     /// run.
-    fn prepare_tx(&mut self, problem: &BroadcastProblem) {
-        let n = problem.num_clusters();
+    /// Fills the flat `tx`/`gp` copies (and the `min_in` column minima) the
+    /// round loop reads, from a per-edge `(gap, latency)` source. The transfer
+    /// is computed as the single rounded sum `fl(gap + latency)` exactly like
+    /// the problem's own accessor, so both callers produce bit-identical
+    /// matrices from identical inputs.
+    fn fill_matrices(
+        &mut self,
+        n: usize,
+        mut edge: impl FnMut(ClusterId, ClusterId) -> (Time, Time),
+    ) {
         self.tx.clear();
         self.tx.reserve(n * n);
+        self.gp.clear();
+        self.gp.reserve(n * n);
         self.min_in.clear();
         self.min_in.resize(n, Time::INFINITY);
         for s in 0..n {
             for r in 0..n {
-                let t = problem.transfer(ClusterId(s), ClusterId(r));
+                let (gap, latency) = edge(ClusterId(s), ClusterId(r));
+                let t = gap + latency;
                 self.tx.push(t);
+                self.gp.push(gap);
                 // Column minima (diagonal excluded — a cluster never sends to
                 // itself) feed the policies' static score offsets.
                 if s != r && t < self.min_in[r] {
@@ -1057,6 +1337,25 @@ impl EngineState {
                 }
             }
         }
+    }
+
+    fn prepare_tx(&mut self, problem: &BroadcastProblem) {
+        let n = problem.num_clusters();
+        self.fill_matrices(n, |s, r| (problem.gap(s, r), problem.latency(s, r)));
+    }
+
+    /// The per-edge-payload sibling of [`EngineState::prepare_tx`]: the flat
+    /// `tx`/`gp` copies the round loop reads are filled from `costs` instead
+    /// of the problem's uniform-message matrices, so each committed transfer
+    /// is priced for the receiver-specific block its edge carries.
+    fn prepare_costs(&mut self, problem: &BroadcastProblem, costs: &EdgeCosts) {
+        let n = problem.num_clusters();
+        assert_eq!(
+            costs.num_clusters(),
+            n,
+            "edge-cost matrix dimension mismatch"
+        );
+        self.fill_matrices(n, |s, r| (costs.gap(s, r), costs.latency(s, r)));
     }
 
     fn run(&mut self, problem: &BroadcastProblem, policy: &mut dyn SelectionPolicy) {
@@ -1070,26 +1369,57 @@ impl EngineState {
         }
     }
 
-    /// Makespan of the events currently in the buffer, computed exactly like
-    /// [`Schedule::from_events`] but without allocating a [`Schedule`].
-    fn makespan_of_events(&mut self, problem: &BroadcastProblem) -> Time {
-        let n = problem.num_clusters();
+    /// Folds the events currently in the buffer into the reusable
+    /// `arrival`/`busy` buffers using the engine's flat `gp` matrix: per
+    /// cluster, when its payload arrived and until when its interface is
+    /// occupied by outgoing gaps. The single event-fold behind
+    /// [`EngineState::makespan_of_events`] and
+    /// [`EngineState::schedule_of_events`].
+    fn fold_events(&mut self, n: usize) {
         self.arrival.clear();
         self.arrival.resize(n, Time::ZERO);
         self.busy.clear();
         self.busy.resize(n, Time::ZERO);
         for event in &self.events {
             self.arrival[event.receiver.index()] = event.arrival;
-            let send_end = event.start + problem.gap(event.sender, event.receiver);
+            let send_end = event.start + self.gp[event.sender.index() * n + event.receiver.index()];
             let cell = &mut self.busy[event.sender.index()];
             *cell = (*cell).max(send_end);
         }
+    }
+
+    /// Makespan of the events currently in the buffer, computed exactly like
+    /// [`Schedule::from_events`] but without allocating a [`Schedule`].
+    fn makespan_of_events(&mut self, problem: &BroadcastProblem) -> Time {
+        let n = problem.num_clusters();
+        self.fold_events(n);
         let mut makespan = Time::ZERO;
         for i in 0..n {
             let coordinator_free = self.arrival[i].max(self.busy[i]);
             makespan = makespan.max(coordinator_free + problem.intra_time(ClusterId(i)));
         }
         makespan
+    }
+
+    /// Builds a [`Schedule`] from the events currently in the buffer,
+    /// computing per-cluster completion times with the engine's flat `gp`
+    /// matrix — the one schedule builder behind every engine entry point. On
+    /// the uniform path `gp` equals the problem's gap matrix bit for bit, so
+    /// this matches [`Schedule::from_events`]; on the costed path it prices
+    /// what the committed edges actually carried, which the problem's own
+    /// matrix cannot.
+    fn schedule_of_events(&mut self, problem: &BroadcastProblem, heuristic: &str) -> Schedule {
+        let n = problem.num_clusters();
+        self.fold_events(n);
+        let cluster_completion = (0..n)
+            .map(|i| self.arrival[i].max(self.busy[i]) + problem.intra_time(ClusterId(i)))
+            .collect();
+        Schedule {
+            root: problem.root,
+            events: self.events.clone(),
+            cluster_completion,
+            heuristic: heuristic.to_owned(),
+        }
     }
 }
 
@@ -1139,7 +1469,7 @@ impl ScheduleEngine {
         let ScheduleEngine { state, policies } = self;
         let policy = policies[kind.slot()].get_or_insert_with(|| kind.new_policy());
         state.run(problem, policy.as_mut());
-        Schedule::from_events(problem, kind.name(), state.events.clone())
+        state.schedule_of_events(problem, kind.name())
     }
 
     /// Schedules `problem` with a caller-provided policy.
@@ -1150,7 +1480,56 @@ impl ScheduleEngine {
     ) -> Schedule {
         self.state.prepare_tx(problem);
         self.state.run(problem, policy);
-        Schedule::from_events(problem, policy.name().to_owned(), self.state.events.clone())
+        self.state.schedule_of_events(problem, policy.name())
+    }
+
+    /// Schedules `problem` with the built-in policy for `kind`, pricing every
+    /// edge by the per-edge payload `costs` instead of the problem's
+    /// uniform-message matrices: every completion estimate served by the
+    /// [`EngineView`], every committed timing and the returned schedule's
+    /// completion times use the costed `g(payload) + L`.
+    ///
+    /// Caveat shared with [`ScheduleEngine::schedule_with_costs`]: a policy
+    /// component that reads the problem's raw matrices directly — the
+    /// lookahead `F_j` rows of the ECEF-LA family are built from them — still
+    /// sees the uniform prices, so those kinds score on mixed prices. The
+    /// relay policies of [`patterns`](crate::patterns) only consult the view
+    /// and are fully costed.
+    ///
+    /// With [`EdgeCosts::uniform`] this is byte-identical to
+    /// [`ScheduleEngine::schedule`] — the broadcast fast path is the
+    /// degenerate case, not a separate code path (the round loop only ever
+    /// reads the flat matrices this entry point fills).
+    pub fn schedule_costed(
+        &mut self,
+        problem: &BroadcastProblem,
+        costs: &EdgeCosts,
+        kind: HeuristicKind,
+    ) -> Schedule {
+        let ScheduleEngine { state, policies } = self;
+        let policy = policies[kind.slot()].get_or_insert_with(|| kind.new_policy());
+        state.prepare_costs(problem, costs);
+        state.run(problem, policy.as_mut());
+        state.schedule_of_events(problem, kind.name())
+    }
+
+    /// [`ScheduleEngine::schedule_costed`] with a caller-provided policy —
+    /// the entry point behind the relay-capable scatter orderings of
+    /// [`patterns`](crate::patterns).
+    ///
+    /// Policies still receive the original `problem` through the
+    /// [`EngineView`], but every completion estimate served by the view (and
+    /// every committed timing) is payload-priced; a policy that reads the
+    /// problem's raw matrices directly sees the uniform prices instead.
+    pub fn schedule_with_costs(
+        &mut self,
+        problem: &BroadcastProblem,
+        costs: &EdgeCosts,
+        policy: &mut dyn SelectionPolicy,
+    ) -> Schedule {
+        self.state.prepare_costs(problem, costs);
+        self.state.run(problem, policy);
+        self.state.schedule_of_events(problem, policy.name())
     }
 
     /// Makespan of `kind` on `problem` without materialising a [`Schedule`];
@@ -1212,6 +1591,70 @@ impl ScheduleEngine {
         self.state.prepare_tx(problem);
         for &kind in kinds {
             out.push(self.schedule_prepared(problem, kind));
+        }
+    }
+
+    /// Places every transfer of `set` on the clusters' network interfaces with
+    /// the greedy **earliest-completion-first** rule: each round commits the
+    /// pending transfer whose completion `max(free_src, free_dst) + g + L` is
+    /// smallest (ties broken by `(from, to, insertion index)`), occupying both
+    /// endpoints' interfaces for the gap — the single-port model every
+    /// heuristic of the paper assumes, now applied to exchanges where a
+    /// cluster sends *and* receives many payloads instead of receiving once.
+    ///
+    /// The result is deterministic for any insertion order of equal
+    /// transfers, and reuses the engine's ready-time buffers (no per-round
+    /// allocations beyond the output).
+    ///
+    /// Complexity is `O(T²)` in the number of transfers (a full rescan per
+    /// commit): fine for the pattern sizes scheduled today (an all-to-all on
+    /// tens of clusters), but a commit only re-prices transfers incident to
+    /// its two endpoints, so an incremental structure can bring this to
+    /// ~`O(T·n)` when exchanges grow — tracked in the ROADMAP.
+    pub fn schedule_transfers(&mut self, set: &TransferSet) -> ExchangeSchedule {
+        let n = set.num_clusters();
+        let free = &mut self.state.ready;
+        free.clear();
+        free.resize(n, Time::ZERO);
+        let last_arrival = &mut self.state.arrival;
+        last_arrival.clear();
+        last_arrival.resize(n, Time::ZERO);
+        let mut remaining: Vec<u32> = (0..set.transfers.len() as u32).collect();
+        let mut out = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let mut best_slot = 0usize;
+            let mut best_key = (Time::INFINITY, u32::MAX, u32::MAX, u32::MAX);
+            for (slot, &idx) in remaining.iter().enumerate() {
+                let t = &set.transfers[idx as usize];
+                let start = free[t.from.index()].max(free[t.to.index()]);
+                let completion = start + t.gap + t.latency;
+                debug_assert_score_not_nan(completion);
+                let key = (completion, t.from.index() as u32, t.to.index() as u32, idx);
+                if key < best_key {
+                    best_key = key;
+                    best_slot = slot;
+                }
+            }
+            let idx = remaining.swap_remove(best_slot);
+            let t = &set.transfers[idx as usize];
+            let start = free[t.from.index()].max(free[t.to.index()]);
+            let nic_release = start + t.gap;
+            let arrival = nic_release + t.latency;
+            free[t.from.index()] = nic_release;
+            free[t.to.index()] = nic_release;
+            last_arrival[t.to.index()] = last_arrival[t.to.index()].max(arrival);
+            out.push(TimedTransfer {
+                from: t.from,
+                to: t.to,
+                payload: t.payload,
+                start,
+                arrival,
+            });
+        }
+        ExchangeSchedule {
+            transfers: out,
+            interface_free: free.clone(),
+            last_arrival: last_arrival.clone(),
         }
     }
 
@@ -1378,6 +1821,106 @@ mod tests {
                 "makespans diverge at {clusters} clusters"
             );
         }
+    }
+
+    #[test]
+    fn uniform_edge_costs_reproduce_the_plain_path_bit_for_bit() {
+        let mut engine = ScheduleEngine::new();
+        for clusters in [2usize, 9, 33] {
+            let p = random_problem(clusters, 100 + clusters as u64);
+            let costs = EdgeCosts::uniform(&p);
+            for kind in HeuristicKind::all() {
+                let plain = engine.schedule(&p, kind);
+                let costed = engine.schedule_costed(&p, &costs, kind);
+                assert_eq!(plain, costed, "{kind} on {clusters} clusters");
+                for (a, b) in plain.events.iter().zip(&costed.events) {
+                    assert_eq!(a.start.as_secs().to_bits(), b.start.as_secs().to_bits());
+                    assert_eq!(a.arrival.as_secs().to_bits(), b.arrival.as_secs().to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_edge_costs_change_committed_timings() {
+        let p = random_problem(6, 42);
+        // Double every gap: the committed schedule must slow down accordingly.
+        let n = p.num_clusters();
+        let mut costs = EdgeCosts::uniform(&p);
+        for s in 0..n {
+            for r in 0..n {
+                costs.gap[s * n + r] = costs.gap[s * n + r] * 2.0;
+            }
+        }
+        let mut engine = ScheduleEngine::new();
+        let plain = engine.schedule(&p, HeuristicKind::Ecef);
+        let costed = engine.schedule_costed(&p, &costs, HeuristicKind::Ecef);
+        assert!(costed.makespan() > plain.makespan());
+    }
+
+    #[test]
+    fn transfer_scheduler_serialises_interfaces_and_respects_gap_sums() {
+        // Three clusters, two transfers sharing cluster 0's interface: they
+        // must not overlap, and the second starts when the first's gap ends.
+        let mut set = TransferSet::new(3);
+        let mk = |from: usize, to: usize, gap_ms: f64, lat_ms: f64| Transfer {
+            from: ClusterId(from),
+            to: ClusterId(to),
+            payload: MessageSize::from_kib(1),
+            gap: Time::from_millis(gap_ms),
+            latency: Time::from_millis(lat_ms),
+        };
+        set.push(mk(0, 1, 10.0, 1.0));
+        set.push(mk(0, 2, 10.0, 5.0));
+        let mut engine = ScheduleEngine::new();
+        let schedule = engine.schedule_transfers(&set);
+        assert_eq!(schedule.transfers.len(), 2);
+        // Earliest completion first: 0→1 (11 ms) before 0→2 (15 ms).
+        assert_eq!(schedule.transfers[0].to, ClusterId(1));
+        assert_eq!(schedule.transfers[1].start, Time::from_millis(10.0));
+        assert_eq!(schedule.transfers[1].arrival, Time::from_millis(25.0));
+        assert_eq!(schedule.interface_free[0], Time::from_millis(20.0));
+        // Receivers' interfaces were occupied too.
+        assert_eq!(schedule.interface_free[1], Time::from_millis(10.0));
+        assert_eq!(schedule.last_arrival[1], Time::from_millis(11.0));
+        let local = [Time::from_millis(3.0), Time::ZERO, Time::ZERO];
+        assert_eq!(
+            schedule.makespan_with_local(&local),
+            Time::from_millis(25.0)
+        );
+    }
+
+    #[test]
+    fn transfer_scheduler_is_deterministic_across_insertion_orders() {
+        let p = random_problem(8, 7);
+        let n = p.num_clusters();
+        let mut forward = TransferSet::new(n);
+        let mut reversed = Vec::new();
+        for s in 0..n {
+            for r in 0..n {
+                if s == r {
+                    continue;
+                }
+                let t = Transfer {
+                    from: ClusterId(s),
+                    to: ClusterId(r),
+                    payload: p.message,
+                    gap: p.gap(ClusterId(s), ClusterId(r)),
+                    latency: p.latency(ClusterId(s), ClusterId(r)),
+                };
+                forward.push(t);
+                reversed.push(t);
+            }
+        }
+        let mut backward = TransferSet::new(n);
+        for t in reversed.into_iter().rev() {
+            backward.push(t);
+        }
+        let mut engine = ScheduleEngine::new();
+        let a = engine.schedule_transfers(&forward);
+        let b = engine.schedule_transfers(&backward);
+        assert_eq!(a.transfers, b.transfers);
+        assert_eq!(a.interface_free, b.interface_free);
     }
 
     #[test]

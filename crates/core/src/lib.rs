@@ -66,14 +66,19 @@ pub mod schedule;
 pub mod state;
 
 pub use engine::{
-    makespans_sharded, schedule_all_sharded, EngineTelemetry, EngineView, LookaheadWorkspace,
-    Objective, ScheduleEngine, SelectionPolicy, TieBreak,
+    makespans_sharded, schedule_all_sharded, EdgeCosts, EngineTelemetry, EngineView,
+    ExchangeSchedule, LookaheadWorkspace, Objective, ScheduleEngine, SelectionPolicy, TieBreak,
+    TimedTransfer, Transfer, TransferSet,
 };
 pub use global_minimum::{global_minimum, per_heuristic_makespans};
 pub use heuristics::{Heuristic, HeuristicKind};
 pub use mixed::MixedStrategy;
 pub use optimal::{optimal_schedule, OptimalSearch};
-pub use patterns::{alltoall_estimate, ScatterOrdering, ScatterProblem, ScatterTailPolicy};
+pub use patterns::{
+    alltoall_estimate, alltoall_schedule, AllToAllSchedule, RelayEvent, RelayOrdering,
+    RelayScatterPolicy, RelayScatterProblem, RelaySchedule, ScatterOrdering, ScatterProblem,
+    ScatterTailPolicy,
+};
 pub use problem::BroadcastProblem;
 pub use schedule::{Schedule, ScheduleError, ScheduleEvent};
 pub use state::ScheduleState;

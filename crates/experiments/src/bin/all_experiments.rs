@@ -21,6 +21,11 @@ fn main() {
         ("fig5", figures::fig5::run(&config)),
         ("fig6", figures::fig6::run(&config)),
         ("mixed", figures::mixed::run(&config)),
+        ("patterns-scatter", figures::patterns::run(&config)),
+        (
+            "patterns-alltoall",
+            figures::patterns::run_alltoall(&config),
+        ),
     ] {
         println!("== {name} ==");
         println!("{}", figure.to_ascii_table());

@@ -1,0 +1,17 @@
+//! Regenerates the "patterns beyond broadcast" comparison: scatter (direct vs
+//! relay-capable) and all-to-all (lower bound vs engine schedule) on the
+//! GRID'5000 Table-3 grid.
+
+use gridcast_experiments::{figures, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let scatter = figures::patterns::run(&config);
+    print!("{}", scatter.to_ascii_table());
+    eprintln!();
+    eprint!("{}", scatter.to_csv());
+    let alltoall = figures::patterns::run_alltoall(&config);
+    print!("{}", alltoall.to_ascii_table());
+    eprintln!();
+    eprint!("{}", alltoall.to_csv());
+}

@@ -1,0 +1,142 @@
+//! Patterns beyond broadcast: scatter (direct vs relay-capable) and
+//! all-to-all on the GRID'5000 snapshot.
+//!
+//! The paper's conclusion names scatter and all-to-all as the next patterns to
+//! attack; this figure quantifies what the new schedulers buy on the Table-3
+//! grid:
+//!
+//! * **Scatter** — three series over per-node block sizes: the paper-era
+//!   MagPIe baseline (direct sends in list order), the best direct-only
+//!   grid-aware ordering (longest tail first), and the relay-capable greedy
+//!   schedule where coordinators forward other clusters' blocks over their
+//!   own links (each relayed edge priced for its concatenated payload).
+//! * **All-to-all** — the corrected analytic lower bound
+//!   ([`gridcast_core::alltoall_estimate`]) against the executable makespan of
+//!   the engine-scheduled per-cluster-pair exchange
+//!   ([`gridcast_core::alltoall_schedule`]).
+//!
+//! Unlike the Monte-Carlo sweeps, these run on the fixed GRID'5000 topology —
+//! the point is the per-instance comparison, not a distribution.
+
+use crate::params::ExperimentConfig;
+use crate::report::{FigureResult, Series};
+use gridcast_core::{
+    alltoall_estimate, alltoall_schedule, RelayOrdering, RelayScatterProblem, ScatterOrdering,
+    ScatterProblem,
+};
+use gridcast_plogp::MessageSize;
+use gridcast_topology::{grid5000_table3, ClusterId};
+
+/// Per-node block sizes swept by the scatter comparison (KiB).
+pub const SCATTER_KIB: [u64; 5] = [4, 16, 64, 256, 1024];
+
+/// Per-pair block sizes swept by the all-to-all comparison (KiB).
+pub const ALLTOALL_KIB: [u64; 4] = [1, 4, 16, 64];
+
+/// Runs the scatter comparison: MagPIe list order vs the best direct ordering
+/// vs the relay-capable greedy, rooted at cluster 0 of the Table-3 grid.
+pub fn run(_config: &ExperimentConfig) -> FigureResult {
+    scatter_comparison(
+        "Scatter on GRID'5000: direct vs relay-capable",
+        &SCATTER_KIB,
+    )
+}
+
+/// The sweep behind [`run`], reusable with reduced sizes for smoke tests.
+pub fn scatter_comparison(title: &str, kib_sizes: &[u64]) -> FigureResult {
+    let grid = grid5000_table3();
+    let root = ClusterId(0);
+    let mut magpie = Vec::with_capacity(kib_sizes.len());
+    let mut direct_best = Vec::with_capacity(kib_sizes.len());
+    let mut relay = Vec::with_capacity(kib_sizes.len());
+    for &kib in kib_sizes {
+        let per_node = MessageSize::from_kib(kib);
+        let scatter = ScatterProblem::from_grid(&grid, root, per_node);
+        magpie.push((
+            kib as f64,
+            ScatterOrdering::ListOrder.makespan(&scatter).as_secs(),
+        ));
+        direct_best.push((
+            kib as f64,
+            ScatterOrdering::LongestTailFirst
+                .makespan(&scatter)
+                .as_secs(),
+        ));
+        let relayable = RelayScatterProblem::from_grid(&grid, root, per_node);
+        relay.push((
+            kib as f64,
+            relayable
+                .makespan(RelayOrdering::EarliestCompletion)
+                .as_secs(),
+        ));
+    }
+    let mut figure = FigureResult::new(title, "per-node block (KiB)", "completion time (s)");
+    figure.push(Series::new("MagPIe (list order)", magpie));
+    figure.push(Series::new("Direct (longest tail first)", direct_best));
+    figure.push(Series::new("Relay-capable (earliest completion)", relay));
+    figure
+}
+
+/// Runs the all-to-all comparison: corrected lower bound vs the scheduled
+/// exchange on the Table-3 grid.
+pub fn run_alltoall(_config: &ExperimentConfig) -> FigureResult {
+    alltoall_comparison(
+        "All-to-all on GRID'5000: lower bound vs engine schedule",
+        &ALLTOALL_KIB,
+    )
+}
+
+/// The sweep behind [`run_alltoall`].
+pub fn alltoall_comparison(title: &str, kib_sizes: &[u64]) -> FigureResult {
+    let grid = grid5000_table3();
+    let mut bound = Vec::with_capacity(kib_sizes.len());
+    let mut scheduled = Vec::with_capacity(kib_sizes.len());
+    for &kib in kib_sizes {
+        let per_pair = MessageSize::from_kib(kib);
+        bound.push((kib as f64, alltoall_estimate(&grid, per_pair).as_secs()));
+        scheduled.push((
+            kib as f64,
+            alltoall_schedule(&grid, per_pair).makespan().as_secs(),
+        ));
+    }
+    let mut figure = FigureResult::new(title, "per-pair block (KiB)", "completion time (s)");
+    figure.push(Series::new("Lower bound (interface time)", bound));
+    figure.push(Series::new("Engine schedule", scheduled));
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_comparison_ranks_the_strategies() {
+        let fig = scatter_comparison("t", &[16, 256]);
+        assert_eq!(fig.series.len(), 3);
+        let magpie = fig.series_by_label("MagPIe (list order)").unwrap();
+        let direct = fig.series_by_label("Direct (longest tail first)").unwrap();
+        let relay = fig
+            .series_by_label("Relay-capable (earliest completion)")
+            .unwrap();
+        for (i, point) in relay.points.iter().enumerate() {
+            assert!(point.y.is_finite() && point.y > 0.0);
+            // The grid-aware direct ordering never loses to list order, and
+            // the relay-capable schedule is produced by a heuristic — on this
+            // grid it must at least stay competitive with the direct best
+            // (regression guard: within 10%).
+            assert!(direct.points[i].y <= magpie.points[i].y + 1e-9);
+            assert!(point.y <= direct.points[i].y * 1.10);
+        }
+    }
+
+    #[test]
+    fn alltoall_schedule_dominates_its_lower_bound() {
+        let fig = alltoall_comparison("t", &[1, 16]);
+        let bound = fig.series_by_label("Lower bound (interface time)").unwrap();
+        let sched = fig.series_by_label("Engine schedule").unwrap();
+        for (b, s) in bound.points.iter().zip(&sched.points) {
+            assert!(b.y > 0.0);
+            assert!(s.y + 1e-9 >= b.y);
+        }
+    }
+}

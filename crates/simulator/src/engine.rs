@@ -56,14 +56,38 @@ pub fn execute_plan(
     plan: &SendPlan,
     m: MessageSize,
     start_offset: Time,
-    mut trace: Option<&mut Vec<TraceEvent>>,
+    trace: Option<&mut Vec<TraceEvent>>,
 ) -> SimulationOutcome {
+    execute_generic(
+        network,
+        plan.source,
+        plan.num_nodes(),
+        |node| plan.forwards[node].iter().map(move |&dst| (dst, m)),
+        start_offset,
+        trace,
+    )
+}
+
+/// The shared discrete-event core behind [`execute_plan`] and
+/// [`execute_sized_plan`]: `forwards_of(node)` yields the ordered
+/// `(destination, payload)` sends a machine issues once it holds its data.
+/// Monomorphised per caller, so the uniform-payload broadcast path pays
+/// nothing for the generality.
+fn execute_generic<I>(
+    network: &NodeNetwork,
+    source: NodeId,
+    plan_nodes: usize,
+    forwards_of: impl Fn(usize) -> I + Copy,
+    start_offset: Time,
+    mut trace: Option<&mut Vec<TraceEvent>>,
+) -> SimulationOutcome
+where
+    I: Iterator<Item = (NodeId, MessageSize)>,
+{
     let n = network.num_nodes();
     assert_eq!(
-        plan.num_nodes(),
-        n,
-        "plan covers {} machines but the network has {n}",
-        plan.num_nodes()
+        plan_nodes, n,
+        "plan covers {plan_nodes} machines but the network has {n}"
     );
 
     let mut receive_times = vec![Time::INFINITY; n];
@@ -84,7 +108,8 @@ pub fn execute_plan(
         lo * num_clusters + hi
     };
 
-    // A helper issuing all forwards of a machine once it holds the message.
+    // A helper issuing all forwards of a machine once it holds its data; each
+    // send's gap is priced for that send's payload.
     let issue_forwards = |node: NodeId,
                           ready_at: Time,
                           queue: &mut BinaryHeap<Reverse<Arrival>>,
@@ -93,8 +118,8 @@ pub fn execute_plan(
                           messages: &mut usize,
                           trace: &mut Option<&mut Vec<TraceEvent>>| {
         let mut nic_free = ready_at;
-        for &dst in &plan.forwards[node.index()] {
-            let gap = network.gap(node, dst, m);
+        for (dst, payload) in forwards_of(node.index()) {
+            let gap = network.gap(node, dst, payload);
             let latency = network.latency(node, dst);
             let src_cluster = network.nodes()[node.index()].cluster.index();
             let dst_cluster = network.nodes()[dst.index()].cluster.index();
@@ -132,9 +157,9 @@ pub fn execute_plan(
         }
     };
 
-    receive_times[plan.source.index()] = start_offset;
+    receive_times[source.index()] = start_offset;
     issue_forwards(
-        plan.source,
+        source,
         start_offset,
         &mut queue,
         &mut link_free,
@@ -180,6 +205,31 @@ pub fn execute_plan(
         messages,
         events_processed,
     }
+}
+
+/// Executes a [`SizedSendPlan`](crate::plan::SizedSendPlan) — the node-level
+/// realisation of the personalised patterns, where every send carries its own
+/// payload — with the same semantics as [`execute_plan`]: per-send interface
+/// occupancy of `g(payload)`, shared wide-area paths serialising beyond the
+/// concurrency budget, and arrivals processed in global time order.
+///
+/// The uniform-payload [`execute_plan`] stays untouched as the broadcast fast
+/// path; this sibling prices every gap for the bytes that specific send moves
+/// (a relayed concatenation, an aggregate block, or one machine's slice).
+pub fn execute_sized_plan(
+    network: &NodeNetwork,
+    plan: &crate::plan::SizedSendPlan,
+    start_offset: Time,
+    trace: Option<&mut Vec<TraceEvent>>,
+) -> SimulationOutcome {
+    execute_generic(
+        network,
+        plan.source,
+        plan.num_nodes(),
+        |node| plan.forwards[node].iter().copied(),
+        start_offset,
+        trace,
+    )
 }
 
 #[cfg(test)]
@@ -269,6 +319,42 @@ mod tests {
         // Trace holds one send and one arrival per message.
         assert_eq!(trace.len(), 2 * 87);
         assert!(trace.iter().any(|e| e.kind == TraceKind::SendStart));
+    }
+
+    #[test]
+    fn sized_plan_execution_prices_each_send_for_its_payload() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        use crate::plan::SizedSendPlan;
+        let mut small = SizedSendPlan::empty(NodeId(0), network.num_nodes());
+        small.forwards[0].push((NodeId(1), MessageSize::from_kib(64)));
+        let mut large = SizedSendPlan::empty(NodeId(0), network.num_nodes());
+        large.forwards[0].push((NodeId(1), MessageSize::from_mib(4)));
+        let fast = execute_sized_plan(&network, &small, Time::ZERO, None);
+        let slow = execute_sized_plan(&network, &large, Time::ZERO, None);
+        assert!(fast.receive_time(NodeId(1)) < slow.receive_time(NodeId(1)));
+        assert_eq!(
+            fast.receive_time(NodeId(1)),
+            network.transfer(NodeId(0), NodeId(1), MessageSize::from_kib(64))
+        );
+    }
+
+    #[test]
+    fn relay_scatter_executes_node_level_end_to_end() {
+        use crate::plan::SizedSendPlan;
+        use gridcast_core::{RelayOrdering, RelayScatterProblem};
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let per_node = MessageSize::from_kib(64);
+        let problem = RelayScatterProblem::from_grid(&grid, ClusterId(0), per_node);
+        let schedule = problem.schedule(RelayOrdering::EarliestCompletion);
+        let plan = SizedSendPlan::from_relay_schedule(&grid, &schedule, per_node);
+        let mut trace = Vec::new();
+        let outcome = execute_sized_plan(&network, &plan, Time::ZERO, Some(&mut trace));
+        assert!(outcome.completion.is_finite());
+        assert_eq!(outcome.messages, 87);
+        assert!(outcome.receive_times.iter().all(|t| t.is_finite()));
+        assert_eq!(trace.len(), 2 * 87);
     }
 
     #[test]

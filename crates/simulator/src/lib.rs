@@ -18,7 +18,12 @@
 //! * an event-driven engine ([`engine`]) processes arrivals in time order and
 //!   reports per-machine reception times ([`SimulationOutcome`]),
 //! * the grid-unaware binomial tree over all ranks ("Default LAM" in Figure 6)
-//!   and the schedule-driven grid-aware executions share the same engine, and
+//!   and the schedule-driven grid-aware executions share the same engine,
+//! * **personalised** patterns execute too: a [`SizedSendPlan`] carries a
+//!   payload per send (relayed concatenations, aggregate blocks, per-machine
+//!   slices) and [`execute_sized_plan`] prices each gap for those bytes —
+//!   the node-level realisation of the relay-capable scatter schedules of
+//!   `gridcast_core::patterns`, and
 //! * the cost of *computing* the schedule itself (the paper's "algorithm
 //!   complexity" concern) can be measured and added via [`overhead`].
 //!
@@ -38,10 +43,10 @@ pub mod plan;
 pub mod simulator;
 pub mod trace;
 
-pub use engine::execute_plan;
+pub use engine::{execute_plan, execute_sized_plan};
 pub use network::NodeNetwork;
 pub use outcome::SimulationOutcome;
 pub use overhead::measure_scheduling_overhead;
-pub use plan::SendPlan;
+pub use plan::{SendPlan, SizedSendPlan};
 pub use simulator::Simulator;
 pub use trace::{TraceEvent, TraceKind};

@@ -8,7 +8,8 @@
 //! baseline of the same figure).
 
 use gridcast_collectives::binomial_tree;
-use gridcast_core::{Schedule, ScheduleEvent};
+use gridcast_core::{RelaySchedule, Schedule, ScheduleEvent};
+use gridcast_plogp::MessageSize;
 use gridcast_topology::{ClusterId, Grid, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -143,6 +144,104 @@ impl SendPlan {
     }
 }
 
+/// An ordered list of forwards per machine where every send carries its own
+/// payload size — the node-level realisation of the **personalised** patterns
+/// (scatter and its relay-capable variant), where a relayed message is a
+/// concatenation of blocks and a local scatter send is one machine's block.
+///
+/// The uniform-payload [`SendPlan`] stays the broadcast fast path; this type
+/// feeds [`execute_sized_plan`](crate::engine::execute_sized_plan).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizedSendPlan {
+    /// The machine that initially holds all the data.
+    pub source: NodeId,
+    /// For every machine, the ordered `(destination, payload)` sends it issues
+    /// once it holds its data.
+    pub forwards: Vec<Vec<(NodeId, MessageSize)>>,
+}
+
+impl SizedSendPlan {
+    /// Creates an empty plan (no forwards) for `num_nodes` machines.
+    pub fn empty(source: NodeId, num_nodes: usize) -> Self {
+        SizedSendPlan {
+            source,
+            forwards: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Number of machines covered by the plan.
+    pub fn num_nodes(&self) -> usize {
+        self.forwards.len()
+    }
+
+    /// Total number of point-to-point messages in the plan.
+    pub fn num_messages(&self) -> usize {
+        self.forwards.iter().map(|f| f.len()).sum()
+    }
+
+    /// Machines the plan never reaches (empty for a valid scatter).
+    pub fn unreachable(&self) -> Vec<NodeId> {
+        let n = self.num_nodes();
+        let mut received = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        received[self.source.index()] = true;
+        order.push(self.source);
+        let mut cursor = 0;
+        while cursor < order.len() {
+            let node = order[cursor];
+            cursor += 1;
+            for &(dst, _) in &self.forwards[node.index()] {
+                if !received[dst.index()] {
+                    received[dst.index()] = true;
+                    order.push(dst);
+                }
+            }
+        }
+        (0..n)
+            .map(|i| NodeId(i as u32))
+            .filter(|id| !received[id.index()])
+            .collect()
+    }
+
+    /// Builds the node-level plan realising a relay-capable inter-cluster
+    /// scatter `schedule` on `grid`:
+    ///
+    /// 1. every coordinator forwards the **concatenated subtree payloads** of
+    ///    the schedule's events it sends, in event order (this is where the
+    ///    relaying happens — a relay pushes other clusters' blocks onward),
+    ///    and only then
+    /// 2. scatters its own cluster's blocks locally, one `per_node` send per
+    ///    machine (the personalised counterpart of the broadcast's local
+    ///    binomial tree — every machine must receive a *different* block, so
+    ///    the coordinator is the only local sender).
+    pub fn from_relay_schedule(
+        grid: &Grid,
+        schedule: &RelaySchedule,
+        per_node: MessageSize,
+    ) -> Self {
+        let num_nodes = grid.num_nodes() as usize;
+        let source = grid.coordinator(schedule.root);
+        let mut plan = SizedSendPlan::empty(source, num_nodes);
+        for event in &schedule.events {
+            let from = grid.coordinator(event.sender);
+            let to = grid.coordinator(event.receiver);
+            plan.forwards[from.index()].push((to, event.payload));
+        }
+        for cluster in grid.clusters() {
+            let size = cluster.size as usize;
+            if size <= 1 {
+                continue;
+            }
+            let coordinator = grid.coordinator(cluster.id);
+            for local_rank in 1..size {
+                plan.forwards[coordinator.index()]
+                    .push((NodeId(coordinator.0 + local_rank as u32), per_node));
+            }
+        }
+        plan
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +299,50 @@ mod tests {
         let plan = SendPlan::empty(NodeId(0), 4);
         let missing = plan.unreachable();
         assert_eq!(missing, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn relay_schedule_plan_reaches_every_machine_exactly_once() {
+        use gridcast_core::{RelayOrdering, RelayScatterProblem};
+        let grid = grid5000_table3();
+        let per_node = MessageSize::from_kib(64);
+        let problem = RelayScatterProblem::from_grid(&grid, ClusterId(0), per_node);
+        for ordering in [
+            RelayOrdering::Direct,
+            RelayOrdering::EarliestCompletion,
+            RelayOrdering::EarliestLocalFinish,
+        ] {
+            let schedule = problem.schedule(ordering);
+            let plan = SizedSendPlan::from_relay_schedule(&grid, &schedule, per_node);
+            assert_eq!(plan.num_nodes(), 88);
+            assert!(plan.unreachable().is_empty(), "{ordering:?}");
+            // 5 inter-cluster transfers plus one send per non-coordinator
+            // machine: every machine receives exactly once.
+            assert_eq!(plan.num_messages(), 87, "{ordering:?}");
+        }
+    }
+
+    #[test]
+    fn relay_plan_carries_concatenated_payloads_inter_cluster() {
+        use gridcast_core::{RelayOrdering, RelayScatterProblem};
+        let grid = grid5000_table3();
+        let per_node = MessageSize::from_kib(16);
+        let problem = RelayScatterProblem::from_grid(&grid, ClusterId(0), per_node);
+        let schedule = problem.schedule(RelayOrdering::EarliestCompletion);
+        let plan = SizedSendPlan::from_relay_schedule(&grid, &schedule, per_node);
+        // Inter-cluster sends carry at least one aggregate block; local sends
+        // carry exactly one machine's slice.
+        let root = grid.coordinator(ClusterId(0));
+        let coordinators: Vec<NodeId> = grid.cluster_ids().map(|c| grid.coordinator(c)).collect();
+        for forwards in &plan.forwards {
+            for &(dst, payload) in forwards {
+                if coordinators.contains(&dst) && dst != root {
+                    assert!(payload >= per_node);
+                } else {
+                    assert_eq!(payload, per_node);
+                }
+            }
+        }
     }
 
     #[test]

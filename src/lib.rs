@@ -55,10 +55,12 @@ pub use gridcast_topology as topology;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use gridcast_collectives::{
-        intra_broadcast_time, BroadcastAlgorithm, Pattern, PatternCost,
+        concat_blocks, intra_broadcast_time, BroadcastAlgorithm, Pattern, PatternCost,
     };
     pub use gridcast_core::{
-        BroadcastProblem, HeuristicKind, Schedule, ScheduleEngine, ScheduleEvent, SelectionPolicy,
+        alltoall_estimate, alltoall_schedule, BroadcastProblem, EdgeCosts, HeuristicKind,
+        RelayOrdering, RelayScatterProblem, Schedule, ScheduleEngine, ScheduleEvent,
+        SelectionPolicy,
     };
     pub use gridcast_plogp::{MessageSize, PLogP, Time};
     pub use gridcast_simulator::{SimulationOutcome, Simulator};

@@ -1,0 +1,150 @@
+//! Property-based tests for the personalised patterns and the engine's
+//! per-edge payload path:
+//!
+//! * the costed engine path with uniform payloads is **byte-identical** to the
+//!   plain broadcast path (the fast path really is the degenerate case),
+//! * infinite sentinel edges (the scatter embedding) mix safely with every
+//!   selection policy — no NaN score ever reaches the k-best rows (the
+//!   engine's debug assertions are armed in this profile),
+//! * relay-capable scatter schedules are exact and bracketed by brute force on
+//!   small instances, and
+//! * the all-to-all schedule never beats the corrected analytic lower bound.
+
+use gridcast::core::patterns::{alltoall_estimate, alltoall_schedule};
+use gridcast::core::{
+    BroadcastProblem, EdgeCosts, HeuristicKind, RelayOrdering, RelayScatterProblem,
+    ScatterOrdering, ScatterProblem, ScheduleEngine,
+};
+use gridcast::plogp::{MessageSize, Time};
+use gridcast::topology::{ClusterId, GridGenerator};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `schedule_costed` with `EdgeCosts::uniform` reproduces the plain path
+    /// **bit for bit** on random Table-2 grids up to 128 clusters, for every
+    /// heuristic — same events, same float bit patterns, same completion
+    /// times. This is the parity guarantee that lets the broadcast fast path
+    /// share one round loop with the payload-priced patterns.
+    #[test]
+    fn uniform_payload_engine_path_is_byte_identical(
+        clusters in 2usize..=128,
+        seed in any::<u64>(),
+        root_idx in 0usize..128,
+    ) {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let root = ClusterId(root_idx % clusters);
+        let problem = BroadcastProblem::from_grid(&grid, root, MessageSize::from_mib(1));
+        let costs = EdgeCosts::uniform(&problem);
+        let mut engine = ScheduleEngine::new();
+        for kind in HeuristicKind::all() {
+            let plain = engine.schedule(&problem, kind);
+            let costed = engine.schedule_costed(&problem, &costs, kind);
+            prop_assert_eq!(plain.events.len(), costed.events.len(), "{}", kind);
+            for (a, b) in plain.events.iter().zip(&costed.events) {
+                prop_assert!(
+                    a.sender == b.sender
+                        && a.receiver == b.receiver
+                        && a.start.as_secs().to_bits() == b.start.as_secs().to_bits()
+                        && a.arrival.as_secs().to_bits() == b.arrival.as_secs().to_bits(),
+                    "{} diverges on {} clusters", kind, clusters
+                );
+            }
+            let plain_spans: Vec<u64> =
+                plain.cluster_completion.iter().map(|t| t.as_secs().to_bits()).collect();
+            let costed_spans: Vec<u64> =
+                costed.cluster_completion.iter().map(|t| t.as_secs().to_bits()).collect();
+            prop_assert_eq!(plain_spans, costed_spans, "{} completions diverge", kind);
+        }
+    }
+
+    /// Problems with infinite sentinel edges — the scatter embedding makes
+    /// every non-root link infinitely expensive — run through **every**
+    /// selection policy without producing a NaN score (the engine's debug
+    /// assertions would abort this test) and still yield valid, finite
+    /// schedules: only the finite root edges are ever committed.
+    #[test]
+    fn infinite_sentinel_edges_mix_safely_with_every_policy(
+        clusters in 2usize..=24,
+        seed in any::<u64>(),
+        root_idx in 0usize..24,
+    ) {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let root = ClusterId(root_idx % clusters);
+        let scatter = ScatterProblem::from_grid(&grid, root, MessageSize::from_kib(64));
+        let embedded = scatter.as_broadcast_problem();
+        let mut engine = ScheduleEngine::new();
+        for kind in HeuristicKind::all() {
+            let schedule = engine.schedule(&embedded, kind);
+            prop_assert!(schedule.validate(&embedded).is_ok(), "{}", kind);
+            prop_assert!(schedule.makespan().is_finite(), "{}", kind);
+            for event in &schedule.events {
+                prop_assert_eq!(event.sender, root, "{} relayed an infinite edge", kind);
+            }
+        }
+        // The scatter orderings themselves stay sane on the same embedding.
+        for ordering in [
+            ScatterOrdering::ListOrder,
+            ScatterOrdering::LongestTailFirst,
+            ScatterOrdering::ShortestTailFirst,
+        ] {
+            prop_assert!(ordering.makespan(&scatter).is_finite());
+        }
+    }
+
+    /// Relay-capable scatter on ≤5-cluster instances, checked against full
+    /// brute-force enumeration of every relay tree and send order: the greedy
+    /// schedules never beat the enumerated optimum (they are exact timings of
+    /// real trees), the optimum never loses to the best direct-only ordering
+    /// (stars are a subset of trees), and the direct greedy never beats the
+    /// direct brute force.
+    #[test]
+    fn relay_scatter_is_bracketed_by_brute_force(
+        clusters in 2usize..=5,
+        seed in any::<u64>(),
+        root_idx in 0usize..5,
+        kib in 1u64..=512,
+    ) {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let root = ClusterId(root_idx % clusters);
+        let problem = RelayScatterProblem::from_grid(&grid, root, MessageSize::from_kib(kib));
+        let optimal = problem.optimal_makespan();
+        let best_direct = problem.best_direct_makespan();
+        let eps = Time::from_micros(1.0);
+        prop_assert!(optimal <= best_direct + eps,
+            "relay optimum {} worse than direct optimum {}", optimal, best_direct);
+        for ordering in [
+            RelayOrdering::Direct,
+            RelayOrdering::EarliestCompletion,
+            RelayOrdering::EarliestLocalFinish,
+        ] {
+            let makespan = problem.makespan(ordering);
+            prop_assert!(makespan.is_finite(), "{:?}", ordering);
+            prop_assert!(makespan + eps >= optimal,
+                "{:?} ({}) beat the brute-force optimum ({})", ordering, makespan, optimal);
+        }
+        prop_assert!(problem.makespan(RelayOrdering::Direct) + eps >= best_direct);
+    }
+
+    /// The engine-scheduled all-to-all is executable, covers every ordered
+    /// cluster pair, and never beats the corrected interface-time lower
+    /// bound.
+    #[test]
+    fn alltoall_schedule_respects_the_lower_bound(
+        clusters in 2usize..=10,
+        seed in any::<u64>(),
+        kib in 1u64..=64,
+    ) {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let per_pair = MessageSize::from_kib(kib);
+        let schedule = alltoall_schedule(&grid, per_pair);
+        let estimate = alltoall_estimate(&grid, per_pair);
+        prop_assert_eq!(schedule.exchange.transfers.len(), clusters * (clusters - 1));
+        prop_assert!(schedule.makespan().is_finite());
+        prop_assert!(schedule.makespan() + Time::from_micros(1.0) >= estimate,
+            "schedule {} beat the lower bound {}", schedule.makespan(), estimate);
+    }
+}
