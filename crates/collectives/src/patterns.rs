@@ -30,6 +30,15 @@ pub trait PatternCost {
     /// concatenation of its ranks' individual blocks. This is the message a
     /// coordinator pushes or relays over a wide-area link on behalf of a whole
     /// cluster, so wide-area gaps must be priced for it — not for `per_rank`.
+    ///
+    /// The byte count is direction-agnostic, but **which directed link prices
+    /// it is not**: the gap must be evaluated on the link the aggregate
+    /// actually travels. For scatter-direction patterns that is the
+    /// `root → cluster` link; for the time-reversed duals (gather, and the
+    /// incoming half of allgather/all-to-all) it is the `cluster → root`
+    /// (sender-side) link — on asymmetric grids the two differ, and pricing
+    /// the wrong direction is exactly the interface-inversion bug the
+    /// corrected `alltoall_estimate`/`allgather_estimate` guard against.
     fn aggregate_bytes(&self, size: u32, per_rank: MessageSize) -> MessageSize {
         MessageSize::from_bytes(per_rank.as_bytes() * u64::from(size))
     }
@@ -37,10 +46,12 @@ pub trait PatternCost {
 
 /// Size of the concatenation of several blocks travelling as **one** wide-area
 /// message — the payload of a relayed transfer that carries other clusters'
-/// blocks alongside the receiver's own. Concatenation is plain byte addition;
-/// the saving of relaying comes from pricing one `g(Σ m_i)` instead of several
-/// `g(m_i)` (amortising the per-message cost) and from the relay's links, not
-/// from any compression.
+/// blocks alongside the receiver's own (scatter direction), or a gather
+/// subtree's blocks travelling towards the root (the time-reversed dual —
+/// same byte count, priced on the opposite directed link). Concatenation is
+/// plain byte addition; the saving of relaying comes from pricing one
+/// `g(Σ m_i)` instead of several `g(m_i)` (amortising the per-message cost)
+/// and from the relay's links, not from any compression.
 pub fn concat_blocks(blocks: impl IntoIterator<Item = MessageSize>) -> MessageSize {
     MessageSize::from_bytes(blocks.into_iter().map(|b| b.as_bytes()).sum())
 }
@@ -167,6 +178,23 @@ mod tests {
         let p = lan();
         let m = MessageSize::from_kib(32);
         assert_eq!(gather_time(&p, 20, m), scatter_time(&p, 20, m));
+    }
+
+    #[test]
+    fn aggregate_bytes_are_direction_agnostic_across_duals() {
+        // The byte count of a cluster's aggregate is the same whichever way
+        // it travels — the *pricing direction* is the caller's job (see the
+        // trait doc); these equalities are what make the time-reversed duals
+        // exchange identical payloads.
+        let m = MessageSize::from_kib(8);
+        assert_eq!(
+            Pattern::Scatter.aggregate_bytes(12, m),
+            Pattern::Gather.aggregate_bytes(12, m)
+        );
+        assert_eq!(
+            Pattern::AllGather.aggregate_bytes(12, m),
+            Pattern::Gather.aggregate_bytes(12, m)
+        );
     }
 
     #[test]

@@ -75,9 +75,10 @@ pub use heuristics::{Heuristic, HeuristicKind};
 pub use mixed::MixedStrategy;
 pub use optimal::{optimal_schedule, OptimalSearch};
 pub use patterns::{
-    alltoall_estimate, alltoall_schedule, AllToAllSchedule, RelayEvent, RelayOrdering,
-    RelayScatterPolicy, RelayScatterProblem, RelaySchedule, ScatterOrdering, ScatterProblem,
-    ScatterTailPolicy,
+    allgather_estimate, allgather_schedule, alltoall_estimate, alltoall_schedule,
+    alltoall_transfer_set, AllGatherSchedule, AllToAllSchedule, RelayEvent, RelayGatherProblem,
+    RelayGatherSchedule, RelayOrdering, RelayScatterPolicy, RelayScatterProblem, RelaySchedule,
+    ScatterOrdering, ScatterProblem, ScatterTailPolicy,
 };
 pub use problem::BroadcastProblem;
 pub use schedule::{Schedule, ScheduleError, ScheduleEvent};

@@ -36,6 +36,20 @@
 //!   [`alltoall_estimate`] remains as the analytic **lower bound** the
 //!   schedule is checked against.
 //!
+//! * **Gather** ([`RelayGatherProblem`]): the exact **time-reversed dual** of
+//!   the relay-capable scatter — the mirrored scatter is scheduled on the
+//!   [transposed grid](gridcast_topology::Grid::transposed) and reflected
+//!   about its makespan, so every edge is priced for the direction the
+//!   concatenation actually travels (child → parent) and the makespans match
+//!   bit for bit.
+//!
+//! * **Allgather** ([`allgather_schedule`]): the receive-side mirror of the
+//!   exchange machinery — one aggregate-block transfer per ordered cluster
+//!   pair on the same transfer scheduler, with each interface released only
+//!   after its cluster's local gather and the full concatenation
+//!   redistributed locally afterwards; [`allgather_estimate`] is the matching
+//!   lower bound (send *and* receive interface time, one terminal latency).
+//!
 //! Scheduling goes through the same pattern-agnostic
 //! [`ScheduleEngine`](crate::ScheduleEngine) as the broadcast heuristics: a
 //! direct scatter is embedded as a broadcast problem whose non-root links are
@@ -50,7 +64,7 @@ use crate::engine::{
     SelectionPolicy, Transfer, TransferSet,
 };
 use crate::BroadcastProblem;
-use gridcast_collectives::{concat_blocks, Pattern, PatternCost};
+use gridcast_collectives::{concat_blocks, BroadcastAlgorithm, Pattern, PatternCost};
 use gridcast_plogp::{MessageSize, Time};
 use gridcast_topology::{ClusterId, Grid, SquareMatrix};
 use serde::{Deserialize, Serialize};
@@ -282,9 +296,41 @@ impl SelectionPolicy for ScatterTailPolicy {
 /// tests assert; use the schedule for executable timings and this estimate to
 /// compare topologies cheaply.
 pub fn alltoall_estimate(grid: &Grid, per_pair: MessageSize) -> Time {
+    let pair_bytes = |a: ClusterId, b: ClusterId| {
+        MessageSize::from_bytes(
+            per_pair.as_bytes() * u64::from(grid.cluster(a).size) * u64::from(grid.cluster(b).size),
+        )
+    };
+    exchange_estimate(
+        grid,
+        pair_bytes,
+        |_| Time::ZERO,
+        |i| {
+            let ci = grid.cluster(i);
+            match ci.intra.plogp() {
+                Some(plogp) => Pattern::AllToAll.intra_time(plogp, ci.size, per_pair),
+                None => Time::ZERO,
+            }
+        },
+    )
+}
+
+/// The per-cluster interface bound shared by [`alltoall_estimate`] and
+/// [`allgather_estimate`] — the skeleton the PR-3 send/receive-inversion fix
+/// showed must exist exactly once: cluster `i`'s single interface, available
+/// only after `lead_in(i)`, serialises the gaps of its outgoing **and**
+/// incoming transfers (`payload(from, to)` bytes per ordered pair, each
+/// priced on its own directed link); its last arrival cannot beat the summed
+/// receive gaps plus one (the cheapest) incoming latency; `tail(i)` runs
+/// after the traffic drains. Returns the maximum over clusters.
+fn exchange_estimate(
+    grid: &Grid,
+    mut payload: impl FnMut(ClusterId, ClusterId) -> MessageSize,
+    mut lead_in: impl FnMut(ClusterId) -> Time,
+    mut tail: impl FnMut(ClusterId) -> Time,
+) -> Time {
     let mut worst = Time::ZERO;
     for i in grid.cluster_ids() {
-        let ci = grid.cluster(i);
         let mut interface = Time::ZERO;
         let mut receive_gaps = Time::ZERO;
         let mut min_in_latency = Time::INFINITY;
@@ -292,25 +338,18 @@ pub fn alltoall_estimate(grid: &Grid, per_pair: MessageSize) -> Time {
             if i == j {
                 continue;
             }
-            let cj = grid.cluster(j);
-            let bytes = MessageSize::from_bytes(
-                per_pair.as_bytes() * u64::from(ci.size) * u64::from(cj.size),
-            );
-            let in_gap = grid.gap(j, i, bytes);
-            interface += grid.gap(i, j, bytes) + in_gap;
+            let in_gap = grid.gap(j, i, payload(j, i));
+            interface += grid.gap(i, j, payload(i, j)) + in_gap;
             receive_gaps += in_gap;
             min_in_latency = min_in_latency.min(grid.latency(j, i));
         }
-        let mut total = interface;
+        let mut busy = interface;
         if min_in_latency.is_finite() {
             // The last incoming payload arrives no earlier than all receive
             // gaps plus one (the cheapest) latency.
-            total = total.max(receive_gaps + min_in_latency);
+            busy = busy.max(receive_gaps + min_in_latency);
         }
-        if let Some(plogp) = ci.intra.plogp() {
-            total += Pattern::AllToAll.intra_time(plogp, ci.size, per_pair);
-        }
-        worst = worst.max(total);
+        worst = worst.max(lead_in(i) + busy + tail(i));
     }
     worst
 }
@@ -698,6 +737,260 @@ impl RelayScatterProblem {
     }
 }
 
+/// A gather problem whose inter-cluster level may **relay** — the exact
+/// **time-reversed dual** of [`RelayScatterProblem`].
+///
+/// Every cluster's coordinator holds its cluster's aggregate block (collected
+/// by a local gather) and all blocks must reach the `root`'s coordinator.
+/// A gather tree is a scatter tree run backwards: each coordinator hands the
+/// concatenation of its **whole subtree's blocks** to its parent, and a block
+/// travelling `c → p` pays the `c → p` link — the sender/receiver roles of
+/// every edge are swapped relative to the scatter.
+///
+/// The implementation *is* that duality: the problem wraps a
+/// [`RelayScatterProblem`] over the [transposed grid](Grid::transposed)
+/// (so every scatter edge `p → c` is priced on the original `c → p` link),
+/// schedules it with the unchanged engine machinery, and reflects the result
+/// about its makespan ([`RelayGatherSchedule`]). Gather's local phase is the
+/// mirror too: the local gather time equals the local scatter time under the
+/// pLogP model ([`Pattern::Gather`] and [`Pattern::Scatter`] share one
+/// formula), charged *before* a coordinator's uplink send instead of after
+/// its forwards.
+///
+/// The reflected schedule is genuinely executable (receives serialise on the
+/// parent's interface exactly where the scatter's sends did) and its makespan
+/// equals the mirrored scatter's **bit for bit**; an independent forward
+/// (ASAP) retiming — [`RelayGatherProblem::forward_makespan`] — reproduces it
+/// to float tolerance, which the duality proptests pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayGatherProblem {
+    /// The cluster whose coordinator must end up holding every block.
+    pub root: ClusterId,
+    /// Per-machine block size.
+    pub per_node: MessageSize,
+    /// The time-reversed twin: a relay-capable scatter from `root` on the
+    /// transposed grid.
+    mirror: RelayScatterProblem,
+}
+
+/// A fully timed relay-capable gather schedule: the reflection of a
+/// [`RelaySchedule`] about its makespan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelayGatherSchedule {
+    /// The sink cluster.
+    pub root: ClusterId,
+    /// Inter-cluster transfers in execution (time) order. `sender` is the
+    /// child handing the concatenation of its subtree's blocks to `receiver`,
+    /// its parent; `start` is the hand-off (the payload then travels `L` and
+    /// occupies the **parent's** interface for `g(payload)` — the mirrored
+    /// gap model), `arrival` the moment the parent holds it.
+    pub events: Vec<RelayEvent>,
+    /// Per cluster: when its subtree's data is complete at its parent (for
+    /// the root: when it holds every block — the makespan).
+    pub completion: Vec<Time>,
+    /// Name of the ordering that produced the schedule.
+    pub heuristic: String,
+}
+
+impl RelayGatherSchedule {
+    /// The makespan: the moment the root's coordinator holds every block.
+    pub fn makespan(&self) -> Time {
+        self.completion.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+}
+
+impl RelayGatherProblem {
+    /// Builds the relay-capable gather problem for `grid`, collecting
+    /// `per_node` bytes from every machine at the coordinator of `root`.
+    pub fn from_grid(grid: &Grid, root: ClusterId, per_node: MessageSize) -> Self {
+        RelayGatherProblem {
+            root,
+            per_node,
+            mirror: RelayScatterProblem::from_grid(&grid.transposed(), root, per_node),
+        }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.mirror.num_clusters()
+    }
+
+    /// The aggregate block one cluster contributes.
+    pub fn block(&self, cluster: ClusterId) -> MessageSize {
+        self.mirror.block(cluster)
+    }
+
+    /// The local gather time of one cluster (its coordinator collecting the
+    /// cluster's blocks before any uplink send).
+    pub fn local_gather(&self, cluster: ClusterId) -> Time {
+        self.mirror.local_scatter(cluster)
+    }
+
+    /// The time-reversed scatter twin — a [`RelayScatterProblem`] from `root`
+    /// on the transposed grid. Exposed so the duality tests can compare
+    /// against an independently built instance.
+    pub fn mirror(&self) -> &RelayScatterProblem {
+        &self.mirror
+    }
+
+    /// Schedules the gather with `ordering` by scheduling the mirrored
+    /// scatter and reflecting the result; the makespan equals the mirror's
+    /// bit for bit.
+    pub fn schedule(&self, ordering: RelayOrdering) -> RelayGatherSchedule {
+        self.reflect(&self.mirror.schedule(ordering))
+    }
+
+    /// The makespan `ordering` achieves on this problem.
+    pub fn makespan(&self, ordering: RelayOrdering) -> Time {
+        self.schedule(ordering).makespan()
+    }
+
+    /// Exactly times a gather tree given as a scatter-direction commit
+    /// sequence (`(parent, child)` pairs growing the tree from the root, the
+    /// same shape [`RelayScatterProblem::retime`] consumes): the mirrored
+    /// scatter is retimed and reflected.
+    pub fn retime(
+        &self,
+        commits: &[(ClusterId, ClusterId)],
+        heuristic: &str,
+    ) -> RelayGatherSchedule {
+        self.reflect(&self.mirror.retime(commits, heuristic))
+    }
+
+    /// Reflects a mirrored-scatter schedule about its makespan `M`: event
+    /// `p → c` with window `[start, arrival]` becomes gather event `c → p`
+    /// with window `[M − arrival, M − start]`, in reversed order (so events
+    /// stay time-ordered). The makespan is exactly `M` — same float.
+    fn reflect(&self, scatter: &RelaySchedule) -> RelayGatherSchedule {
+        let horizon = scatter.makespan();
+        let n = self.num_clusters();
+        let events = scatter
+            .events
+            .iter()
+            .rev()
+            .map(|e| RelayEvent {
+                sender: e.receiver,
+                receiver: e.sender,
+                payload: e.payload,
+                start: horizon - e.arrival,
+                arrival: horizon - e.start,
+            })
+            .collect();
+        let mut completion = vec![Time::ZERO; n];
+        completion[self.root.index()] = horizon;
+        for e in &scatter.events {
+            completion[e.receiver.index()] = horizon - e.start;
+        }
+        RelayGatherSchedule {
+            root: self.root,
+            events,
+            completion,
+            heuristic: scatter.heuristic.clone(),
+        }
+    }
+
+    /// Independent **forward** (ASAP) timing of a gather tree, given as a
+    /// scatter-direction commit sequence: every cluster finishes its local
+    /// gather first, a child hands off its subtree concatenation as soon as
+    /// it is complete, the payload travels `L` and then occupies the parent's
+    /// interface for `g` (receives serialise per parent in reflected order).
+    ///
+    /// By the reversal argument this equals the mirrored scatter's retimed
+    /// makespan *mathematically*; the floats are accumulated in a different
+    /// order, so tests compare with a tolerance. Used by the brute-force
+    /// gather enumeration so the bracket is computed without going through
+    /// the mirror.
+    pub fn forward_makespan(&self, commits: &[(ClusterId, ClusterId)]) -> Time {
+        let n = self.num_clusters();
+        assert_eq!(commits.len(), n.saturating_sub(1), "incomplete sequence");
+        // Subtree payloads, exactly as the scatter retiming computes them.
+        let mut subtree: Vec<u64> = (0..n)
+            .map(|i| self.mirror.block(ClusterId(i)).as_bytes())
+            .collect();
+        subtree[self.root.index()] = 0;
+        for &(p, c) in commits.iter().rev() {
+            subtree[p.index()] += subtree[c.index()];
+        }
+        // `avail[i]`: cluster i's subtree concatenation is complete;
+        // `nic[i]`: its interface is free (local gather occupies it first).
+        let mut avail: Vec<Time> = (0..n).map(|i| self.local_gather(ClusterId(i))).collect();
+        let mut nic = avail.clone();
+        // Reversed commit order puts every (c, grandchild) hand-off before
+        // (p, c), so `avail[c]` is final when c's own edge is timed; it is
+        // also each parent's receive order in the reflected schedule.
+        for &(p, c) in commits.iter().rev() {
+            let payload = MessageSize::from_bytes(subtree[c.index()]);
+            // Mirrored pricing: the original `c → p` link is the transposed
+            // grid's `p → c` entry, evaluated through the same pLogP curve as
+            // the mirror so both timings price identical floats.
+            let gap = self.mirror.grid.gap(p, c, payload);
+            let latency = self.mirror.grid.latency(p, c);
+            let occupancy_start = nic[p.index()].max(avail[c.index()] + latency);
+            let done = occupancy_start + gap;
+            nic[p.index()] = done;
+            avail[p.index()] = avail[p.index()].max(done);
+        }
+        avail[self.root.index()]
+    }
+
+    /// Brute-force optimum over **every** gather tree and receive order,
+    /// timed forward by [`RelayGatherProblem::forward_makespan`] — the gather
+    /// side of the duality bracket. Super-exponential; small instances only.
+    pub fn optimal_forward_makespan(&self) -> Time {
+        let n = self.num_clusters();
+        assert!(
+            n <= 6,
+            "brute-force gather enumeration is super-exponential"
+        );
+        let mut in_a = vec![false; n];
+        in_a[self.root.index()] = true;
+        let mut seq = Vec::with_capacity(n.saturating_sub(1));
+        let mut best = Time::INFINITY;
+        self.enumerate_forward(&mut in_a, &mut seq, &mut best);
+        best
+    }
+
+    fn enumerate_forward(
+        &self,
+        in_a: &mut [bool],
+        seq: &mut Vec<(ClusterId, ClusterId)>,
+        best: &mut Time,
+    ) {
+        let n = self.num_clusters();
+        if seq.len() + 1 == n {
+            *best = (*best).min(self.forward_makespan(seq));
+            return;
+        }
+        for p in 0..n {
+            if !in_a[p] {
+                continue;
+            }
+            for c in 0..n {
+                if in_a[c] {
+                    continue;
+                }
+                in_a[c] = true;
+                seq.push((ClusterId(p), ClusterId(c)));
+                self.enumerate_forward(in_a, seq, best);
+                seq.pop();
+                in_a[c] = false;
+            }
+        }
+    }
+
+    /// Brute-force optimum over every gather tree via the mirrored scatter's
+    /// exact enumeration (bit-exact against the greedy's timing model).
+    pub fn optimal_makespan(&self) -> Time {
+        self.mirror.optimal_makespan()
+    }
+
+    /// Brute-force optimum over **direct-only** gathers (every cluster hands
+    /// its own block straight to the root, only the receive order varies).
+    pub fn best_direct_makespan(&self) -> Time {
+        self.mirror.best_direct_makespan()
+    }
+}
+
 fn permute_sequences(order: &mut Vec<ClusterId>, k: usize, visit: &mut impl FnMut(&[ClusterId])) {
     if k == order.len() {
         visit(order);
@@ -737,8 +1030,31 @@ impl AllToAllSchedule {
 /// executable figure — always at least [`alltoall_estimate`], which stays the
 /// analytic lower bound.
 pub fn alltoall_schedule(grid: &Grid, per_pair: MessageSize) -> AllToAllSchedule {
-    let n = grid.num_clusters();
-    let mut set = TransferSet::new(n);
+    let set = alltoall_transfer_set(grid, per_pair);
+    let local: Vec<Time> = grid
+        .clusters()
+        .iter()
+        .map(|c| match c.intra.plogp() {
+            Some(plogp) => Pattern::AllToAll.intra_time(plogp, c.size, per_pair),
+            None => Time::ZERO,
+        })
+        .collect();
+    let exchange = with_shared_engine(|engine| engine.schedule_transfers(&set));
+    let completion = exchange.completion_with_local(&local);
+    AllToAllSchedule {
+        exchange,
+        completion,
+    }
+}
+
+/// The [`TransferSet`] of a personalised all-to-all on `grid`: one transfer
+/// per ordered cluster pair moving `S_i · S_j · per_pair` bytes, gap priced
+/// by that directed link. The single source of the exchange workload —
+/// [`alltoall_schedule`] consumes it, and the scaling figure and the
+/// telemetry regression bench measure exactly this set, so the benchmarked
+/// workload can never drift from the product path.
+pub fn alltoall_transfer_set(grid: &Grid, per_pair: MessageSize) -> TransferSet {
+    let mut set = TransferSet::new(grid.num_clusters());
     for i in grid.cluster_ids() {
         let ci = grid.cluster(i);
         for j in grid.cluster_ids() {
@@ -758,18 +1074,124 @@ pub fn alltoall_schedule(grid: &Grid, per_pair: MessageSize) -> AllToAllSchedule
             });
         }
     }
-    let local: Vec<Time> = grid
-        .clusters()
-        .iter()
-        .map(|c| match c.intra.plogp() {
-            Some(plogp) => Pattern::AllToAll.intra_time(plogp, c.size, per_pair),
-            None => Time::ZERO,
-        })
-        .collect();
-    let exchange = with_shared_engine(|engine| engine.schedule_transfers(&set));
-    let completion = exchange.completion_with_local(&local);
-    AllToAllSchedule {
+    set
+}
+
+/// A fully timed allgather schedule: the per-ordered-pair aggregate-block
+/// transfers placed by the engine (each cluster's interface released only
+/// after its local gather), plus per-cluster completion times including the
+/// local redistribution of the full concatenation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllGatherSchedule {
+    /// The timed per-cluster-pair transfers.
+    pub exchange: ExchangeSchedule,
+    /// Per cluster: the local gather lead-in gating its interface (the
+    /// release times handed to the transfer scheduler).
+    pub release: Vec<Time>,
+    /// Per cluster: when all of its machines hold every block.
+    pub completion: Vec<Time>,
+}
+
+impl AllGatherSchedule {
+    /// The makespan of the allgather.
+    pub fn makespan(&self) -> Time {
+        self.completion.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+}
+
+/// Per-cluster local phases of the allgather: the **local gather** lead-in
+/// (the coordinator collects its cluster's blocks before any wide-area send)
+/// and the **local redistribution** tail (the coordinator broadcasts the full
+/// concatenation — every cluster's aggregate, its own included, since each
+/// rank only holds its own block — along a binomial tree once its wide-area
+/// traffic drains).
+fn allgather_local_phases(grid: &Grid, per_node: MessageSize) -> (Vec<Time>, Vec<Time>) {
+    let total = concat_blocks(
+        grid.clusters()
+            .iter()
+            .map(|c| Pattern::AllGather.aggregate_bytes(c.size, per_node)),
+    );
+    let mut release = Vec::with_capacity(grid.num_clusters());
+    let mut redistribute = Vec::with_capacity(grid.num_clusters());
+    for cluster in grid.clusters() {
+        match cluster.intra.plogp() {
+            Some(plogp) => {
+                release.push(Pattern::Gather.intra_time(plogp, cluster.size, per_node));
+                redistribute.push(if cluster.size > 1 {
+                    BroadcastAlgorithm::BinomialTree.predict(plogp, cluster.size, total)
+                } else {
+                    Time::ZERO
+                });
+            }
+            None => {
+                release.push(Time::ZERO);
+                redistribute.push(Time::ZERO);
+            }
+        }
+    }
+    (release, redistribute)
+}
+
+/// Analytic **lower bound** on an allgather in which every machine contributes
+/// `per_node` bytes and must end up with every other machine's block: cluster
+/// `i` pushes its aggregate block (`S_i · per_node`) to every other cluster
+/// and receives every other cluster's aggregate, so its single interface —
+/// released only after its local gather — must serialise the gaps of both its
+/// outgoing **and** incoming transfers (the directed links may be asymmetric,
+/// so the two directions are priced separately, exactly like the corrected
+/// [`alltoall_estimate`]). Latencies pipeline behind the gaps and only a
+/// single terminal latency is charged on the receive path. Each cluster then
+/// redistributes the full concatenation locally. The estimate is the maximum
+/// over clusters of these per-cluster bounds; every schedule produced by
+/// [`allgather_schedule`] respects it (the transfer scheduler uses the same
+/// single-port, release-gated interface model), which the tests assert.
+pub fn allgather_estimate(grid: &Grid, per_node: MessageSize) -> Time {
+    let (release, redistribute) = allgather_local_phases(grid, per_node);
+    exchange_estimate(
+        grid,
+        // An allgather transfer carries the *sender's* aggregate block.
+        |from, _| Pattern::AllGather.aggregate_bytes(grid.cluster(from).size, per_node),
+        |i| release[i.index()],
+        |i| redistribute[i.index()],
+    )
+}
+
+/// Schedules an allgather on `grid`: the exchange decomposes into one
+/// transfer per ordered cluster pair — cluster `i` pushes its **aggregate
+/// block** (`S_i · per_node` bytes, priced by that link's `g`) to cluster `j`
+/// — placed on the clusters' single interfaces by the engine's
+/// earliest-completion-first transfer scheduler with each interface released
+/// only after its cluster's local gather
+/// ([`ScheduleEngine::schedule_transfers_from`](crate::ScheduleEngine::schedule_transfers_from)).
+/// This is the receive-side mirror of the machinery behind
+/// [`alltoall_schedule`]: same transfer engine, but every payload is a whole
+/// cluster aggregate instead of a pair-personalised slice, and the local
+/// phases bracket the exchange (gather before, redistribution after). The
+/// resulting makespan is always at least [`allgather_estimate`].
+pub fn allgather_schedule(grid: &Grid, per_node: MessageSize) -> AllGatherSchedule {
+    let n = grid.num_clusters();
+    let (release, redistribute) = allgather_local_phases(grid, per_node);
+    let mut set = TransferSet::new(n);
+    for i in grid.cluster_ids() {
+        let block = Pattern::AllGather.aggregate_bytes(grid.cluster(i).size, per_node);
+        for j in grid.cluster_ids() {
+            if i == j {
+                continue;
+            }
+            set.push(Transfer {
+                from: i,
+                to: j,
+                payload: block,
+                gap: grid.gap(i, j, block),
+                latency: grid.latency(i, j),
+            });
+        }
+    }
+    let exchange = with_shared_engine(|engine| engine.schedule_transfers_from(&set, &release));
+    let completion = exchange.completion_with_local(&redistribute);
+    AllGatherSchedule {
         exchange,
+        release,
         completion,
     }
 }
@@ -1072,6 +1494,181 @@ mod tests {
         let schedule = problem.retime(&seq, "chain");
         assert_eq!(schedule.events[0].payload, problem.total_remote_bytes());
         assert!(schedule.makespan().is_finite());
+    }
+
+    /// Two singleton clusters with asymmetric directed links — the instance
+    /// that catches any send/receive-interface role inversion.
+    fn asymmetric_pair() -> Grid {
+        let lan = PLogP::affine(Time::from_micros(50.0), Time::from_micros(20.0), 110e6);
+        let cheap = PLogP::constant(Time::from_millis(1.0), Time::from_millis(10.0));
+        let expensive = PLogP::constant(Time::from_millis(1.0), Time::from_millis(1000.0));
+        Grid::builder()
+            .cluster(Cluster::with_plogp(ClusterId(0), "a", 1, lan.clone()))
+            .cluster(Cluster::with_plogp(ClusterId(1), "b", 1, lan))
+            .link_directed(ClusterId(0), ClusterId(1), cheap)
+            .link_directed(ClusterId(1), ClusterId(0), expensive)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn gather_makespan_equals_the_mirrored_scatter_bit_for_bit() {
+        let grid = grid5000_table3();
+        let per_node = MessageSize::from_kib(64);
+        let gather = RelayGatherProblem::from_grid(&grid, ClusterId(0), per_node);
+        let mirror = RelayScatterProblem::from_grid(&grid.transposed(), ClusterId(0), per_node);
+        for ordering in [
+            RelayOrdering::Direct,
+            RelayOrdering::EarliestCompletion,
+            RelayOrdering::EarliestLocalFinish,
+        ] {
+            let g = gather.makespan(ordering);
+            let s = mirror.makespan(ordering);
+            assert_eq!(
+                g.as_secs().to_bits(),
+                s.as_secs().to_bits(),
+                "{ordering:?}: gather {g} diverges from mirrored scatter {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_prices_edges_on_the_reversed_link_direction() {
+        // Regression for the scatter-direction role inversion: on the
+        // asymmetric pair, scattering from 0 uses the cheap 0 → 1 link but
+        // gathering *to* 0 must pay the expensive 1 → 0 uplink.
+        let grid = asymmetric_pair();
+        let per_node = MessageSize::from_kib(1);
+        let scatter = RelayScatterProblem::from_grid(&grid, ClusterId(0), per_node);
+        let gather = RelayGatherProblem::from_grid(&grid, ClusterId(0), per_node);
+        let s = scatter.makespan(RelayOrdering::Direct);
+        let g = gather.makespan(RelayOrdering::Direct);
+        assert!(
+            g > s * 10.0,
+            "gather ({g}) must pay the expensive reverse link, scatter paid {s}"
+        );
+        // And the dual direction agrees: gathering to 1 is as cheap as
+        // scattering from 1 is expensive.
+        let gather_to_1 = RelayGatherProblem::from_grid(&grid, ClusterId(1), per_node);
+        assert!(gather_to_1.makespan(RelayOrdering::Direct) < g);
+    }
+
+    #[test]
+    fn reflected_gather_schedule_is_executable() {
+        // Replay the reflected events forward and check feasibility: every
+        // child hands off after its local gather and after all its own
+        // receives, and receives serialise on each parent's interface.
+        let grid = grid5000_table3();
+        let problem = RelayGatherProblem::from_grid(&grid, ClusterId(2), MessageSize::from_kib(64));
+        for ordering in [RelayOrdering::Direct, RelayOrdering::EarliestCompletion] {
+            let schedule = problem.schedule(ordering);
+            let n = problem.num_clusters();
+            assert_eq!(schedule.events.len(), n - 1);
+            let eps = Time::from_micros(1.0);
+            let mut last_window_end = vec![Time::ZERO; n];
+            let mut received_all_by = vec![Time::ZERO; n];
+            for e in &schedule.events {
+                // Events come in time order; the payload occupies the
+                // receiver's interface for its final `g` before `arrival`.
+                let gap = grid.gap(e.sender, e.receiver, e.payload);
+                let occupancy_start = e.arrival - gap;
+                assert!(
+                    occupancy_start + eps >= last_window_end[e.receiver.index()],
+                    "{ordering:?}: receives overlap on {}",
+                    e.receiver
+                );
+                last_window_end[e.receiver.index()] = e.arrival;
+                // The child hands off only once its own subtree is complete
+                // and its local gather is done.
+                assert!(e.start + eps >= received_all_by[e.sender.index()]);
+                assert!(e.start + eps >= problem.local_gather(e.sender));
+                received_all_by[e.receiver.index()] =
+                    received_all_by[e.receiver.index()].max(e.arrival);
+            }
+            assert!(schedule.makespan().approx_eq(
+                received_all_by[ClusterId(2).index()].max(problem.local_gather(ClusterId(2))),
+                eps
+            ));
+        }
+    }
+
+    #[test]
+    fn forward_gather_timing_matches_the_reflection() {
+        let grid = grid5000_table3();
+        let problem = RelayGatherProblem::from_grid(&grid, ClusterId(0), MessageSize::from_kib(16));
+        // A star and a chain, timed both ways.
+        let star: Vec<(ClusterId, ClusterId)> =
+            (1..6).map(|c| (ClusterId(0), ClusterId(c))).collect();
+        let chain: Vec<(ClusterId, ClusterId)> =
+            (1..6).map(|c| (ClusterId(c - 1), ClusterId(c))).collect();
+        for seq in [star, chain] {
+            let reflected = problem.retime(&seq, "t").makespan();
+            let forward = problem.forward_makespan(&seq);
+            assert!(
+                forward.approx_eq(reflected, Time::from_micros(10.0)),
+                "forward {forward} vs reflected {reflected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_brute_force_brackets_the_greedy_on_grid5000() {
+        let problem = RelayGatherProblem::from_grid(
+            &grid5000_table3(),
+            ClusterId(0),
+            MessageSize::from_kib(16),
+        );
+        let optimal = problem.optimal_makespan();
+        let forward_optimal = problem.optimal_forward_makespan();
+        let eps = Time::from_micros(10.0);
+        assert!(optimal.approx_eq(forward_optimal, eps.max(optimal * 1e-9)));
+        let best_direct = problem.best_direct_makespan();
+        assert!(optimal <= best_direct + eps);
+        for ordering in [
+            RelayOrdering::Direct,
+            RelayOrdering::EarliestCompletion,
+            RelayOrdering::EarliestLocalFinish,
+        ] {
+            assert!(problem.makespan(ordering) + eps >= optimal, "{ordering:?}");
+        }
+    }
+
+    #[test]
+    fn allgather_estimate_counts_both_directions_with_one_terminal_latency() {
+        // Same construction as the all-to-all regression: asymmetric gaps,
+        // singleton clusters, 1-byte blocks. Cluster 0's interface must pay
+        // 10 ms out + 1000 ms in = 1010 ms, beating its receive path
+        // (1000 + 1 ms) and both of cluster 1's bounds.
+        let grid = asymmetric_pair();
+        let estimate = allgather_estimate(&grid, MessageSize::from_bytes(1));
+        assert!(
+            estimate.approx_eq(Time::from_millis(1010.0), Time::from_micros(1.0)),
+            "estimate {estimate} should pin both directions"
+        );
+    }
+
+    #[test]
+    fn allgather_schedule_is_never_better_than_the_estimate() {
+        let grid = grid5000_table3();
+        for &kib in &[1u64, 16, 256] {
+            let m = MessageSize::from_kib(kib);
+            let schedule = allgather_schedule(&grid, m);
+            let estimate = allgather_estimate(&grid, m);
+            assert!(schedule.makespan().is_finite());
+            assert_eq!(schedule.exchange.transfers.len(), 6 * 5);
+            assert!(
+                schedule.makespan() >= estimate,
+                "schedule {} beat the lower bound {} at {kib} KiB",
+                schedule.makespan(),
+                estimate
+            );
+            // The local gather lead-in really gates the interfaces: no
+            // transfer starts before its sender's (or receiver's) release.
+            for t in &schedule.exchange.transfers {
+                assert!(t.start >= schedule.release[t.from.index()]);
+                assert!(t.start >= schedule.release[t.to.index()]);
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,8 @@ fn main() {
             "patterns-alltoall",
             figures::patterns::run_alltoall(&config),
         ),
+        ("gather", figures::gather::run(&config)),
+        ("exchange-scaling", figures::gather::run_exchange(&config)),
     ] {
         println!("== {name} ==");
         println!("{}", figure.to_ascii_table());

@@ -1,0 +1,18 @@
+//! Regenerates the gather/exchange-scheduler comparison: the relay-capable
+//! gather policies against the scatter dual on the GRID'5000 Table-3 grid
+//! (the curves coincide — the time-reversal duality made visible), and the
+//! lazy-invalidation exchange scheduler against the retained O(T²) oracle.
+
+use gridcast_experiments::{figures, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let gather = figures::gather::run(&config);
+    print!("{}", gather.to_ascii_table());
+    eprintln!();
+    eprint!("{}", gather.to_csv());
+    let exchange = figures::gather::run_exchange(&config);
+    print!("{}", exchange.to_ascii_table());
+    eprintln!();
+    eprint!("{}", exchange.to_csv());
+}

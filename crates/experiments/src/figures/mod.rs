@@ -6,6 +6,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod gather;
 pub mod mixed;
 pub mod patterns;
 pub mod scaling;

@@ -32,6 +32,32 @@ impl PartialOrd for Arrival {
     }
 }
 
+/// Shared wide-area path occupancy per unordered cluster pair: each pair
+/// offers `wan_concurrency` channels at full per-flow rate; transfers beyond
+/// that serialise on the earliest-free channel. One definition serves both
+/// executors so the broadcast and personalised paths can never simulate
+/// different contention models for the same grid.
+struct WanChannels {
+    free: Vec<Vec<Time>>,
+    num_clusters: usize,
+}
+
+impl WanChannels {
+    fn new(network: &NodeNetwork) -> Self {
+        let num_clusters = network.grid().num_clusters();
+        WanChannels {
+            free: vec![vec![Time::ZERO; network.wan_concurrency()]; num_clusters * num_clusters],
+            num_clusters,
+        }
+    }
+
+    /// The channel free-times of the unordered pair `{a, b}`.
+    fn pair_mut(&mut self, a: usize, b: usize) -> &mut Vec<Time> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        &mut self.free[lo * self.num_clusters + hi]
+    }
+}
+
 /// Executes a [`SendPlan`] over a [`NodeNetwork`] for a message of size `m`,
 /// starting at time `start_offset` (used to account for scheduling overhead).
 ///
@@ -96,24 +122,14 @@ where
     let mut messages = 0usize;
     let mut events_processed = 0usize;
 
-    // Shared wide-area path occupancy per unordered cluster pair: each pair
-    // offers `wan_concurrency` channels at full per-flow rate; transfers beyond
-    // that serialise on the earliest-free channel.
-    let num_clusters = network.grid().num_clusters();
-    let channels = network.wan_concurrency();
-    let mut link_free: Vec<Vec<Time>> =
-        vec![vec![Time::ZERO; channels]; num_clusters * num_clusters];
-    let pair_index = |a: usize, b: usize| {
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        lo * num_clusters + hi
-    };
+    let mut link_free = WanChannels::new(network);
 
     // A helper issuing all forwards of a machine once it holds its data; each
     // send's gap is priced for that send's payload.
     let issue_forwards = |node: NodeId,
                           ready_at: Time,
                           queue: &mut BinaryHeap<Reverse<Arrival>>,
-                          link_free: &mut Vec<Vec<Time>>,
+                          link_free: &mut WanChannels,
                           seq: &mut u64,
                           messages: &mut usize,
                           trace: &mut Option<&mut Vec<TraceEvent>>| {
@@ -124,7 +140,7 @@ where
             let src_cluster = network.nodes()[node.index()].cluster.index();
             let dst_cluster = network.nodes()[dst.index()].cluster.index();
             let send_start = if src_cluster != dst_cluster {
-                let link = &mut link_free[pair_index(src_cluster, dst_cluster)];
+                let link = link_free.pair_mut(src_cluster, dst_cluster);
                 // Take the earliest-free channel of the shared path.
                 let channel = link
                     .iter_mut()
@@ -207,29 +223,253 @@ where
     }
 }
 
+/// An event of the staged executor behind [`execute_sized_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StagedKind {
+    /// A payload arriving at a machine.
+    Arrival { from: NodeId, to: NodeId },
+    /// A machine attempting to start its next pending send.
+    Attempt { node: NodeId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StagedEvent {
+    time: Time,
+    seq: u64,
+    kind: StagedKind,
+}
+
+impl Ord for StagedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for StagedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Executes a [`SizedSendPlan`](crate::plan::SizedSendPlan) — the node-level
 /// realisation of the personalised patterns, where every send carries its own
-/// payload — with the same semantics as [`execute_plan`]: per-send interface
-/// occupancy of `g(payload)`, shared wide-area paths serialising beyond the
-/// concurrency budget, and arrivals processed in global time order.
+/// payload and release gates.
 ///
-/// The uniform-payload [`execute_plan`] stays untouched as the broadcast fast
-/// path; this sibling prices every gap for the bytes that specific send moves
-/// (a relayed concatenation, an aggregate block, or one machine's slice).
+/// Semantics (the conformance-grade model for personalised exchanges; the
+/// uniform-payload [`execute_plan`] stays untouched as the broadcast fast
+/// path):
+///
+/// * a machine issues its forwards **in order**; each waits for its
+///   [`after_arrivals`](crate::plan::SizedSend::after_arrivals) gate (number
+///   of messages received so far) and its
+///   [`not_before`](crate::plan::SizedSend::not_before) release time,
+/// * a send occupies **both** endpoints' network interfaces for the gap
+///   `g(payload)` of the link — the single-port model of
+///   `ScheduleEngine::schedule_transfers`, which is what makes the engine's
+///   gather/allgather makespans reproducible here (a gather's receives
+///   genuinely serialise on the parent's interface),
+/// * transfers between two different clusters additionally occupy the shared
+///   wide-area path between those clusters (concurrency budget as in
+///   [`execute_plan`]),
+/// * contention is resolved in global time order (ties by issue order): an
+///   attempt whose interfaces are busy re-queues at the earliest time they
+///   free up.
+///
+/// The outcome's per-machine reception time is the **last** arrival (a gather
+/// coordinator is done when its whole subtree arrived, not at its first
+/// message); machines that receive nothing — the leaves of a gather — report
+/// `start_offset`, the moment they already hold their own data.
 pub fn execute_sized_plan(
     network: &NodeNetwork,
     plan: &crate::plan::SizedSendPlan,
     start_offset: Time,
-    trace: Option<&mut Vec<TraceEvent>>,
+    mut trace: Option<&mut Vec<TraceEvent>>,
 ) -> SimulationOutcome {
-    execute_generic(
-        network,
-        plan.source,
+    use crate::plan::SizedSend;
+    let n = network.num_nodes();
+    assert_eq!(
         plan.num_nodes(),
-        |node| plan.forwards[node].iter().copied(),
-        start_offset,
-        trace,
-    )
+        n,
+        "plan covers {} machines but the network has {n}",
+        plan.num_nodes()
+    );
+
+    let mut link_free = WanChannels::new(network);
+    let mut nic_free = vec![start_offset; n];
+    let mut arrivals = vec![0u32; n];
+    let mut cursor = vec![0usize; n];
+    let mut attempt_pending = vec![false; n];
+    let mut last_arrival = vec![start_offset; n];
+    let mut received_any = vec![false; n];
+    let mut queue: BinaryHeap<Reverse<StagedEvent>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut messages = 0usize;
+    let mut events_processed = 0usize;
+
+    // Schedules the next gated-and-ready forward of `node`, if any.
+    let advance = |node: usize,
+                   now: Time,
+                   cursor: &[usize],
+                   arrivals: &[u32],
+                   attempt_pending: &mut [bool],
+                   nic_free: &[Time],
+                   queue: &mut BinaryHeap<Reverse<StagedEvent>>,
+                   seq: &mut u64| {
+        if attempt_pending[node] || cursor[node] >= plan.forwards[node].len() {
+            return;
+        }
+        let send: &SizedSend = &plan.forwards[node][cursor[node]];
+        if arrivals[node] < send.after_arrivals {
+            return;
+        }
+        let at = now.max(nic_free[node]).max(send.not_before);
+        attempt_pending[node] = true;
+        queue.push(Reverse(StagedEvent {
+            time: at,
+            seq: *seq,
+            kind: StagedKind::Attempt {
+                node: NodeId(node as u32),
+            },
+        }));
+        *seq += 1;
+    };
+
+    for node in 0..n {
+        advance(
+            node,
+            start_offset,
+            &cursor,
+            &arrivals,
+            &mut attempt_pending,
+            &nic_free,
+            &mut queue,
+            &mut seq,
+        );
+    }
+
+    while let Some(Reverse(event)) = queue.pop() {
+        match event.kind {
+            StagedKind::Attempt { node } => {
+                let idx = node.index();
+                let send = plan.forwards[idx][cursor[idx]];
+                let src_cluster = network.nodes()[idx].cluster.index();
+                let dst_cluster = network.nodes()[send.to.index()].cluster.index();
+                let gap = network.gap(node, send.to, send.payload);
+                // The earliest feasible start given everything committed so
+                // far; constraints only move forward, so re-queueing at this
+                // time converges.
+                let mut earliest = event
+                    .time
+                    .max(nic_free[idx])
+                    .max(nic_free[send.to.index()])
+                    .max(send.not_before);
+                let channel_slot = if src_cluster != dst_cluster {
+                    let link = link_free.pair_mut(src_cluster, dst_cluster);
+                    let (slot, &free) = link
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, t)| **t)
+                        .expect("at least one channel per path");
+                    earliest = earliest.max(free);
+                    Some(slot)
+                } else {
+                    None
+                };
+                if earliest > event.time {
+                    queue.push(Reverse(StagedEvent {
+                        time: earliest,
+                        seq,
+                        kind: event.kind,
+                    }));
+                    seq += 1;
+                    continue;
+                }
+                let start = event.time;
+                let release = start + gap;
+                nic_free[idx] = release;
+                nic_free[send.to.index()] = release;
+                if let Some(slot) = channel_slot {
+                    link_free.pair_mut(src_cluster, dst_cluster)[slot] = release;
+                }
+                let arrival = release + network.latency(node, send.to);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent {
+                        kind: TraceKind::SendStart,
+                        time: start,
+                        from: node,
+                        to: send.to,
+                    });
+                }
+                queue.push(Reverse(StagedEvent {
+                    time: arrival,
+                    seq,
+                    kind: StagedKind::Arrival {
+                        from: node,
+                        to: send.to,
+                    },
+                }));
+                seq += 1;
+                messages += 1;
+                cursor[idx] += 1;
+                attempt_pending[idx] = false;
+                advance(
+                    idx,
+                    start,
+                    &cursor,
+                    &arrivals,
+                    &mut attempt_pending,
+                    &nic_free,
+                    &mut queue,
+                    &mut seq,
+                );
+            }
+            StagedKind::Arrival { from, to } => {
+                events_processed += 1;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent {
+                        kind: TraceKind::Arrival,
+                        time: event.time,
+                        from,
+                        to,
+                    });
+                }
+                let idx = to.index();
+                arrivals[idx] += 1;
+                received_any[idx] = true;
+                last_arrival[idx] = last_arrival[idx].max(event.time);
+                advance(
+                    idx,
+                    event.time,
+                    &cursor,
+                    &arrivals,
+                    &mut attempt_pending,
+                    &nic_free,
+                    &mut queue,
+                    &mut seq,
+                );
+            }
+        }
+    }
+
+    // A machine with unissued forwards at drain time is starved — its gate
+    // never opened. Propagate loudly instead of reporting success.
+    let starved = (0..n).any(|i| cursor[i] < plan.forwards[i].len());
+    let receive_times: Vec<Time> = (0..n)
+        .map(|i| {
+            if starved && (cursor[i] < plan.forwards[i].len() || !received_any[i]) {
+                Time::INFINITY
+            } else {
+                last_arrival[i]
+            }
+        })
+        .collect();
+    let completion = receive_times.iter().copied().max().unwrap_or(Time::ZERO);
+    SimulationOutcome {
+        completion,
+        receive_times,
+        messages,
+        events_processed,
+    }
 }
 
 #[cfg(test)]
@@ -327,9 +567,9 @@ mod tests {
         let network = NodeNetwork::new(&grid);
         use crate::plan::SizedSendPlan;
         let mut small = SizedSendPlan::empty(NodeId(0), network.num_nodes());
-        small.forwards[0].push((NodeId(1), MessageSize::from_kib(64)));
+        small.push_forward(NodeId(0), NodeId(1), MessageSize::from_kib(64));
         let mut large = SizedSendPlan::empty(NodeId(0), network.num_nodes());
-        large.forwards[0].push((NodeId(1), MessageSize::from_mib(4)));
+        large.push_forward(NodeId(0), NodeId(1), MessageSize::from_mib(4));
         let fast = execute_sized_plan(&network, &small, Time::ZERO, None);
         let slow = execute_sized_plan(&network, &large, Time::ZERO, None);
         assert!(fast.receive_time(NodeId(1)) < slow.receive_time(NodeId(1)));
@@ -337,6 +577,83 @@ mod tests {
             fast.receive_time(NodeId(1)),
             network.transfer(NodeId(0), NodeId(1), MessageSize::from_kib(64))
         );
+    }
+
+    #[test]
+    fn staged_sends_respect_gates_and_release_times() {
+        use crate::plan::{SizedSend, SizedSendPlan};
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let m = MessageSize::from_kib(64);
+        // Node 0 sends to node 1 no earlier than 100 ms; node 1 forwards to
+        // node 2 only after that arrival.
+        let mut plan = SizedSendPlan::empty(NodeId(0), network.num_nodes());
+        plan.forwards[0].push(SizedSend {
+            to: NodeId(1),
+            payload: m,
+            not_before: Time::from_millis(100.0),
+            after_arrivals: 0,
+        });
+        plan.forwards[1].push(SizedSend {
+            to: NodeId(2),
+            payload: m,
+            not_before: Time::ZERO,
+            after_arrivals: 1,
+        });
+        let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+        let hop = network.transfer(NodeId(0), NodeId(1), m);
+        assert!(outcome
+            .receive_time(NodeId(1))
+            .approx_eq(Time::from_millis(100.0) + hop, Time::from_micros(1.0)));
+        assert!(outcome.receive_time(NodeId(2)) > outcome.receive_time(NodeId(1)));
+        assert_eq!(outcome.messages, 2);
+    }
+
+    #[test]
+    fn staged_sends_occupy_both_endpoint_interfaces() {
+        use crate::plan::SizedSendPlan;
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let m = MessageSize::from_mib(1);
+        // Nodes 1 and 2 both send to node 0 at t = 0 (a 2-child gather): the
+        // receives must serialise on node 0's interface, so the last arrival
+        // is two gaps plus one latency, not max of two parallel transfers.
+        let mut plan = SizedSendPlan::empty(NodeId(1), network.num_nodes());
+        plan.forwards[1].push(crate::plan::SizedSend {
+            to: NodeId(0),
+            payload: m,
+            not_before: Time::ZERO,
+            after_arrivals: 0,
+        });
+        plan.forwards[2].push(crate::plan::SizedSend {
+            to: NodeId(0),
+            payload: m,
+            not_before: Time::ZERO,
+            after_arrivals: 0,
+        });
+        let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+        let gap = network.gap(NodeId(1), NodeId(0), m);
+        let lat = network.latency(NodeId(1), NodeId(0));
+        assert!(outcome
+            .receive_time(NodeId(0))
+            .approx_eq(gap + gap + lat, Time::from_micros(1.0)));
+    }
+
+    #[test]
+    fn starved_gates_propagate_loudly() {
+        use crate::plan::{SizedSend, SizedSendPlan};
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let mut plan = SizedSendPlan::empty(NodeId(0), network.num_nodes());
+        // Node 3 waits for an arrival that never comes.
+        plan.forwards[3].push(SizedSend {
+            to: NodeId(4),
+            payload: MessageSize::from_kib(1),
+            not_before: Time::ZERO,
+            after_arrivals: 1,
+        });
+        let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+        assert!(!outcome.completion.is_finite());
     }
 
     #[test]
@@ -355,6 +672,60 @@ mod tests {
         assert_eq!(outcome.messages, 87);
         assert!(outcome.receive_times.iter().all(|t| t.is_finite()));
         assert_eq!(trace.len(), 2 * 87);
+    }
+
+    #[test]
+    fn gather_executes_node_level_and_reproduces_the_engine_makespan() {
+        use crate::plan::SizedSendPlan;
+        use gridcast_core::{RelayGatherProblem, RelayOrdering};
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let per_node = MessageSize::from_kib(64);
+        let problem = RelayGatherProblem::from_grid(&grid, ClusterId(0), per_node);
+        for ordering in [RelayOrdering::Direct, RelayOrdering::EarliestCompletion] {
+            let schedule = problem.schedule(ordering);
+            let plan = SizedSendPlan::from_gather_schedule(&grid, &schedule, per_node);
+            let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+            assert!(outcome.completion.is_finite(), "{ordering:?}");
+            // GRID'5000 latencies are symmetric per pair, so the reflected
+            // receive windows stay feasible and the replay is exact.
+            assert!(
+                outcome
+                    .completion
+                    .approx_eq(schedule.makespan(), Time::from_micros(10.0)),
+                "{ordering:?}: simulated {} vs engine {}",
+                outcome.completion,
+                schedule.makespan()
+            );
+            // All data converges on the root's coordinator.
+            let root = grid.coordinator(ClusterId(0));
+            assert_eq!(outcome.receive_time(root), outcome.completion);
+        }
+    }
+
+    #[test]
+    fn allgather_executes_node_level_and_reproduces_the_engine_makespan() {
+        use crate::plan::SizedSendPlan;
+        use gridcast_core::allgather_schedule;
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let per_node = MessageSize::from_kib(16);
+        let schedule = allgather_schedule(&grid, per_node);
+        let plan = SizedSendPlan::from_allgather_schedule(&grid, &schedule, per_node);
+        let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+        assert!(outcome.completion.is_finite());
+        assert!(
+            outcome
+                .completion
+                .approx_eq(schedule.makespan(), Time::from_micros(10.0)),
+            "simulated {} vs engine {}",
+            outcome.completion,
+            schedule.makespan()
+        );
+        // Every machine received something (at minimum the redistribution or
+        // a local gather block), and every machine holding data forwarded on
+        // time: no starvation.
+        assert!(outcome.receive_times.iter().all(|t| t.is_finite()));
     }
 
     #[test]

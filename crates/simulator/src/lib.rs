@@ -47,6 +47,6 @@ pub use engine::{execute_plan, execute_sized_plan};
 pub use network::NodeNetwork;
 pub use outcome::SimulationOutcome;
 pub use overhead::measure_scheduling_overhead;
-pub use plan::{SendPlan, SizedSendPlan};
+pub use plan::{SendPlan, SizedSend, SizedSendPlan};
 pub use simulator::Simulator;
 pub use trace::{TraceEvent, TraceKind};

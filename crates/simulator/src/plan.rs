@@ -8,8 +8,10 @@
 //! baseline of the same figure).
 
 use gridcast_collectives::binomial_tree;
-use gridcast_core::{RelaySchedule, Schedule, ScheduleEvent};
-use gridcast_plogp::MessageSize;
+use gridcast_core::{
+    AllGatherSchedule, RelayGatherSchedule, RelaySchedule, Schedule, ScheduleEvent,
+};
+use gridcast_plogp::{MessageSize, Time};
 use gridcast_topology::{ClusterId, Grid, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -144,20 +146,51 @@ impl SendPlan {
     }
 }
 
+/// One send of a [`SizedSendPlan`]: a destination, the payload it carries,
+/// and the **gates** that release it.
+///
+/// * `after_arrivals`: the send is issued only once its machine has received
+///   at least this many messages (0 = the machine starts with its data —
+///   sources, and every contributor of a gather). This is what lets one plan
+///   express multi-stage nodes: a coordinator that must collect its whole
+///   cluster *and* its gather subtree before forwarding, or first exchange
+///   wide-area aggregates and only then redistribute locally.
+/// * `not_before`: an earliest start time, used to realise an engine
+///   schedule's committed timings node-level (the simulator then *verifies*
+///   the schedule is executable instead of inventing its own order; an
+///   infeasible schedule shows up as a later start and a larger makespan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizedSend {
+    /// Destination machine.
+    pub to: NodeId,
+    /// Bytes this send moves.
+    pub payload: MessageSize,
+    /// Earliest time the send may start (zero = unconstrained).
+    pub not_before: Time,
+    /// Number of arrivals the sending machine must have seen first.
+    pub after_arrivals: u32,
+}
+
 /// An ordered list of forwards per machine where every send carries its own
-/// payload size — the node-level realisation of the **personalised** patterns
-/// (scatter and its relay-capable variant), where a relayed message is a
-/// concatenation of blocks and a local scatter send is one machine's block.
+/// payload size and release gates — the node-level realisation of the
+/// **personalised** patterns: relay-capable scatter (a relayed message is a
+/// concatenation of blocks), gather (blocks flow child → parent, each node
+/// waiting for its whole subtree), and allgather (aggregate exchange bracketed
+/// by local gather and redistribution phases).
 ///
 /// The uniform-payload [`SendPlan`] stays the broadcast fast path; this type
-/// feeds [`execute_sized_plan`](crate::engine::execute_sized_plan).
+/// feeds [`execute_sized_plan`](crate::engine::execute_sized_plan), whose
+/// semantics differ from the broadcast engine in one important way: a sized
+/// send occupies **both** endpoints' interfaces for its gap (the single-port
+/// model of `ScheduleEngine::schedule_transfers`), which is what makes
+/// engine-predicted exchange makespans reproducible node-level.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SizedSendPlan {
-    /// The machine that initially holds all the data.
+    /// The machine that initially holds the pattern's data (for gather-like
+    /// plans where data *converges*, the sink's coordinator).
     pub source: NodeId,
-    /// For every machine, the ordered `(destination, payload)` sends it issues
-    /// once it holds its data.
-    pub forwards: Vec<Vec<(NodeId, MessageSize)>>,
+    /// For every machine, the ordered sends it issues once their gates open.
+    pub forwards: Vec<Vec<SizedSend>>,
 }
 
 impl SizedSendPlan {
@@ -167,6 +200,19 @@ impl SizedSendPlan {
             source,
             forwards: vec![Vec::new(); num_nodes],
         }
+    }
+
+    /// Appends a single-arrival-gated send (the relay-scatter default: a
+    /// machine forwards once it holds its payload). `after_arrivals` is 0 for
+    /// the source, 1 otherwise.
+    pub fn push_forward(&mut self, from: NodeId, to: NodeId, payload: MessageSize) {
+        let gate = u32::from(from != self.source);
+        self.forwards[from.index()].push(SizedSend {
+            to,
+            payload,
+            not_before: Time::ZERO,
+            after_arrivals: gate,
+        });
     }
 
     /// Number of machines covered by the plan.
@@ -179,7 +225,9 @@ impl SizedSendPlan {
         self.forwards.iter().map(|f| f.len()).sum()
     }
 
-    /// Machines the plan never reaches (empty for a valid scatter).
+    /// Machines the plan never reaches by forwarding from the source (empty
+    /// for a valid scatter). Only meaningful for source-rooted plans — in a
+    /// gather the data *converges* on the source instead.
     pub fn unreachable(&self) -> Vec<NodeId> {
         let n = self.num_nodes();
         let mut received = vec![false; n];
@@ -190,10 +238,10 @@ impl SizedSendPlan {
         while cursor < order.len() {
             let node = order[cursor];
             cursor += 1;
-            for &(dst, _) in &self.forwards[node.index()] {
-                if !received[dst.index()] {
-                    received[dst.index()] = true;
-                    order.push(dst);
+            for send in &self.forwards[node.index()] {
+                if !received[send.to.index()] {
+                    received[send.to.index()] = true;
+                    order.push(send.to);
                 }
             }
         }
@@ -225,7 +273,7 @@ impl SizedSendPlan {
         for event in &schedule.events {
             let from = grid.coordinator(event.sender);
             let to = grid.coordinator(event.receiver);
-            plan.forwards[from.index()].push((to, event.payload));
+            plan.push_forward(from, to, event.payload);
         }
         for cluster in grid.clusters() {
             let size = cluster.size as usize;
@@ -234,11 +282,195 @@ impl SizedSendPlan {
             }
             let coordinator = grid.coordinator(cluster.id);
             for local_rank in 1..size {
-                plan.forwards[coordinator.index()]
-                    .push((NodeId(coordinator.0 + local_rank as u32), per_node));
+                plan.push_forward(
+                    coordinator,
+                    NodeId(coordinator.0 + local_rank as u32),
+                    per_node,
+                );
             }
         }
         plan
+    }
+
+    /// Builds the node-level plan realising a relay-capable inter-cluster
+    /// gather `schedule` on `grid` — the reverse data flow of
+    /// [`SizedSendPlan::from_relay_schedule`]:
+    ///
+    /// 1. inside every cluster the machines run a **mirrored binomial
+    ///    gather**: each rank forwards the concatenation of its binomial
+    ///    subtree's blocks to its binomial parent once all of them arrived
+    ///    (the critical path is exactly the chain of halving chunks that
+    ///    [`Pattern::Gather`](gridcast_collectives::Pattern) prices), then
+    /// 2. each non-root coordinator hands the concatenation of its **gather
+    ///    subtree** to its parent cluster's coordinator, gated on its local
+    ///    gather *and* every child cluster's payload, no earlier than the
+    ///    schedule's hand-off time.
+    ///
+    /// The plan's `source` is the root's coordinator — the machine where all
+    /// data converges.
+    pub fn from_gather_schedule(
+        grid: &Grid,
+        schedule: &RelayGatherSchedule,
+        per_node: MessageSize,
+    ) -> Self {
+        let num_nodes = grid.num_nodes() as usize;
+        let mut plan = SizedSendPlan::empty(grid.coordinator(schedule.root), num_nodes);
+        // How many child clusters hand their subtree to each cluster.
+        let mut cluster_children = vec![0u32; grid.num_clusters()];
+        for event in &schedule.events {
+            cluster_children[event.receiver.index()] += 1;
+        }
+        let local_gather_children = push_local_gather_phase(&mut plan, grid, per_node);
+        // Inter-cluster hand-offs, gated on the full local gather plus every
+        // child cluster's payload.
+        for event in &schedule.events {
+            let from = grid.coordinator(event.sender);
+            let to = grid.coordinator(event.receiver);
+            plan.forwards[from.index()].push(SizedSend {
+                to,
+                payload: event.payload,
+                not_before: event.start,
+                after_arrivals: local_gather_children[from.index()]
+                    + cluster_children[event.sender.index()],
+            });
+        }
+        plan
+    }
+
+    /// Builds the node-level plan realising an allgather `schedule` on
+    /// `grid`: the mirrored binomial local gather of
+    /// [`SizedSendPlan::from_gather_schedule`], then each coordinator's
+    /// engine-scheduled aggregate sends (in schedule order, at the schedule's
+    /// start times), and finally a binomial **local broadcast** of the full
+    /// concatenation once the coordinator holds every cluster's aggregate
+    /// (each rank needs every block, its own cluster's included — the ranks
+    /// only hold their own).
+    ///
+    /// The plan's `source` is the coordinator of cluster 0 (an allgather has
+    /// no distinguished root; the field only anchors [`SizedSendPlan::unreachable`],
+    /// which is not meaningful for converging plans).
+    pub fn from_allgather_schedule(
+        grid: &Grid,
+        schedule: &AllGatherSchedule,
+        per_node: MessageSize,
+    ) -> Self {
+        let num_nodes = grid.num_nodes() as usize;
+        let n = grid.num_clusters();
+        let mut plan = SizedSendPlan::empty(grid.coordinator(ClusterId(0)), num_nodes);
+        let total = MessageSize::from_bytes(per_node.as_bytes() * u64::from(grid.num_nodes()));
+        let local_gather_children = push_local_gather_phase(&mut plan, grid, per_node);
+        // Wide-area aggregate exchange: each coordinator issues its sends in
+        // engine-schedule order, gated on its local gather.
+        for transfer in &schedule.exchange.transfers {
+            let from = grid.coordinator(transfer.from);
+            plan.forwards[from.index()].push(SizedSend {
+                to: grid.coordinator(transfer.to),
+                payload: transfer.payload,
+                not_before: transfer.start,
+                after_arrivals: local_gather_children[from.index()],
+            });
+        }
+        // Local redistribution: a binomial broadcast of the full
+        // concatenation, released once the coordinator has its local gather
+        // AND all n−1 remote aggregates.
+        for cluster in grid.clusters() {
+            let size = cluster.size as usize;
+            if size <= 1 {
+                continue;
+            }
+            let base = grid.coordinator(cluster.id).0;
+            let local = LocalBinomial::new(size);
+            for rank in 0..size {
+                let node = base as usize + rank;
+                let gate = local_gather_children[node] + if rank == 0 { (n - 1) as u32 } else { 1 };
+                for &child in local.tree.children(rank) {
+                    plan.forwards[node].push(SizedSend {
+                        to: NodeId(base + child as u32),
+                        payload: total,
+                        not_before: Time::ZERO,
+                        after_arrivals: gate,
+                    });
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Appends the **mirrored binomial local gather** of every cluster to `plan`
+/// — each non-coordinator rank forwards the concatenation of its binomial
+/// subtree's blocks to its binomial parent once all of them arrived — and
+/// returns, per machine, how many local-gather arrivals it waits for (the
+/// gate later phases build on). Shared by the gather and allgather plan
+/// builders so the two node-level realisations cannot drift apart.
+fn push_local_gather_phase(
+    plan: &mut SizedSendPlan,
+    grid: &Grid,
+    per_node: MessageSize,
+) -> Vec<u32> {
+    let mut local_gather_children = vec![0u32; plan.num_nodes()];
+    for cluster in grid.clusters() {
+        let base = grid.coordinator(cluster.id).0;
+        let local = LocalBinomial::new(cluster.size as usize);
+        for rank in 0..cluster.size as usize {
+            local_gather_children[base as usize + rank] = local.children(rank);
+        }
+        for rank in 1..cluster.size as usize {
+            let parent = local.parent(rank).expect("non-root rank has a parent");
+            plan.forwards[base as usize + rank].push(SizedSend {
+                to: NodeId(base + parent as u32),
+                payload: MessageSize::from_bytes(per_node.as_bytes() * local.subtree_size(rank)),
+                not_before: Time::ZERO,
+                after_arrivals: local.children(rank),
+            });
+        }
+    }
+    local_gather_children
+}
+
+/// Parent pointers, child counts and subtree sizes of one cluster's binomial
+/// tree — the local structure shared by the gather (mirrored, leaves-to-root)
+/// and broadcast (root-to-leaves) phases.
+struct LocalBinomial {
+    tree: gridcast_collectives::BroadcastTree,
+    parent: Vec<Option<usize>>,
+    subtree: Vec<u64>,
+}
+
+impl LocalBinomial {
+    fn new(size: usize) -> Self {
+        let tree = binomial_tree(size.max(1));
+        let mut parent = vec![None; size.max(1)];
+        for rank in 0..size {
+            for &child in tree.children(rank) {
+                parent[child] = Some(rank);
+            }
+        }
+        let mut subtree = vec![1u64; size.max(1)];
+        // Children always have larger ranks in a binomial tree, so one
+        // reverse pass folds the subtree sizes bottom-up.
+        for rank in (0..size).rev() {
+            if let Some(p) = parent[rank] {
+                subtree[p] += subtree[rank];
+            }
+        }
+        LocalBinomial {
+            tree,
+            parent,
+            subtree,
+        }
+    }
+
+    fn children(&self, rank: usize) -> u32 {
+        self.tree.children(rank).len() as u32
+    }
+
+    fn parent(&self, rank: usize) -> Option<usize> {
+        self.parent[rank]
+    }
+
+    fn subtree_size(&self, rank: usize) -> u64 {
+        self.subtree[rank]
     }
 }
 
@@ -335,13 +567,77 @@ mod tests {
         let root = grid.coordinator(ClusterId(0));
         let coordinators: Vec<NodeId> = grid.cluster_ids().map(|c| grid.coordinator(c)).collect();
         for forwards in &plan.forwards {
-            for &(dst, payload) in forwards {
-                if coordinators.contains(&dst) && dst != root {
-                    assert!(payload >= per_node);
+            for send in forwards {
+                if coordinators.contains(&send.to) && send.to != root {
+                    assert!(send.payload >= per_node);
                 } else {
-                    assert_eq!(payload, per_node);
+                    assert_eq!(send.payload, per_node);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn gather_plan_covers_local_trees_and_inter_cluster_handoffs() {
+        use gridcast_core::{RelayGatherProblem, RelayOrdering};
+        let grid = grid5000_table3();
+        let per_node = MessageSize::from_kib(16);
+        let problem = RelayGatherProblem::from_grid(&grid, ClusterId(0), per_node);
+        let schedule = problem.schedule(RelayOrdering::EarliestCompletion);
+        let plan = SizedSendPlan::from_gather_schedule(&grid, &schedule, per_node);
+        assert_eq!(plan.num_nodes(), 88);
+        // One local send per non-coordinator machine plus one inter-cluster
+        // hand-off per non-root cluster.
+        assert_eq!(plan.num_messages(), (88 - 6) + 5);
+        // Every machine sends at most once (a gather converges), and every
+        // inter-cluster hand-off is released no earlier than the schedule
+        // says.
+        for (node, forwards) in plan.forwards.iter().enumerate() {
+            assert!(forwards.len() <= 1, "machine {node} sends more than once");
+        }
+        for event in &schedule.events {
+            let from = grid.coordinator(event.sender);
+            let send = &plan.forwards[from.index()][0];
+            assert_eq!(send.payload, event.payload);
+            assert_eq!(send.not_before, event.start);
+            // Gate: the coordinator's local binomial children plus every
+            // child cluster handing it a subtree (0 for singleton leaves —
+            // they start holding their block).
+            let local = binomial_tree(grid.cluster(event.sender).size as usize)
+                .children(0)
+                .len() as u32;
+            let subtree_children = schedule
+                .events
+                .iter()
+                .filter(|e| e.receiver == event.sender)
+                .count() as u32;
+            assert_eq!(send.after_arrivals, local + subtree_children);
+        }
+    }
+
+    #[test]
+    fn allgather_plan_has_three_phases_per_cluster() {
+        use gridcast_core::allgather_schedule;
+        let grid = grid5000_table3();
+        let per_node = MessageSize::from_kib(16);
+        let schedule = allgather_schedule(&grid, per_node);
+        let plan = SizedSendPlan::from_allgather_schedule(&grid, &schedule, per_node);
+        // Local gathers (one send per non-coordinator machine), the n(n−1)
+        // aggregate exchange, and the local broadcasts (one receive per
+        // non-coordinator machine again).
+        assert_eq!(plan.num_messages(), (88 - 6) + 6 * 5 + (88 - 6));
+        // The full concatenation is what the redistribution carries.
+        let total = MessageSize::from_bytes(per_node.as_bytes() * 88);
+        let coordinator = grid.coordinator(ClusterId(0));
+        let bcast_sends: Vec<_> = plan.forwards[coordinator.index()]
+            .iter()
+            .filter(|s| s.payload == total)
+            .collect();
+        assert!(!bcast_sends.is_empty());
+        // The coordinator's redistribution waits for its local gather and all
+        // 5 remote aggregates.
+        for send in bcast_sends {
+            assert!(send.after_arrivals >= 5);
         }
     }
 

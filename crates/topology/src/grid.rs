@@ -150,6 +150,35 @@ impl Grid {
     pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
         (0..self.clusters.len()).map(ClusterId)
     }
+
+    /// The grid with every directed inter-cluster link reversed: the link
+    /// `i → j` of the transposed grid carries the parameters of `j → i` here.
+    /// Clusters (sizes, intra models) are unchanged, and the diagonal is
+    /// untouched.
+    ///
+    /// This is the substrate of the **time-reversed duals**: a gather towards
+    /// `root` on this grid prices its edges exactly like a scatter from `root`
+    /// on the transposed grid (a block travelling `c → root` pays the
+    /// `c → root` link, which is the transposed grid's `root → c` entry), so
+    /// the scatter machinery runs unchanged on the transposed instance and the
+    /// resulting schedule is reversed. On symmetric grids `transposed()`
+    /// equals `self`.
+    pub fn transposed(&self) -> Grid {
+        let n = self.num_clusters();
+        let mut inter = self.inter.clone();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let a = self.inter[(i, j)].clone();
+                let b = self.inter[(j, i)].clone();
+                inter[(i, j)] = b;
+                inter[(j, i)] = a;
+            }
+        }
+        Grid {
+            clusters: self.clusters.clone(),
+            inter,
+        }
+    }
 }
 
 /// Builder for [`Grid`].
@@ -364,6 +393,45 @@ mod tests {
         assert_eq!(ids.len(), 5);
         assert_eq!(ids[0], ClusterId(0));
         assert_eq!(ids[4], ClusterId(4));
+    }
+
+    #[test]
+    fn transposed_swaps_directed_links_and_keeps_clusters() {
+        let cheap = PLogP::constant(Time::from_millis(1.0), Time::from_millis(10.0));
+        let expensive = PLogP::constant(Time::from_millis(2.0), Time::from_millis(500.0));
+        let grid = Grid::builder()
+            .cluster(Cluster::with_fixed_time(
+                ClusterId(0),
+                "a",
+                3,
+                Time::from_millis(5.0),
+            ))
+            .cluster(Cluster::with_fixed_time(
+                ClusterId(1),
+                "b",
+                2,
+                Time::from_millis(5.0),
+            ))
+            .link_directed(ClusterId(0), ClusterId(1), cheap)
+            .link_directed(ClusterId(1), ClusterId(0), expensive)
+            .build()
+            .unwrap();
+        let t = grid.transposed();
+        let m = MessageSize::from_kib(1);
+        assert_eq!(
+            t.gap(ClusterId(0), ClusterId(1), m),
+            grid.gap(ClusterId(1), ClusterId(0), m)
+        );
+        assert_eq!(
+            t.latency(ClusterId(1), ClusterId(0)),
+            grid.latency(ClusterId(0), ClusterId(1))
+        );
+        assert_eq!(t.clusters(), grid.clusters());
+        // Involution: transposing twice restores the original.
+        assert_eq!(t.transposed(), grid);
+        // Symmetric grids are their own transpose.
+        let sym = toy_grid(4);
+        assert_eq!(sym.transposed(), sym);
     }
 
     #[test]

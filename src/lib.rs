@@ -58,9 +58,9 @@ pub mod prelude {
         concat_blocks, intra_broadcast_time, BroadcastAlgorithm, Pattern, PatternCost,
     };
     pub use gridcast_core::{
-        alltoall_estimate, alltoall_schedule, BroadcastProblem, EdgeCosts, HeuristicKind,
-        RelayOrdering, RelayScatterProblem, Schedule, ScheduleEngine, ScheduleEvent,
-        SelectionPolicy,
+        allgather_estimate, allgather_schedule, alltoall_estimate, alltoall_schedule,
+        BroadcastProblem, EdgeCosts, HeuristicKind, RelayGatherProblem, RelayOrdering,
+        RelayScatterProblem, Schedule, ScheduleEngine, ScheduleEvent, SelectionPolicy,
     };
     pub use gridcast_plogp::{MessageSize, PLogP, Time};
     pub use gridcast_simulator::{SimulationOutcome, Simulator};

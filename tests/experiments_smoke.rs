@@ -63,3 +63,25 @@ fn mixed_strategy_figure_runs() {
     assert_eq!(fig.series.len(), 3);
     assert!(fig.series_by_label("Mixed").is_some());
 }
+
+#[test]
+fn gather_figure_shows_the_duality_and_exchange_scaling_runs() {
+    // Reduced sizes of the `gather` experiment bin's two figures.
+    let fig = figures::gather::gather_comparison("smoke", &[16, 64]);
+    assert_eq!(fig.series.len(), 4);
+    let gather = fig
+        .series_by_label("Gather relay (earliest completion)")
+        .unwrap();
+    let dual = fig
+        .series_by_label("Scatter dual (earliest completion)")
+        .unwrap();
+    for (g, s) in gather.points.iter().zip(&dual.points) {
+        assert!(g.y.is_finite() && g.y > 0.0);
+        // GRID'5000 is symmetric: the time-reversal duality makes the gather
+        // and scatter curves identical to the last bit.
+        assert_eq!(g.y.to_bits(), s.y.to_bits());
+    }
+    let exchange = figures::gather::exchange_scaling("smoke", &[6, 10]);
+    assert_eq!(exchange.series.len(), 2);
+    assert_eq!(exchange.x_values(), vec![30.0, 90.0]);
+}

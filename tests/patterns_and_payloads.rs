@@ -1,5 +1,5 @@
 //! Property-based tests for the personalised patterns and the engine's
-//! per-edge payload path:
+//! per-edge payload path — the **differential conformance suite**:
 //!
 //! * the costed engine path with uniform payloads is **byte-identical** to the
 //!   plain broadcast path (the fast path really is the degenerate case),
@@ -7,18 +7,34 @@
 //!   selection policy — no NaN score ever reaches the k-best rows (the
 //!   engine's debug assertions are armed in this profile),
 //! * relay-capable scatter schedules are exact and bracketed by brute force on
-//!   small instances, and
-//! * the all-to-all schedule never beats the corrected analytic lower bound.
+//!   small instances,
+//! * the all-to-all and allgather schedules never beat their corrected
+//!   analytic lower bounds,
+//! * **duality**: the relay-capable gather makespan equals the time-reversed
+//!   scatter's (scheduled on the transposed grid) bit for bit, for every
+//!   policy, and gather brute force (forward-timed, no mirror involved)
+//!   brackets the greedy on ≤5-cluster instances,
+//! * **exchange-scheduler parity**: the lazy-invalidation heap behind
+//!   `schedule_transfers` is byte-identical to the retained O(T²) oracle on
+//!   random transfer sets with mixed payloads and release times, and
+//! * **simulator conformance**: `execute_sized_plan` on gather/allgather
+//!   plans reproduces the engine-predicted makespan exactly on grids with
+//!   pair-symmetric latencies (GRID'5000 included) and within the documented
+//!   25% gap-model tolerance on adversarial asymmetric ones — never below
+//!   the engine's figure.
 
-use gridcast::core::patterns::{alltoall_estimate, alltoall_schedule};
-use gridcast::core::{
-    BroadcastProblem, EdgeCosts, HeuristicKind, RelayOrdering, RelayScatterProblem,
-    ScatterOrdering, ScatterProblem, ScheduleEngine,
+use gridcast::core::patterns::{
+    allgather_estimate, allgather_schedule, alltoall_estimate, alltoall_schedule,
 };
-use gridcast::plogp::{MessageSize, Time};
-use gridcast::topology::{ClusterId, GridGenerator};
+use gridcast::core::{
+    BroadcastProblem, EdgeCosts, HeuristicKind, RelayGatherProblem, RelayOrdering,
+    RelayScatterProblem, ScatterOrdering, ScatterProblem, ScheduleEngine, Transfer, TransferSet,
+};
+use gridcast::plogp::{MessageSize, PLogP, Time};
+use gridcast::simulator::{execute_sized_plan, NodeNetwork, SizedSendPlan};
+use gridcast::topology::{grid5000_table3, Cluster, ClusterId, Grid, GridGenerator};
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 proptest! {
@@ -146,5 +162,336 @@ proptest! {
         prop_assert!(schedule.makespan().is_finite());
         prop_assert!(schedule.makespan() + Time::from_micros(1.0) >= estimate,
             "schedule {} beat the lower bound {}", schedule.makespan(), estimate);
+    }
+
+    /// The engine-scheduled allgather covers every ordered cluster pair and
+    /// never beats its corrected lower bound (send *and* receive interface
+    /// time, release-gated, one terminal latency).
+    #[test]
+    fn allgather_schedule_respects_the_lower_bound(
+        clusters in 2usize..=10,
+        seed in any::<u64>(),
+        kib in 1u64..=64,
+    ) {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let per_node = MessageSize::from_kib(kib);
+        let schedule = allgather_schedule(&grid, per_node);
+        let estimate = allgather_estimate(&grid, per_node);
+        prop_assert_eq!(schedule.exchange.transfers.len(), clusters * (clusters - 1));
+        prop_assert!(schedule.makespan().is_finite());
+        prop_assert!(schedule.makespan() + Time::from_micros(1.0) >= estimate,
+            "schedule {} beat the lower bound {}", schedule.makespan(), estimate);
+    }
+
+    /// **Duality**: for every grid up to 128 clusters and every relay policy,
+    /// the relay-capable gather makespan equals the time-reversed scatter's —
+    /// a `RelayScatterProblem` built independently on the transposed grid —
+    /// **bit for bit**.
+    #[test]
+    fn gather_is_the_time_reversed_scatter_dual(
+        clusters in 2usize..=128,
+        seed in any::<u64>(),
+        root_idx in 0usize..128,
+        kib in 1u64..=512,
+    ) {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let root = ClusterId(root_idx % clusters);
+        let per_node = MessageSize::from_kib(kib);
+        let gather = RelayGatherProblem::from_grid(&grid, root, per_node);
+        let reversed = RelayScatterProblem::from_grid(&grid.transposed(), root, per_node);
+        for ordering in [
+            RelayOrdering::Direct,
+            RelayOrdering::EarliestCompletion,
+            RelayOrdering::EarliestLocalFinish,
+        ] {
+            let g = gather.makespan(ordering);
+            let s = reversed.makespan(ordering);
+            prop_assert!(g.is_finite());
+            prop_assert_eq!(
+                g.as_secs().to_bits(), s.as_secs().to_bits(),
+                "{:?} on {} clusters: gather {} vs reversed scatter {}",
+                ordering, clusters, g, s
+            );
+        }
+    }
+
+    /// Gather brute force on ≤5-cluster instances: enumerating **all** gather
+    /// trees with the independent forward (ASAP) timing agrees with the
+    /// mirrored scatter's enumeration and brackets every greedy policy —
+    /// the gather twin of the PR 3 scatter bracket.
+    #[test]
+    fn gather_brute_force_brackets_the_greedy(
+        clusters in 2usize..=5,
+        seed in any::<u64>(),
+        root_idx in 0usize..5,
+        kib in 1u64..=512,
+    ) {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let root = ClusterId(root_idx % clusters);
+        let problem = RelayGatherProblem::from_grid(&grid, root, MessageSize::from_kib(kib));
+        let optimal = problem.optimal_makespan();
+        let forward_optimal = problem.optimal_forward_makespan();
+        // Forward timing and reflection accumulate floats differently; the
+        // values are mathematically equal.
+        let eps = Time::from_micros(10.0).max(optimal * 1e-9);
+        prop_assert!(optimal.approx_eq(forward_optimal, eps),
+            "mirror optimum {} vs forward optimum {}", optimal, forward_optimal);
+        let best_direct = problem.best_direct_makespan();
+        prop_assert!(optimal <= best_direct + eps);
+        for ordering in [
+            RelayOrdering::Direct,
+            RelayOrdering::EarliestCompletion,
+            RelayOrdering::EarliestLocalFinish,
+        ] {
+            let makespan = problem.makespan(ordering);
+            prop_assert!(makespan.is_finite(), "{:?}", ordering);
+            prop_assert!(makespan + eps >= optimal,
+                "{:?} ({}) beat the gather brute-force optimum ({})", ordering, makespan, optimal);
+        }
+        prop_assert!(problem.makespan(RelayOrdering::Direct) + eps >= best_direct);
+    }
+
+    /// **Exchange-scheduler parity**: the lazy-invalidation heap behind
+    /// `schedule_transfers` produces byte-identical schedules to the retained
+    /// O(T²) oracle on random transfer sets — mixed payload sizes, up to 64
+    /// clusters, duplicate pairs allowed, random release times included.
+    #[test]
+    fn exchange_heap_is_byte_identical_to_the_oracle(
+        clusters in 2usize..=64,
+        transfers in 1usize..=256,
+        seed in any::<u64>(),
+        release_sel in 0u8..=1,
+    ) {
+        let with_release = release_sel == 1;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut set = TransferSet::new(clusters);
+        for _ in 0..transfers {
+            let from = rng.gen_range_u64(0, clusters as u64) as usize;
+            let mut to = rng.gen_range_u64(0, clusters as u64 - 1) as usize;
+            if to >= from {
+                to += 1;
+            }
+            set.push(Transfer {
+                from: ClusterId(from),
+                to: ClusterId(to),
+                payload: MessageSize::from_kib(1 + rng.gen_range_u64(0, 512)),
+                gap: Time::from_millis(0.01 + 50.0 * rng.gen_f64()),
+                latency: Time::from_millis(0.01 + 100.0 * rng.gen_f64()),
+            });
+        }
+        let release: Vec<Time> = (0..clusters)
+            .map(|_| if with_release {
+                Time::from_millis(20.0 * rng.gen_f64())
+            } else {
+                Time::ZERO
+            })
+            .collect();
+        let mut engine = ScheduleEngine::new();
+        let fast = engine.schedule_transfers_from(&set, &release);
+        let oracle = engine.schedule_transfers_quadratic_from(&set, &release);
+        prop_assert_eq!(fast.transfers.len(), oracle.transfers.len());
+        for (a, b) in fast.transfers.iter().zip(&oracle.transfers) {
+            prop_assert!(
+                a.from == b.from
+                    && a.to == b.to
+                    && a.payload == b.payload
+                    && a.start.as_secs().to_bits() == b.start.as_secs().to_bits()
+                    && a.arrival.as_secs().to_bits() == b.arrival.as_secs().to_bits(),
+                "heap and oracle diverge on {} clusters / {} transfers", clusters, transfers
+            );
+        }
+        let fast_free: Vec<u64> = fast.interface_free.iter().map(|t| t.as_secs().to_bits()).collect();
+        let oracle_free: Vec<u64> = oracle.interface_free.iter().map(|t| t.as_secs().to_bits()).collect();
+        prop_assert_eq!(fast_free, oracle_free);
+        prop_assert_eq!(fast.last_arrival, oracle.last_arrival);
+    }
+}
+
+/// A grid of `n` singleton clusters with identical modelled links everywhere —
+/// the "uniform grid" of the conformance contract, where the simulator must
+/// reproduce the engine exactly.
+fn uniform_singleton_grid(n: usize) -> Grid {
+    let lan = PLogP::affine(Time::from_micros(50.0), Time::from_micros(20.0), 110e6);
+    let wan = PLogP::affine(Time::from_millis(5.0), Time::from_millis(8.0), 100e6);
+    let mut builder = Grid::builder();
+    for i in 0..n {
+        builder = builder.cluster(Cluster::with_plogp(
+            ClusterId(i),
+            format!("c{i}"),
+            1,
+            lan.clone(),
+        ));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            builder = builder.link_symmetric(ClusterId(i), ClusterId(j), wan.clone());
+        }
+    }
+    builder.build().unwrap()
+}
+
+/// An adversarial grid: modelled clusters of mixed sizes with fully
+/// asymmetric directed links (different per-message cost, bandwidth *and*
+/// latency in each direction) — the instance class where the reflected gather
+/// windows shift by latency differences and the simulator may lag the engine
+/// figure (never beat it).
+fn asymmetric_grid(n: usize, seed: u64) -> Grid {
+    let lan = PLogP::affine(Time::from_micros(50.0), Time::from_micros(20.0), 110e6);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = Grid::builder();
+    for i in 0..n {
+        builder = builder.cluster(Cluster::with_plogp(
+            ClusterId(i),
+            format!("c{i}"),
+            1 + (i as u32 % 4) * 3,
+            lan.clone(),
+        ));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let link = PLogP::affine(
+                Time::from_millis(1.0 + 60.0 * rng.gen_f64()),
+                Time::from_millis(2.0 + 40.0 * rng.gen_f64()),
+                30e6 + 200e6 * rng.gen_f64(),
+            );
+            builder = builder.link_directed(ClusterId(i), ClusterId(j), link);
+        }
+    }
+    builder.build().unwrap()
+}
+
+/// Simulator conformance, exact half: on **uniform grids** (singleton
+/// clusters, identical modelled links) `execute_sized_plan` reproduces the
+/// engine-predicted gather and allgather makespans to float tolerance — the
+/// reflected receive windows stay feasible, there are no local phases to
+/// approximate, and the staged executor's both-endpoint occupancy is the
+/// transfer scheduler's.
+#[test]
+fn simulator_reproduces_engine_gather_and_allgather_makespans_exactly_on_uniform_grids() {
+    let eps = Time::from_micros(10.0);
+    for (name, grid) in [
+        ("uniform-3", uniform_singleton_grid(3)),
+        ("uniform-6", uniform_singleton_grid(6)),
+        ("uniform-12", uniform_singleton_grid(12)),
+    ] {
+        let network = NodeNetwork::new(&grid);
+        for &kib in &[16u64, 256] {
+            let per_node = MessageSize::from_kib(kib);
+            for ordering in [
+                RelayOrdering::Direct,
+                RelayOrdering::EarliestCompletion,
+                RelayOrdering::EarliestLocalFinish,
+            ] {
+                let problem = RelayGatherProblem::from_grid(&grid, ClusterId(0), per_node);
+                let schedule = problem.schedule(ordering);
+                let plan = SizedSendPlan::from_gather_schedule(&grid, &schedule, per_node);
+                let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+                assert!(
+                    outcome.completion.approx_eq(schedule.makespan(), eps),
+                    "{name} gather {ordering:?} @ {kib} KiB: simulated {} vs engine {}",
+                    outcome.completion,
+                    schedule.makespan()
+                );
+            }
+            let allgather = allgather_schedule(&grid, per_node);
+            let plan = SizedSendPlan::from_allgather_schedule(&grid, &allgather, per_node);
+            let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+            assert!(
+                outcome.completion.approx_eq(allgather.makespan(), eps),
+                "{name} allgather @ {kib} KiB: simulated {} vs engine {}",
+                outcome.completion,
+                allgather.makespan()
+            );
+        }
+    }
+}
+
+/// Simulator conformance on GRID'5000: the wide-area latencies are symmetric
+/// per pair, so the only approximation is the multi-node clusters' local
+/// phases — the binomial realisation can lag the analytic formula when
+/// latency dominates small chunks (deep subtrees ready late, idle gaps at the
+/// local root). The simulated makespan stays within a few percent above the
+/// engine figure (large blocks are exact — the gap term packs the tree) and
+/// never beats it.
+#[test]
+fn simulator_conformance_on_grid5000_is_within_the_documented_tolerance() {
+    let grid = grid5000_table3();
+    let network = NodeNetwork::new(&grid);
+    let eps = Time::from_micros(10.0);
+    for &kib in &[16u64, 64, 256] {
+        let per_node = MessageSize::from_kib(kib);
+        for ordering in [
+            RelayOrdering::Direct,
+            RelayOrdering::EarliestCompletion,
+            RelayOrdering::EarliestLocalFinish,
+        ] {
+            let problem = RelayGatherProblem::from_grid(&grid, ClusterId(0), per_node);
+            let schedule = problem.schedule(ordering);
+            let plan = SizedSendPlan::from_gather_schedule(&grid, &schedule, per_node);
+            let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+            let engine = schedule.makespan();
+            assert!(
+                outcome.completion + eps >= engine,
+                "gather {ordering:?} @ {kib} KiB: simulation {} beat the engine {}",
+                outcome.completion,
+                engine
+            );
+            assert!(
+                outcome.completion <= engine * 1.05,
+                "gather {ordering:?} @ {kib} KiB: simulation {} exceeds 5% over {}",
+                outcome.completion,
+                engine
+            );
+        }
+        let allgather = allgather_schedule(&grid, per_node);
+        let plan = SizedSendPlan::from_allgather_schedule(&grid, &allgather, per_node);
+        let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+        assert!(outcome.completion + eps >= allgather.makespan());
+        assert!(outcome.completion <= allgather.makespan() * 1.05);
+    }
+}
+
+/// Simulator conformance, tolerance half: on adversarial fully-asymmetric
+/// grids the reflected gather receive windows shift by per-direction latency
+/// differences, so the executor may have to push receives later — the
+/// simulated makespan stays within the documented **25% gap-model tolerance**
+/// above the engine figure and never beats it (the engine's schedule is a
+/// genuine lower bound for its own node-level realisation).
+#[test]
+fn simulator_conformance_is_bounded_on_asymmetric_grids() {
+    let eps = Time::from_micros(10.0);
+    for seed in 0..10u64 {
+        for n in [3usize, 6, 10] {
+            let grid = asymmetric_grid(n, seed * 131 + n as u64);
+            let network = NodeNetwork::new(&grid);
+            let per_node = MessageSize::from_kib(32);
+            for ordering in [RelayOrdering::Direct, RelayOrdering::EarliestCompletion] {
+                let problem = RelayGatherProblem::from_grid(&grid, ClusterId(0), per_node);
+                let schedule = problem.schedule(ordering);
+                let plan = SizedSendPlan::from_gather_schedule(&grid, &schedule, per_node);
+                let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+                let engine = schedule.makespan();
+                assert!(
+                    outcome.completion + eps >= engine,
+                    "seed {seed} n {n} {ordering:?}: simulation {} beat the engine {}",
+                    outcome.completion,
+                    engine
+                );
+                assert!(
+                    outcome.completion <= engine * 1.25,
+                    "seed {seed} n {n} {ordering:?}: simulation {} exceeds the 25% tolerance over {}",
+                    outcome.completion,
+                    engine
+                );
+            }
+            let allgather = allgather_schedule(&grid, per_node);
+            let plan = SizedSendPlan::from_allgather_schedule(&grid, &allgather, per_node);
+            let outcome = execute_sized_plan(&network, &plan, Time::ZERO, None);
+            assert!(outcome.completion + eps >= allgather.makespan());
+            assert!(outcome.completion <= allgather.makespan() * 1.25);
+        }
     }
 }
