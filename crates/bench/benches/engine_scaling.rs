@@ -11,6 +11,14 @@
 //! and the least-squares growth exponent — and fails loudly if that exponent
 //! leaves the sub-`n^2.3` envelope or (under `ENGINE_SCALING_BASELINE_GATE=1`)
 //! if the 200-cluster median regresses >15% against the committed report.
+//!
+//! The report also carries the **adaptive-K probe**: the candidate-row width
+//! K is a pure performance knob (schedules are byte-identical for any K ≥ 1,
+//! pinned by the core's parity test), so the sweep runs one batch per
+//! K ∈ {8, 16, 32} at 500 and 1000 clusters and records each configuration's
+//! repair rate, rescan count and wall time under `k_best_probe` — the
+//! telemetry the ROADMAP's adaptive-K item needs to decide whether sizing K
+//! with n buys the next constant factor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gridcast_bench::random_problem;
@@ -32,6 +40,13 @@ const MAX_FITTED_EXPONENT: f64 = 2.3;
 /// Maximum tolerated regression of the 200-cluster median vs the committed
 /// baseline JSON when the baseline gate is enabled.
 const MAX_BASELINE_REGRESSION: f64 = 1.15;
+
+/// Candidate-row widths swept by the adaptive-K probe.
+const K_PROBE_WIDTHS: [usize; 3] = [8, 16, 32];
+
+/// Cluster counts the adaptive-K probe measures (where the repair rate
+/// actually degrades; see the committed telemetry).
+const K_PROBE_SIZES: [usize; 2] = [500, 1000];
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_scaling");
@@ -174,8 +189,9 @@ fn report_scaling() {
     let exponent = fitted_exponent(&points);
     println!("engine_scaling: least-squares growth exponent {exponent:.3}");
 
+    let probe = k_best_probe(&problems);
     let baseline_200 = read_baseline_median(200);
-    write_report(&points, exponent);
+    write_report(&points, exponent, &probe);
 
     assert!(
         exponent < MAX_FITTED_EXPONENT,
@@ -199,6 +215,55 @@ fn report_scaling() {
             println!("engine_scaling: no committed baseline found; skipping regression gate");
         }
     }
+}
+
+/// One measurement of the adaptive-K probe: a full seven-heuristic batch run
+/// with candidate rows of width `k`.
+struct KProbePoint {
+    clusters: usize,
+    k: usize,
+    batch_ns: f64,
+    telemetry: EngineTelemetry,
+}
+
+/// Runs one warmed batch per (cluster count, K) pair and collects its
+/// telemetry delta and wall time. Schedules are byte-identical across K (the
+/// core's parity test pins it); only the repair/rescan split moves.
+fn k_best_probe(problems: &[gridcast_core::BroadcastProblem]) -> Vec<KProbePoint> {
+    let kinds = HeuristicKind::all();
+    let mut out = Vec::new();
+    for &clusters in &K_PROBE_SIZES {
+        let problem = problems
+            .iter()
+            .zip(SIZES)
+            .find(|&(_, size)| size == clusters)
+            .map(|(p, _)| p)
+            .expect("probe sizes are a subset of the sweep sizes");
+        for &k in &K_PROBE_WIDTHS {
+            let mut engine = ScheduleEngine::with_k_best(k);
+            let mut schedules = Vec::new();
+            // Warm the buffers, then measure one clean batch.
+            engine.schedule_all_into(problem, &kinds, &mut schedules);
+            engine.take_telemetry();
+            let start = Instant::now();
+            engine.schedule_all_into(black_box(problem), &kinds, &mut schedules);
+            let batch_ns = start.elapsed().as_secs_f64() * 1e9;
+            let telemetry = engine.take_telemetry();
+            println!(
+                "engine_scaling: K probe {clusters:>4} clusters K={k:<2} -> \
+                 repair_rate={:.3} rescans={} ({batch_ns:>12.0} ns/batch)",
+                telemetry.repair_rate(),
+                telemetry.rescans
+            );
+            out.push(KProbePoint {
+                clusters,
+                k,
+                batch_ns,
+                telemetry,
+            });
+        }
+    }
+    out
 }
 
 /// Least-squares slope of `log(median_ns)` over `log(clusters)` — the growth
@@ -244,7 +309,7 @@ fn read_baseline_median(clusters: usize) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
-fn write_report(points: &[Point], exponent: f64) {
+fn write_report(points: &[Point], exponent: f64, probe: &[KProbePoint]) {
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"engine_scaling\",\n");
     json.push_str("  \"unit\": \"ns per schedule_all (7 heuristics)\",\n");
@@ -287,6 +352,21 @@ fn write_report(points: &[Point], exponent: f64) {
             t.heap_pops,
             t.repair_rate(),
             if i + 1 == points.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"k_best_probe\": [\n");
+    for (i, p) in probe.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"clusters\": {}, \"k\": {}, \"batch_ns\": {:.0}, \
+             \"repair_rate\": {:.3}, \"rescans\": {}, \"heap_pops\": {}}}{}",
+            p.clusters,
+            p.k,
+            p.batch_ns,
+            p.telemetry.repair_rate(),
+            p.telemetry.rescans,
+            p.telemetry.heap_pops,
+            if i + 1 == probe.len() { "" } else { "," }
         );
     }
     json.push_str("  ]\n}\n");

@@ -1,0 +1,192 @@
+//! Throughput of the concurrent what-if runner — and its determinism gate.
+//!
+//! The paper's pitch is *predictive*: evaluate many candidate worlds, pick
+//! the best schedule before paying for it. This bench drives
+//! [`WhatIfRunner`] through `SCENARIOS` perturbed scenarios (scaled link
+//! capacities, degraded uplinks, alternate roots, dropped relay candidates)
+//! of a 100-cluster Table-2 grid — every scenario a full
+//! predict-all-heuristics → pick-best → execute-node-level loop over the
+//! unified discrete-event core — once on a single worker and once on every
+//! available core.
+//!
+//! It is also the **check mode** CI runs: the two sweeps must be
+//! bit-identical report for report (the `schedule_all_sharded` aggregation
+//! contract, extended to whole scenario sweeps), and every winning schedule
+//! must simulate to a finite completion. Throughput lands in
+//! `BENCH_whatif.json` at the workspace root (written atomically), alongside
+//! the winner distribution — the quickest sanity check that the perturbations
+//! actually move the decision.
+
+use gridcast_bench::random_grid;
+use gridcast_core::HeuristicKind;
+use gridcast_plogp::MessageSize;
+use gridcast_simulator::{Perturbation, Scenario, WhatIfReport, WhatIfRunner};
+use gridcast_topology::ClusterId;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Cluster count of the benched grid (the scale the acceptance gate names).
+const CLUSTERS: usize = 100;
+
+/// Number of perturbed scenarios per sweep.
+const SCENARIOS: usize = 1000;
+
+/// The deterministic scenario mix: baseline, grid-wide scaling, degraded
+/// uplinks, alternate roots and dropped relays in equal parts, parameters
+/// varied by index.
+fn scenario_mix(clusters: usize, count: usize) -> Vec<Scenario> {
+    (0..count)
+        .map(|i| match i % 5 {
+            0 => Scenario::baseline(),
+            1 => Scenario::one(Perturbation::ScaleAllLinks {
+                factor: 0.5 + 0.125 * (i % 16) as f64,
+            }),
+            2 => Scenario::one(Perturbation::DegradeUplink {
+                cluster: ClusterId(i % clusters),
+                factor: 2.0 + (i % 7) as f64,
+            }),
+            3 => Scenario::one(Perturbation::AlternateRoot {
+                root: ClusterId(i % clusters),
+            }),
+            _ => Scenario::one(Perturbation::DropRelay {
+                cluster: ClusterId(1 + i % (clusters - 1)),
+            }),
+        })
+        .collect()
+}
+
+fn assert_bit_identical(a: &[WhatIfReport], b: &[WhatIfReport]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.scenario, y.scenario);
+        assert_eq!(x.best, y.best, "winner diverges at scenario {}", x.scenario);
+        assert_eq!(x.events, y.events);
+        let bits: fn(gridcast_plogp::Time) -> u64 = |t| t.as_secs().to_bits();
+        assert!(
+            x.makespans
+                .iter()
+                .zip(&y.makespans)
+                .all(|(p, q)| bits(*p) == bits(*q)),
+            "predicted makespans diverge at scenario {}",
+            x.scenario
+        );
+        assert_eq!(
+            bits(x.predicted),
+            bits(y.predicted),
+            "prediction diverges at scenario {}",
+            x.scenario
+        );
+        assert_eq!(
+            bits(x.simulated),
+            bits(y.simulated),
+            "simulation diverges at scenario {}",
+            x.scenario
+        );
+    }
+}
+
+fn main() {
+    let grid = random_grid(CLUSTERS, 0);
+    let scenarios = scenario_mix(CLUSTERS, SCENARIOS);
+    let message = MessageSize::from_mib(1);
+    let runner = WhatIfRunner::new(&grid, message, ClusterId(0));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let start = Instant::now();
+    let sequential = runner.clone().with_threads(1).run(&scenarios);
+    let single_elapsed = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = runner.clone().with_threads(threads).run(&scenarios);
+    let parallel_elapsed = start.elapsed().as_secs_f64();
+
+    // Check mode: bit-identical across worker-thread counts, every winner
+    // executable.
+    assert_bit_identical(&sequential, &parallel);
+    for report in &parallel {
+        assert!(
+            report.simulated.is_finite(),
+            "scenario {} simulated to an infinite completion",
+            report.scenario
+        );
+    }
+
+    let single_rate = SCENARIOS as f64 / single_elapsed;
+    let parallel_rate = SCENARIOS as f64 / parallel_elapsed;
+    println!(
+        "whatif: {SCENARIOS} scenarios on {CLUSTERS} clusters -> \
+         {single_rate:.1}/s on 1 thread, {parallel_rate:.1}/s on {threads} threads \
+         (bit-identical)"
+    );
+
+    let mut winners: Vec<(&'static str, usize)> =
+        HeuristicKind::all().iter().map(|k| (k.name(), 0)).collect();
+    for report in &parallel {
+        let slot = winners
+            .iter_mut()
+            .find(|(name, _)| *name == report.best.name())
+            .expect("winner is one of the candidates");
+        slot.1 += 1;
+    }
+
+    write_report(
+        threads,
+        single_elapsed,
+        parallel_elapsed,
+        single_rate,
+        parallel_rate,
+        &winners,
+    );
+}
+
+/// Path of the JSON report, anchored at the workspace root regardless of the
+/// bench invocation directory.
+fn report_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_whatif.json")
+}
+
+fn write_report(
+    threads: usize,
+    single_elapsed: f64,
+    parallel_elapsed: f64,
+    single_rate: f64,
+    parallel_rate: f64,
+    winners: &[(&'static str, usize)],
+) {
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"whatif\",\n");
+    json.push_str("  \"unit\": \"scenarios per second (predict 7 heuristics + execute best)\",\n");
+    let _ = writeln!(json, "  \"clusters\": {CLUSTERS},");
+    let _ = writeln!(json, "  \"scenarios\": {SCENARIOS},");
+    let _ = writeln!(
+        json,
+        "  \"single_thread\": {{\"elapsed_s\": {single_elapsed:.3}, \
+         \"scenarios_per_sec\": {single_rate:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel\": {{\"threads\": {threads}, \"elapsed_s\": {parallel_elapsed:.3}, \
+         \"scenarios_per_sec\": {parallel_rate:.1}}},"
+    );
+    let _ = writeln!(json, "  \"bit_identical_across_thread_counts\": true,");
+    json.push_str("  \"winners\": {");
+    for (i, (name, count)) in winners.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\"{name}\": {count}",
+            if i == 0 { "" } else { ", " }
+        );
+    }
+    json.push_str("}\n}\n");
+
+    // Atomic replace: write a sibling tmp file, then rename into place, so an
+    // interrupted bench never leaves a torn report.
+    let path = report_path();
+    let tmp = format!("{path}.tmp");
+    let result = std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        eprintln!("whatif: could not write {path}: {e}");
+    }
+}

@@ -27,12 +27,31 @@
 //!   * `telemetry` — [`gridcast_core::EngineTelemetry`] deltas of one
 //!     batch: `rounds`, `invalidations`, `second_best_hits`, `promotions`,
 //!     `rescans`, `heap_pops` (senders examined by rescan walks) and the
-//!     derived `repair_rate` (repaired-from-runner-up / invalidations).
+//!     derived `repair_rate` (repaired-from-runner-up / invalidations);
+//! * `k_best_probe` — the adaptive-K telemetry: one object per
+//!   (cluster count, K) pair for K ∈ {8, 16, 32} at 500/1000 clusters, with
+//!   the warmed batch wall time (`batch_ns`), `repair_rate`, `rescans` and
+//!   `heap_pops` of a [`ScheduleEngine::with_k_best`](gridcast_core::ScheduleEngine::with_k_best)
+//!   engine. Schedules are byte-identical across K (pinned by the core's
+//!   parity test), so the probe isolates the pure performance trade-off.
 //!
 //! The bench fails when `fitted_exponent` exceeds 2.3 (the engine's
 //! `O(n² log n)` target leaves comfortable headroom) and — with
 //! `ENGINE_SCALING_BASELINE_GATE=1`, as set in CI — when the 200-cluster
 //! `median_ns` regresses more than 15% against the committed report.
+//!
+//! # `BENCH_whatif.json` schema
+//!
+//! `benches/whatif.rs` sweeps 1000 perturbed 100-cluster scenarios through
+//! [`gridcast_simulator::WhatIfRunner`] twice — one worker thread, then all
+//! available cores — asserting the two sweeps **bit-identical** report for
+//! report and every winning schedule executable (this is CI's check mode;
+//! the assertions run on every invocation). Keys: `clusters`, `scenarios`,
+//! `single_thread` / `parallel` (`elapsed_s`, `scenarios_per_sec`, worker
+//! `threads`), `bit_identical_across_thread_counts` (always `true` — the
+//! bench aborts otherwise) and `winners` (how often each heuristic won the
+//! what-if, keyed by display name — the quickest check that perturbations
+//! actually move the decision).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

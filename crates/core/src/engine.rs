@@ -10,7 +10,7 @@
 //! ## Incremental candidate maintenance
 //!
 //! The engine maintains, for every receiver still in B, a row of up to
-//! [`K_BEST`] cached sender candidates sorted by `(edge score, sender id)`,
+//! [`DEFAULT_K_BEST`] cached sender candidates sorted by `(edge score, sender id)`,
 //! plus a **floor** entry bounding every sender outside the row. The row's
 //! head is kept *exact* at all times — its stored score always equals the
 //! sender's current edge score, and it is the lexicographic minimum over all
@@ -104,13 +104,30 @@ fn debug_assert_score_not_nan(score: Time) {
 /// Sentinel sender id meaning "no cached entry".
 const NO_SENDER: u32 = u32::MAX;
 
-/// Number of cached sender candidates per receiver (the best entry plus
-/// `K_BEST - 1` runners-up). Small enough that a repair's insertion shuffles
+/// Default number of cached sender candidates per receiver (the best entry
+/// plus `K − 1` runners-up). Small enough that a repair's insertion shuffles
 /// stay within a couple of cache lines per row, large enough that most
 /// invalidations find their new best among the cached entries instead of
 /// falling back to a ready-order rescan (Table-2 repair rate: >99% at 100
 /// clusters, ~89% at 1000).
-const K_BEST: usize = 16;
+///
+/// The row width is a **pure performance knob**: schedules are byte-identical
+/// for any `K ≥ 1` (the row head is kept exact and rescans rebuild exact
+/// rows), so [`ScheduleEngine::with_k_best`] can probe other widths — the
+/// `engine_scaling` bench sweeps K ∈ {8, 16, 32} at 500/1000 clusters and
+/// records the per-K repair rates that will decide the adaptive-K question.
+pub const DEFAULT_K_BEST: usize = 16;
+
+/// Runtime candidate-row width with the documented default — a newtype so
+/// `EngineState` keeps deriving `Default`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct KBest(usize);
+
+impl Default for KBest {
+    fn default() -> Self {
+        KBest(DEFAULT_K_BEST)
+    }
+}
 
 /// Read-only view of the engine state handed to policies.
 #[derive(Clone, Copy)]
@@ -622,7 +639,13 @@ impl EngineTelemetry {
 /// Per round the engine selects the receiver optimising
 /// `best_over_senders(edge_score) + receiver_bias`, paired with the sender
 /// achieving that best edge score (smallest score, then smallest sender id).
-pub trait SelectionPolicy {
+///
+/// Policies are `Send` so a warm [`ScheduleEngine`] (which owns one boxed
+/// policy per heuristic) can move into a worker thread — the engine-pool
+/// shape the sharded batch runners and the simulator's what-if pool build on.
+/// Policy state is per-engine scratch, never shared, so this costs
+/// implementations nothing.
+pub trait SelectionPolicy: Send {
     /// Display name recorded in produced [`Schedule`]s.
     fn name(&self) -> &str;
 
@@ -767,7 +790,7 @@ fn candidate_improves(
 ///
 /// ## Cache invariants (time-sensitive policies)
 ///
-/// Per receiver `j` still in B the engine caches up to [`K_BEST`] candidate
+/// Per receiver `j` still in B the engine caches up to [`DEFAULT_K_BEST`] candidate
 /// senders in the flat row `cand_*[j·K_BEST ..]` (lexicographically sorted by
 /// `(score, sender id)`), plus a **floor** entry. Between commits:
 ///
@@ -844,6 +867,10 @@ struct EngineState {
     /// Per-receiver column minima of `tx` (cheapest incoming transfer),
     /// handed to [`SelectionPolicy::edge_score_offset`].
     min_in: Vec<Time>,
+    /// Candidate-row width `K` ([`DEFAULT_K_BEST`] unless overridden via
+    /// [`ScheduleEngine::with_k_best`]); a pure performance knob — schedules
+    /// stay byte-identical for any `K ≥ 1`.
+    k_best: KBest,
     telemetry: EngineTelemetry,
 }
 
@@ -867,10 +894,11 @@ impl EngineState {
                 self.receivers.push(c as u32);
             }
         }
+        let k = self.k_best.0;
         self.cand_score.clear();
-        self.cand_score.resize(n * K_BEST, Time::INFINITY);
+        self.cand_score.resize(n * k, Time::INFINITY);
         self.cand_sender.clear();
-        self.cand_sender.resize(n * K_BEST, NO_SENDER);
+        self.cand_sender.resize(n * k, NO_SENDER);
         self.cand_len.clear();
         self.cand_len.resize(n, 0);
         self.floor_score.clear();
@@ -902,7 +930,7 @@ impl EngineState {
             "prepare_tx must run before the round loop"
         );
         self.tops.clear();
-        self.tops.reserve(n * (K_BEST + 1));
+        self.tops.reserve(n * (k + 1));
         self.topn.clear();
         self.topn.reserve(n);
     }
@@ -916,8 +944,9 @@ impl EngineState {
             n: problem.num_clusters(),
         };
         let root = problem.root;
+        let k = self.k_best.0;
         for &r in &self.receivers {
-            let row = r as usize * K_BEST;
+            let row = r as usize * k;
             self.cand_sender[row] = root.index() as u32;
             self.cand_score[row] = policy.edge_score(&view, root, ClusterId(r as usize));
             debug_assert_score_not_nan(self.cand_score[row]);
@@ -994,7 +1023,8 @@ impl EngineState {
     /// any unwalked sender scores at least its ready time, so it cannot enter
     /// a row or lower a floor.
     fn rescan_pending(&mut self, problem: &BroadcastProblem, policy: &dyn SelectionPolicy) {
-        const STRIDE: usize = K_BEST + 1;
+        let k = self.k_best.0;
+        let stride = k + 1;
         let EngineState {
             in_a,
             ready,
@@ -1023,7 +1053,7 @@ impl EngineState {
         };
         let m = pending.len();
         tops.clear();
-        tops.resize(m * STRIDE, (Time::INFINITY, NO_SENDER));
+        tops.resize(m * stride, (Time::INFINITY, NO_SENDER));
         topn.clear();
         topn.resize(m, 0);
         // Receivers in `pending[..live]` are still collecting entries; a
@@ -1044,14 +1074,14 @@ impl EngineState {
                 // The sum must be computed exactly as written — a rearranged
                 // `t > floor - c_j` is not float-equivalent and could retire
                 // one sender too early.
-                if filled == STRIDE
-                    && t + score_offset[pending[p] as usize] > tops[p * STRIDE + K_BEST].0
+                if filled == stride
+                    && t + score_offset[pending[p] as usize] > tops[p * stride + k].0
                 {
                     live -= 1;
                     pending.swap(p, live);
                     topn.swap(p, live);
-                    for slot in 0..STRIDE {
-                        tops.swap(p * STRIDE + slot, live * STRIDE + slot);
+                    for slot in 0..stride {
+                        tops.swap(p * stride + slot, live * stride + slot);
                     }
                     continue;
                 }
@@ -1059,8 +1089,8 @@ impl EngineState {
                     policy.edge_score(&view, ClusterId(s as usize), ClusterId(pending[p] as usize));
                 debug_assert_score_not_nan(score);
                 let entry = (score, s);
-                let row = &mut tops[p * STRIDE..(p + 1) * STRIDE];
-                if filled < STRIDE {
+                let row = &mut tops[p * stride..(p + 1) * stride];
+                if filled < stride {
                     let mut slot = filled;
                     while slot > 0 && row[slot - 1] > entry {
                         row[slot] = row[slot - 1];
@@ -1068,8 +1098,8 @@ impl EngineState {
                     }
                     row[slot] = entry;
                     topn[p] = (filled + 1) as u32;
-                } else if entry < row[K_BEST] {
-                    let mut slot = K_BEST;
+                } else if entry < row[k] {
+                    let mut slot = k;
                     while slot > 0 && row[slot - 1] > entry {
                         row[slot] = row[slot - 1];
                         slot -= 1;
@@ -1087,17 +1117,17 @@ impl EngineState {
             let filled = topn[p] as usize;
             debug_assert!(filled > 0, "set A is never empty");
             let j = pending[p] as usize;
-            let keep = filled.min(K_BEST);
-            for (slot, &(score, s)) in tops[p * STRIDE..p * STRIDE + keep].iter().enumerate() {
-                cand_score[j * K_BEST + slot] = score;
-                cand_sender[j * K_BEST + slot] = s;
+            let keep = filled.min(k);
+            for (slot, &(score, s)) in tops[p * stride..p * stride + keep].iter().enumerate() {
+                cand_score[j * k + slot] = score;
+                cand_sender[j * k + slot] = s;
             }
             cand_len[j] = keep as u32;
-            best_score[j] = cand_score[j * K_BEST];
-            best_sender[j] = cand_sender[j * K_BEST];
-            if filled == STRIDE {
-                floor_score[j] = tops[p * STRIDE + K_BEST].0;
-                floor_sender[j] = tops[p * STRIDE + K_BEST].1;
+            best_score[j] = cand_score[j * k];
+            best_sender[j] = cand_sender[j * k];
+            if filled == stride {
+                floor_score[j] = tops[p * stride + k].0;
+                floor_sender[j] = tops[p * stride + k].1;
             } else {
                 // The row holds all of A: nothing to bound.
                 floor_score[j] = Time::INFINITY;
@@ -1124,9 +1154,10 @@ impl EngineState {
         s: u32,
     ) -> bool {
         let j = receiver as usize;
+        let k = self.k_best.0;
         let len = self.cand_len[j] as usize;
-        let row = &mut self.cand_score[j * K_BEST..j * K_BEST + len];
-        let senders = &mut self.cand_sender[j * K_BEST..j * K_BEST + len];
+        let row = &mut self.cand_score[j * k..j * k + len];
+        let senders = &mut self.cand_sender[j * k..j * k + len];
         let view = EngineView {
             problem,
             in_a: &self.in_a,
@@ -1158,8 +1189,8 @@ impl EngineState {
             senders[slot] = grown.1;
         }
         if (row[0], senders[0]) <= (self.floor_score[j], self.floor_sender[j]) {
-            self.best_score[j] = self.cand_score[j * K_BEST];
-            self.best_sender[j] = self.cand_sender[j * K_BEST];
+            self.best_score[j] = self.cand_score[j * k];
+            self.best_sender[j] = self.cand_sender[j * k];
             if self.best_sender[j] == s {
                 self.telemetry.second_best_hit();
             } else {
@@ -1193,10 +1224,11 @@ impl EngineState {
         let score = policy.edge_score(&view, ClusterId(new_sender as usize), ClusterId(j));
         debug_assert_score_not_nan(score);
         let entry = (score, new_sender);
+        let k = self.k_best.0;
         let len = self.cand_len[j] as usize;
-        let row = &mut self.cand_score[j * K_BEST..(j + 1) * K_BEST];
-        let senders = &mut self.cand_sender[j * K_BEST..(j + 1) * K_BEST];
-        if len < K_BEST {
+        let row = &mut self.cand_score[j * k..(j + 1) * k];
+        let senders = &mut self.cand_sender[j * k..(j + 1) * k];
+        if len < k {
             // Room in the row: plain sorted insert.
             let mut slot = len;
             while slot > 0 && (row[slot - 1], senders[slot - 1]) > entry {
@@ -1211,11 +1243,11 @@ impl EngineState {
                 self.best_score[j] = entry.0;
                 self.best_sender[j] = entry.1;
             }
-        } else if entry < (row[K_BEST - 1], senders[K_BEST - 1]) {
+        } else if entry < (row[k - 1], senders[k - 1]) {
             // Displace the last entry; its cached score is a valid lower bound
             // for its sender, so folding it into the floor keeps invariant 3.
-            let dropped = (row[K_BEST - 1], senders[K_BEST - 1]);
-            let mut slot = K_BEST - 1;
+            let dropped = (row[k - 1], senders[k - 1]);
+            let mut slot = k - 1;
             while slot > 0 && (row[slot - 1], senders[slot - 1]) > entry {
                 row[slot] = row[slot - 1];
                 senders[slot] = senders[slot - 1];
@@ -1499,6 +1531,27 @@ impl ScheduleEngine {
     /// Creates an engine with empty buffers.
     pub fn new() -> Self {
         ScheduleEngine::default()
+    }
+
+    /// Creates an engine whose candidate rows hold `k` entries instead of
+    /// [`DEFAULT_K_BEST`].
+    ///
+    /// The row width is a **pure performance knob**: the head invariant and
+    /// the rescan fallback keep schedules byte-identical for any `k ≥ 1`
+    /// (asserted by the engine's parity tests) — only the repair rate, and
+    /// with it the rescan work, changes. The `engine_scaling` bench uses this
+    /// to probe K ∈ {8, 16, 32} at 500/1000 clusters for the adaptive-K
+    /// telemetry.
+    pub fn with_k_best(k: usize) -> Self {
+        assert!(k >= 1, "the candidate row needs at least the head entry");
+        let mut engine = ScheduleEngine::default();
+        engine.state.k_best = KBest(k);
+        engine
+    }
+
+    /// The candidate-row width `K` this engine runs with.
+    pub fn k_best(&self) -> usize {
+        self.state.k_best.0
     }
 
     /// Schedules `problem` with the built-in policy for `kind`.
@@ -1986,6 +2039,48 @@ mod tests {
                 "makespans diverge at {clusters} clusters"
             );
         }
+    }
+
+    #[test]
+    fn candidate_row_width_is_a_pure_performance_knob() {
+        // Schedules are byte-identical for any K ≥ 1: the row head is exact
+        // between commits and the rescan fallback rebuilds exact rows, so
+        // shrinking or growing the row only moves work between repairs and
+        // rescans. This is what licenses the engine_scaling K sweep.
+        let mut reference = ScheduleEngine::new();
+        assert_eq!(reference.k_best(), DEFAULT_K_BEST);
+        for clusters in [2usize, 13, 48, 96] {
+            let p = random_problem(clusters, 7000 + clusters as u64);
+            for k in [1usize, 2, 8, 32] {
+                let mut probe = ScheduleEngine::with_k_best(k);
+                assert_eq!(probe.k_best(), k);
+                for kind in HeuristicKind::all() {
+                    let a = reference.schedule(&p, kind);
+                    let b = probe.schedule(&p, kind);
+                    assert_eq!(a, b, "{kind} diverges at K={k} on {clusters} clusters");
+                    for (x, y) in a.events.iter().zip(&b.events) {
+                        assert_eq!(x.start.as_secs().to_bits(), y.start.as_secs().to_bits());
+                        assert_eq!(x.arrival.as_secs().to_bits(), y.arrival.as_secs().to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_read_paths_are_sync_and_engines_are_send() {
+        // The what-if worker pool shares `&Grid`/`&BroadcastProblem` across
+        // scoped threads and moves warm engines into workers; this pins the
+        // auto-trait surface those pools rely on (a policy gaining an
+        // un-Send/un-Sync field would fail to compile here first).
+        fn shared<T: Sync + Send>() {}
+        fn movable<T: Send>() {}
+        shared::<gridcast_topology::Grid>();
+        shared::<BroadcastProblem>();
+        shared::<Schedule>();
+        shared::<EdgeCosts>();
+        shared::<TransferSet>();
+        movable::<ScheduleEngine>();
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() {
         ),
         ("gather", figures::gather::run(&config)),
         ("exchange-scaling", figures::gather::run_exchange(&config)),
+        ("whatif", figures::whatif::run(&config)),
     ] {
         println!("== {name} ==");
         println!("{}", figure.to_ascii_table());

@@ -1,0 +1,16 @@
+//! Regenerates the what-if degradation sweep: the GRID'5000 Table-3 grid with
+//! the root cluster's uplink gap scaled by growing factors, every heuristic
+//! re-predicted per factor by the concurrent what-if runner, plus the winning
+//! schedule's predicted and node-level simulated completion. The crossover —
+//! the healthy grid's winner degrading past the relaying strategies — is the
+//! case for predicting per instance instead of fixing one strategy offline.
+
+use gridcast_experiments::{figures, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let figure = figures::whatif::run(&config);
+    print!("{}", figure.to_ascii_table());
+    eprintln!();
+    eprint!("{}", figure.to_csv());
+}

@@ -10,6 +10,7 @@ pub mod gather;
 pub mod mixed;
 pub mod patterns;
 pub mod scaling;
+pub mod whatif;
 
 use crate::params::ExperimentConfig;
 use crate::report::{FigureResult, Series};

@@ -16,6 +16,13 @@
 //! | E9  | Figure 6 — measured times, 88 machines  | [`figures::fig6`] | `fig6` |
 //! | E10 | Section 6 mixed strategy               | [`figures::mixed`] | `mixed_strategy` |
 //!
+//! Beyond the paper: the `scaling` ([`figures::scaling`]), `patterns`
+//! ([`figures::patterns`]), `gather` ([`figures::gather`]) and `whatif`
+//! ([`figures::whatif`]) binaries cover the engine-scaling sweep, the
+//! personalised patterns, the gather/scatter duality and the what-if
+//! degradation analysis built on the concurrent
+//! [`WhatIfRunner`](gridcast_simulator::WhatIfRunner).
+//!
 //! Every module produces a [`report::FigureResult`] (labelled series of points)
 //! that can be rendered as an aligned text table or CSV, so the binaries print
 //! the same rows/series the paper plots.

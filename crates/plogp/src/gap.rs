@@ -119,6 +119,35 @@ impl GapFunction {
         lo.gap + (hi.gap - lo.gap) * frac
     }
 
+    /// The gap function with every per-message cost multiplied by `factor`
+    /// (`factor > 1` = a slower link, `< 1` = a faster one): affine gaps scale
+    /// `g0` and divide the bandwidth, tables scale every sample, constants
+    /// scale the constant. `g(m)` of the result equals `factor · g(m)` of the
+    /// original for every `m` — the "scaled link capacity" knob of the
+    /// what-if perturbations.
+    pub fn scaled(&self, factor: f64) -> GapFunction {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "gap scale factor must be positive and finite"
+        );
+        match self {
+            GapFunction::Affine { g0, bandwidth } => GapFunction::Affine {
+                g0: *g0 * factor,
+                bandwidth: bandwidth / factor,
+            },
+            GapFunction::Constant { gap } => GapFunction::Constant { gap: *gap * factor },
+            GapFunction::Table { samples } => GapFunction::Table {
+                samples: samples
+                    .iter()
+                    .map(|s| GapSample {
+                        size: s.size,
+                        gap: s.gap * factor,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
     /// The effective bandwidth (bytes/second) implied by the gap at size `m`,
     /// i.e. `m / g(m)`. Returns `None` for the empty message or a zero gap.
     pub fn effective_bandwidth(&self, m: MessageSize) -> Option<f64> {

@@ -146,6 +146,20 @@ impl PLogP {
         }
         self.gap(m) * k + self.latency
     }
+
+    /// This link with its gap scaled by `factor` (latency and overhead
+    /// fractions unchanged): `g(m)` becomes `factor · g(m)` for every `m`.
+    /// This is the "degraded uplink" / "scaled link capacity" perturbation of
+    /// the what-if simulations — capacity degradation shows up in the
+    /// per-message cost, while propagation delay stays put.
+    pub fn with_scaled_gap(&self, factor: f64) -> PLogP {
+        PLogP {
+            latency: self.latency,
+            gap: self.gap.scaled(factor),
+            os_fraction: self.os_fraction,
+            or_fraction: self.or_fraction,
+        }
+    }
 }
 
 /// Default send-overhead fraction of the gap (empirically ~30 % for TCP stacks in

@@ -1,231 +1,57 @@
-//! The discrete-event execution engine.
+//! The unified discrete-event execution core.
+//!
+//! Earlier revisions carried two hand-rolled executors — a broadcast path
+//! (`execute_plan`) that resolved each machine's forwards analytically at
+//! arrival time, and a staged path (`execute_sized_plan`) that queued explicit
+//! attempt events for gated, payload-sized sends — each duplicating the
+//! interface-occupancy and wide-area-channel bookkeeping. They are now one
+//! machine: a monotonic event queue (a [`BinaryHeap`] over `(Time, seq)` with
+//! deterministic FIFO tie-breaking) plus per-machine interface and per-pair
+//! wide-area channel resources, onto which **plain sends, sized sends, release
+//! gates and local gather/scatter stages are all lowered as the same two event
+//! kinds**:
+//!
+//! * `Attempt` — a machine tries to start its next pending send;
+//!   if any required resource (its interface, the destination's interface in
+//!   the single-port model, a wide-area channel, a release time) is not yet
+//!   available, the attempt re-queues at the earliest time they all are.
+//!   Constraints only move forward, so the retry converges.
+//! * `Arrival` — a payload lands; gates open, reception times
+//!   update, and the receiving machine's next send is considered.
+//!
+//! The two public executors differ only in how a plan is *lowered* (an
+//! `EventProgram`):
+//!
+//! * [`execute_plan`] lowers a [`SendPlan`]: every send carries the broadcast
+//!   message, is gated on the machine's first arrival, and occupies the
+//!   **sender's** interface only (a receiving NIC can accept while sending —
+//!   the full-duplex broadcast model the Figure 5/6 reproduction was
+//!   validated under);
+//! * [`execute_sized_plan`] lowers a [`SizedSendPlan`]: per-send payloads,
+//!   `not_before`/`after_arrivals` release gates, and **both-endpoint**
+//!   interface occupancy (the single-port model of
+//!   `ScheduleEngine::schedule_transfers`, which makes engine-predicted
+//!   exchange makespans reproducible node-level).
+//!
+//! The queue's clock is **monotone by construction and by assertion**: no
+//! event may be scheduled before the current simulated time (a debug
+//! assertion guards the INF-arithmetic class of bug where a corrupted time
+//! would silently reorder the simulation), and every [`TraceEvent`] therefore
+//! reaches the [`TraceSink`] in non-decreasing time order — which is what
+//! lets traces stream instead of accumulating.
 
 use crate::network::NodeNetwork;
 use crate::outcome::SimulationOutcome;
-use crate::plan::SendPlan;
-use crate::trace::{TraceEvent, TraceKind};
+use crate::plan::{SendPlan, SizedSend, SizedSendPlan};
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
 use gridcast_plogp::{MessageSize, Time};
 use gridcast_topology::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// An event waiting in the simulation queue: a message arriving at a machine.
+/// An event waiting in the simulation queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Arrival {
-    time: Time,
-    /// Monotonic sequence number breaking ties deterministically (FIFO order for
-    /// simultaneous arrivals).
-    seq: u64,
-    from: NodeId,
-    to: NodeId,
-}
-
-impl Ord for Arrival {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
-}
-
-impl PartialOrd for Arrival {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Shared wide-area path occupancy per unordered cluster pair: each pair
-/// offers `wan_concurrency` channels at full per-flow rate; transfers beyond
-/// that serialise on the earliest-free channel. One definition serves both
-/// executors so the broadcast and personalised paths can never simulate
-/// different contention models for the same grid.
-struct WanChannels {
-    free: Vec<Vec<Time>>,
-    num_clusters: usize,
-}
-
-impl WanChannels {
-    fn new(network: &NodeNetwork) -> Self {
-        let num_clusters = network.grid().num_clusters();
-        WanChannels {
-            free: vec![vec![Time::ZERO; network.wan_concurrency()]; num_clusters * num_clusters],
-            num_clusters,
-        }
-    }
-
-    /// The channel free-times of the unordered pair `{a, b}`.
-    fn pair_mut(&mut self, a: usize, b: usize) -> &mut Vec<Time> {
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        &mut self.free[lo * self.num_clusters + hi]
-    }
-}
-
-/// Executes a [`SendPlan`] over a [`NodeNetwork`] for a message of size `m`,
-/// starting at time `start_offset` (used to account for scheduling overhead).
-///
-/// Semantics:
-///
-/// * the source holds the message at `start_offset`,
-/// * when a machine holds the message it issues the forwards listed in its plan
-///   entry, in order; each send occupies its network interface for the gap
-///   `g(m)` of the corresponding link, and the destination receives the full
-///   message `g(m) + L` after the send started,
-/// * transfers between two *different* clusters additionally occupy the shared
-///   wide-area path between those clusters for the gap: concurrent inter-site
-///   transfers over the same cluster pair serialise (the site uplink is a single
-///   bottleneck), which is what makes grid-unaware broadcast trees slow on real
-///   grids even though each individual sender is idle,
-/// * arrivals are processed in global time order (ties broken by issue order),
-///   so forwarding cascades propagate correctly.
-///
-/// Optionally records a full [`TraceEvent`] log via `trace`.
-pub fn execute_plan(
-    network: &NodeNetwork,
-    plan: &SendPlan,
-    m: MessageSize,
-    start_offset: Time,
-    trace: Option<&mut Vec<TraceEvent>>,
-) -> SimulationOutcome {
-    execute_generic(
-        network,
-        plan.source,
-        plan.num_nodes(),
-        |node| plan.forwards[node].iter().map(move |&dst| (dst, m)),
-        start_offset,
-        trace,
-    )
-}
-
-/// The shared discrete-event core behind [`execute_plan`] and
-/// [`execute_sized_plan`]: `forwards_of(node)` yields the ordered
-/// `(destination, payload)` sends a machine issues once it holds its data.
-/// Monomorphised per caller, so the uniform-payload broadcast path pays
-/// nothing for the generality.
-fn execute_generic<I>(
-    network: &NodeNetwork,
-    source: NodeId,
-    plan_nodes: usize,
-    forwards_of: impl Fn(usize) -> I + Copy,
-    start_offset: Time,
-    mut trace: Option<&mut Vec<TraceEvent>>,
-) -> SimulationOutcome
-where
-    I: Iterator<Item = (NodeId, MessageSize)>,
-{
-    let n = network.num_nodes();
-    assert_eq!(
-        plan_nodes, n,
-        "plan covers {plan_nodes} machines but the network has {n}"
-    );
-
-    let mut receive_times = vec![Time::INFINITY; n];
-    let mut queue: BinaryHeap<Reverse<Arrival>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let mut messages = 0usize;
-    let mut events_processed = 0usize;
-
-    let mut link_free = WanChannels::new(network);
-
-    // A helper issuing all forwards of a machine once it holds its data; each
-    // send's gap is priced for that send's payload.
-    let issue_forwards = |node: NodeId,
-                          ready_at: Time,
-                          queue: &mut BinaryHeap<Reverse<Arrival>>,
-                          link_free: &mut WanChannels,
-                          seq: &mut u64,
-                          messages: &mut usize,
-                          trace: &mut Option<&mut Vec<TraceEvent>>| {
-        let mut nic_free = ready_at;
-        for (dst, payload) in forwards_of(node.index()) {
-            let gap = network.gap(node, dst, payload);
-            let latency = network.latency(node, dst);
-            let src_cluster = network.nodes()[node.index()].cluster.index();
-            let dst_cluster = network.nodes()[dst.index()].cluster.index();
-            let send_start = if src_cluster != dst_cluster {
-                let link = link_free.pair_mut(src_cluster, dst_cluster);
-                // Take the earliest-free channel of the shared path.
-                let channel = link
-                    .iter_mut()
-                    .min_by_key(|t| **t)
-                    .expect("at least one channel per path");
-                let start = nic_free.max(*channel);
-                *channel = start + gap;
-                start
-            } else {
-                nic_free
-            };
-            nic_free = send_start + gap;
-            let arrival = send_start + gap + latency;
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(TraceEvent {
-                    kind: TraceKind::SendStart,
-                    time: send_start,
-                    from: node,
-                    to: dst,
-                });
-            }
-            queue.push(Reverse(Arrival {
-                time: arrival,
-                seq: *seq,
-                from: node,
-                to: dst,
-            }));
-            *seq += 1;
-            *messages += 1;
-        }
-    };
-
-    receive_times[source.index()] = start_offset;
-    issue_forwards(
-        source,
-        start_offset,
-        &mut queue,
-        &mut link_free,
-        &mut seq,
-        &mut messages,
-        &mut trace,
-    );
-
-    while let Some(Reverse(arrival)) = queue.pop() {
-        events_processed += 1;
-        if let Some(t) = trace.as_deref_mut() {
-            t.push(TraceEvent {
-                kind: TraceKind::Arrival,
-                time: arrival.time,
-                from: arrival.from,
-                to: arrival.to,
-            });
-        }
-        let idx = arrival.to.index();
-        if receive_times[idx].is_finite() {
-            // Duplicate delivery (a plan may in principle send twice); the first
-            // arrival wins and later copies are ignored.
-            continue;
-        }
-        receive_times[idx] = arrival.time;
-        issue_forwards(
-            arrival.to,
-            arrival.time,
-            &mut queue,
-            &mut link_free,
-            &mut seq,
-            &mut messages,
-            &mut trace,
-        );
-    }
-
-    // Machines never reached keep an infinite receive time; the completion below
-    // then propagates the problem loudly instead of silently reporting success.
-    let completion = receive_times.iter().copied().max().unwrap_or(Time::ZERO);
-    SimulationOutcome {
-        completion,
-        receive_times,
-        messages,
-        events_processed,
-    }
-}
-
-/// An event of the staged executor behind [`execute_sized_plan`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StagedKind {
+enum EventKind {
     /// A payload arriving at a machine.
     Arrival { from: NodeId, to: NodeId },
     /// A machine attempting to start its next pending send.
@@ -233,31 +59,300 @@ enum StagedKind {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct StagedEvent {
+struct Event {
     time: Time,
+    /// Monotonic sequence number breaking ties deterministically (FIFO order
+    /// for simultaneous events).
     seq: u64,
-    kind: StagedKind,
+    kind: EventKind,
 }
 
-impl Ord for StagedEvent {
+impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
     }
 }
 
-impl PartialOrd for StagedEvent {
+impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// Executes a [`SizedSendPlan`](crate::plan::SizedSendPlan) — the node-level
+/// The monotonic event queue: a min-heap over `(time, seq)` plus the current
+/// simulated time.
+///
+/// Pushing an event earlier than the current clock would silently reorder the
+/// simulation — exactly the failure mode of the INF−INF arithmetic bugs the
+/// engine's NaN audit hunts — so `push` asserts (in debug builds, which is
+/// how the whole test suite runs) that simulated time never flows backwards.
+struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    now: Time,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at `time`, which must not precede the current
+    /// simulated time.
+    #[inline]
+    fn push(&mut self, time: Time, kind: EventKind) {
+        debug_assert!(
+            time >= self.now,
+            "event scheduled at {time} before the current simulated time {} — \
+             the clock never runs backwards",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Pops the next event and advances the clock to it.
+    #[inline]
+    fn pop(&mut self) -> Option<Event> {
+        let event = self.heap.pop()?.0;
+        debug_assert!(event.time >= self.now, "heap order is time order");
+        self.now = event.time;
+        Some(event)
+    }
+}
+
+/// Which network interfaces a committed send occupies for its gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Occupancy {
+    /// Only the sender's interface — the full-duplex broadcast model, where a
+    /// machine keeps forwarding while later copies still arrive.
+    SenderOnly,
+    /// Both endpoints' interfaces — the single-port model of the engine's
+    /// transfer scheduler, where a gather's receives genuinely serialise on
+    /// the parent's interface.
+    BothEndpoints,
+}
+
+/// What the outcome's per-machine reception time means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reception {
+    /// The first arrival (broadcast: a machine holds the message once).
+    /// Machines never reached report `Time::INFINITY`.
+    First,
+    /// The last arrival (personalised patterns: a gather coordinator is done
+    /// when its whole subtree arrived). Machines that receive nothing report
+    /// `start_offset`; a starved plan (a gate that never opens) reports
+    /// `Time::INFINITY` loudly.
+    Last,
+}
+
+/// A plan lowered onto the event core: per machine, an ordered list of
+/// [`SizedSend`]s (payload + release gates), plus the execution mode.
+/// Monomorphised per caller, so the uniform-payload broadcast path pays
+/// nothing for the generality.
+trait EventProgram {
+    fn num_nodes(&self) -> usize;
+    fn source(&self) -> NodeId;
+    fn num_sends(&self, node: usize) -> usize;
+    fn send(&self, node: usize, k: usize) -> SizedSend;
+    fn occupancy(&self) -> Occupancy;
+    fn reception(&self) -> Reception;
+}
+
+/// The lowering of a uniform-payload [`SendPlan`]: every send carries the
+/// broadcast message and waits for the machine's first arrival (the source
+/// starts holding it).
+struct BroadcastProgram<'a> {
+    plan: &'a SendPlan,
+    message: MessageSize,
+}
+
+impl EventProgram for BroadcastProgram<'_> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.plan.num_nodes()
+    }
+
+    #[inline]
+    fn source(&self) -> NodeId {
+        self.plan.source
+    }
+
+    #[inline]
+    fn num_sends(&self, node: usize) -> usize {
+        self.plan.forwards[node].len()
+    }
+
+    #[inline]
+    fn send(&self, node: usize, k: usize) -> SizedSend {
+        SizedSend {
+            to: self.plan.forwards[node][k],
+            payload: self.message,
+            not_before: Time::ZERO,
+            after_arrivals: u32::from(node != self.plan.source.index()),
+        }
+    }
+
+    #[inline]
+    fn occupancy(&self) -> Occupancy {
+        Occupancy::SenderOnly
+    }
+
+    #[inline]
+    fn reception(&self) -> Reception {
+        Reception::First
+    }
+}
+
+/// The (identity) lowering of a [`SizedSendPlan`].
+impl EventProgram for &SizedSendPlan {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        SizedSendPlan::num_nodes(self)
+    }
+
+    #[inline]
+    fn source(&self) -> NodeId {
+        self.source
+    }
+
+    #[inline]
+    fn num_sends(&self, node: usize) -> usize {
+        self.forwards[node].len()
+    }
+
+    #[inline]
+    fn send(&self, node: usize, k: usize) -> SizedSend {
+        self.forwards[node][k]
+    }
+
+    #[inline]
+    fn occupancy(&self) -> Occupancy {
+        Occupancy::BothEndpoints
+    }
+
+    #[inline]
+    fn reception(&self) -> Reception {
+        Reception::Last
+    }
+}
+
+/// Shared wide-area path occupancy per unordered cluster pair: each pair
+/// offers `wan_concurrency` channels at full per-flow rate; transfers beyond
+/// that serialise on the earliest-free channel. One definition serves every
+/// lowered plan, so the broadcast and personalised paths can never simulate
+/// different contention models for the same grid.
+struct WanChannels {
+    /// Flat `[pair][channel]` free times (stride `concurrency`), indexed by
+    /// the unordered pair `{lo, hi}`.
+    free: Vec<Time>,
+    concurrency: usize,
+    num_clusters: usize,
+}
+
+impl WanChannels {
+    fn new(network: &NodeNetwork) -> Self {
+        let num_clusters = network.grid().num_clusters();
+        let concurrency = network.wan_concurrency();
+        WanChannels {
+            free: vec![Time::ZERO; num_clusters * num_clusters * concurrency],
+            concurrency,
+            num_clusters,
+        }
+    }
+
+    #[inline]
+    fn pair_range(&self, a: usize, b: usize) -> std::ops::Range<usize> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let base = (lo * self.num_clusters + hi) * self.concurrency;
+        base..base + self.concurrency
+    }
+
+    /// The earliest-free channel of the unordered pair `{a, b}`: its free
+    /// time and its slot (first minimal slot, deterministically).
+    #[inline]
+    fn earliest(&self, a: usize, b: usize) -> (Time, usize) {
+        let range = self.pair_range(a, b);
+        let base = range.start;
+        let mut best = Time::INFINITY;
+        let mut slot = 0;
+        for (i, &t) in self.free[range].iter().enumerate() {
+            if t < best {
+                best = t;
+                slot = i;
+            }
+        }
+        (best, base + slot)
+    }
+
+    #[inline]
+    fn occupy(&mut self, slot: usize, until: Time) {
+        self.free[slot] = until;
+    }
+}
+
+/// Executes a [`SendPlan`] over a [`NodeNetwork`] for a message of size `m`,
+/// starting at time `start_offset` (used to account for scheduling overhead).
+///
+/// Semantics (the broadcast lowering of the unified event core):
+///
+/// * the source holds the message at `start_offset`,
+/// * when a machine holds the message it issues the forwards listed in its
+///   plan entry, in order; each send occupies its network interface for the
+///   gap `g(m)` of the corresponding link, and the destination receives the
+///   full message `g(m) + L` after the send started,
+/// * transfers between two *different* clusters additionally occupy a channel
+///   of the shared wide-area path between those clusters for the gap:
+///   concurrent inter-site transfers over the same cluster pair beyond the
+///   path's concurrency budget serialise (the site uplink is a single
+///   bottleneck), which is what makes grid-unaware broadcast trees slow on
+///   real grids even though each individual sender is idle. Channels are
+///   acquired when a send actually starts (contention is resolved in global
+///   time order, ties by issue order), not pre-reserved,
+/// * events are processed in global time order, so forwarding cascades
+///   propagate correctly,
+/// * duplicate deliveries keep the first arrival; later copies are ignored.
+///
+/// Optionally records a full [`TraceEvent`] log via `trace`; prefer
+/// [`execute_plan_with_sink`] to stream, count or drop the trace instead.
+pub fn execute_plan(
+    network: &NodeNetwork,
+    plan: &SendPlan,
+    m: MessageSize,
+    start_offset: Time,
+    trace: Option<&mut Vec<TraceEvent>>,
+) -> SimulationOutcome {
+    let mut trace = trace;
+    execute_plan_with_sink(network, plan, m, start_offset, &mut trace)
+}
+
+/// [`execute_plan`] with a caller-chosen [`TraceSink`] observing the event
+/// stream in non-decreasing time order.
+pub fn execute_plan_with_sink<S: TraceSink>(
+    network: &NodeNetwork,
+    plan: &SendPlan,
+    m: MessageSize,
+    start_offset: Time,
+    sink: &mut S,
+) -> SimulationOutcome {
+    execute_events(
+        network,
+        &BroadcastProgram { plan, message: m },
+        start_offset,
+        sink,
+    )
+}
+
+/// Executes a [`SizedSendPlan`] — the node-level
 /// realisation of the personalised patterns, where every send carries its own
 /// payload and release gates.
 ///
-/// Semantics (the conformance-grade model for personalised exchanges; the
-/// uniform-payload [`execute_plan`] stays untouched as the broadcast fast
-/// path):
+/// Semantics (the conformance-grade lowering of the unified event core):
 ///
 /// * a machine issues its forwards **in order**; each waits for its
 ///   [`after_arrivals`](crate::plan::SizedSend::after_arrivals) gate (number
@@ -272,66 +367,97 @@ impl PartialOrd for StagedEvent {
 ///   wide-area path between those clusters (concurrency budget as in
 ///   [`execute_plan`]),
 /// * contention is resolved in global time order (ties by issue order): an
-///   attempt whose interfaces are busy re-queues at the earliest time they
+///   attempt whose resources are busy re-queues at the earliest time they all
 ///   free up.
 ///
 /// The outcome's per-machine reception time is the **last** arrival (a gather
 /// coordinator is done when its whole subtree arrived, not at its first
 /// message); machines that receive nothing — the leaves of a gather — report
-/// `start_offset`, the moment they already hold their own data.
+/// `start_offset`, the moment they already hold their own data. A machine
+/// with unissued forwards at drain time is starved (its gate never opened)
+/// and the outcome propagates `Time::INFINITY` loudly instead of reporting
+/// success.
 pub fn execute_sized_plan(
     network: &NodeNetwork,
-    plan: &crate::plan::SizedSendPlan,
+    plan: &SizedSendPlan,
     start_offset: Time,
-    mut trace: Option<&mut Vec<TraceEvent>>,
+    trace: Option<&mut Vec<TraceEvent>>,
 ) -> SimulationOutcome {
-    use crate::plan::SizedSend;
+    let mut trace = trace;
+    execute_sized_plan_with_sink(network, plan, start_offset, &mut trace)
+}
+
+/// [`execute_sized_plan`] with a caller-chosen [`TraceSink`] observing the
+/// event stream in non-decreasing time order.
+pub fn execute_sized_plan_with_sink<S: TraceSink>(
+    network: &NodeNetwork,
+    plan: &SizedSendPlan,
+    start_offset: Time,
+    sink: &mut S,
+) -> SimulationOutcome {
+    execute_events(network, &plan, start_offset, sink)
+}
+
+/// The one discrete-event loop behind both executors.
+fn execute_events<P: EventProgram, S: TraceSink>(
+    network: &NodeNetwork,
+    program: &P,
+    start_offset: Time,
+    sink: &mut S,
+) -> SimulationOutcome {
     let n = network.num_nodes();
     assert_eq!(
-        plan.num_nodes(),
+        program.num_nodes(),
         n,
         "plan covers {} machines but the network has {n}",
-        plan.num_nodes()
+        program.num_nodes()
     );
+    let occupancy = program.occupancy();
+    let reception = program.reception();
+    let source = program.source();
 
-    let mut link_free = WanChannels::new(network);
+    let mut wan = WanChannels::new(network);
+    // Interface free times; `start_offset` models the pre-simulation phase
+    // (e.g. scheduling overhead) during which no machine may transmit.
     let mut nic_free = vec![start_offset; n];
     let mut arrivals = vec![0u32; n];
     let mut cursor = vec![0usize; n];
     let mut attempt_pending = vec![false; n];
+    // Reception bookkeeping for both semantics; the unused half costs two
+    // vectors, which keeps the loop free of per-mode branches.
+    let mut first_arrival = vec![Time::INFINITY; n];
     let mut last_arrival = vec![start_offset; n];
     let mut received_any = vec![false; n];
-    let mut queue: BinaryHeap<Reverse<StagedEvent>> = BinaryHeap::new();
-    let mut seq = 0u64;
+    let mut queue = EventQueue::new();
     let mut messages = 0usize;
     let mut events_processed = 0usize;
 
-    // Schedules the next gated-and-ready forward of `node`, if any.
+    // Schedules the next gated-and-ready forward of `node`, if any. The
+    // attempt is queued at the earliest time the sender itself could start;
+    // destination-interface and wide-area constraints are resolved when the
+    // attempt fires.
     let advance = |node: usize,
                    now: Time,
                    cursor: &[usize],
                    arrivals: &[u32],
                    attempt_pending: &mut [bool],
                    nic_free: &[Time],
-                   queue: &mut BinaryHeap<Reverse<StagedEvent>>,
-                   seq: &mut u64| {
-        if attempt_pending[node] || cursor[node] >= plan.forwards[node].len() {
+                   queue: &mut EventQueue| {
+        if attempt_pending[node] || cursor[node] >= program.num_sends(node) {
             return;
         }
-        let send: &SizedSend = &plan.forwards[node][cursor[node]];
+        let send = program.send(node, cursor[node]);
         if arrivals[node] < send.after_arrivals {
             return;
         }
         let at = now.max(nic_free[node]).max(send.not_before);
         attempt_pending[node] = true;
-        queue.push(Reverse(StagedEvent {
-            time: at,
-            seq: *seq,
-            kind: StagedKind::Attempt {
+        queue.push(
+            at,
+            EventKind::Attempt {
                 node: NodeId(node as u32),
             },
-        }));
-        *seq += 1;
+        );
     };
 
     for node in 0..n {
@@ -343,72 +469,60 @@ pub fn execute_sized_plan(
             &mut attempt_pending,
             &nic_free,
             &mut queue,
-            &mut seq,
         );
     }
 
-    while let Some(Reverse(event)) = queue.pop() {
+    while let Some(event) = queue.pop() {
         match event.kind {
-            StagedKind::Attempt { node } => {
+            EventKind::Attempt { node } => {
                 let idx = node.index();
-                let send = plan.forwards[idx][cursor[idx]];
+                let send = program.send(idx, cursor[idx]);
                 let src_cluster = network.nodes()[idx].cluster.index();
                 let dst_cluster = network.nodes()[send.to.index()].cluster.index();
                 let gap = network.gap(node, send.to, send.payload);
                 // The earliest feasible start given everything committed so
                 // far; constraints only move forward, so re-queueing at this
                 // time converges.
-                let mut earliest = event
-                    .time
-                    .max(nic_free[idx])
-                    .max(nic_free[send.to.index()])
-                    .max(send.not_before);
+                let mut earliest = event.time.max(nic_free[idx]).max(send.not_before);
+                if occupancy == Occupancy::BothEndpoints {
+                    earliest = earliest.max(nic_free[send.to.index()]);
+                }
                 let channel_slot = if src_cluster != dst_cluster {
-                    let link = link_free.pair_mut(src_cluster, dst_cluster);
-                    let (slot, &free) = link
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, t)| **t)
-                        .expect("at least one channel per path");
+                    let (free, slot) = wan.earliest(src_cluster, dst_cluster);
                     earliest = earliest.max(free);
                     Some(slot)
                 } else {
                     None
                 };
                 if earliest > event.time {
-                    queue.push(Reverse(StagedEvent {
-                        time: earliest,
-                        seq,
-                        kind: event.kind,
-                    }));
-                    seq += 1;
+                    queue.push(earliest, event.kind);
                     continue;
                 }
                 let start = event.time;
                 let release = start + gap;
                 nic_free[idx] = release;
-                nic_free[send.to.index()] = release;
+                if occupancy == Occupancy::BothEndpoints {
+                    nic_free[send.to.index()] = release;
+                }
                 if let Some(slot) = channel_slot {
-                    link_free.pair_mut(src_cluster, dst_cluster)[slot] = release;
+                    wan.occupy(slot, release);
                 }
                 let arrival = release + network.latency(node, send.to);
-                if let Some(t) = trace.as_deref_mut() {
-                    t.push(TraceEvent {
+                if sink.enabled() {
+                    sink.record(TraceEvent {
                         kind: TraceKind::SendStart,
                         time: start,
                         from: node,
                         to: send.to,
                     });
                 }
-                queue.push(Reverse(StagedEvent {
-                    time: arrival,
-                    seq,
-                    kind: StagedKind::Arrival {
+                queue.push(
+                    arrival,
+                    EventKind::Arrival {
                         from: node,
                         to: send.to,
                     },
-                }));
-                seq += 1;
+                );
                 messages += 1;
                 cursor[idx] += 1;
                 attempt_pending[idx] = false;
@@ -420,13 +534,12 @@ pub fn execute_sized_plan(
                     &mut attempt_pending,
                     &nic_free,
                     &mut queue,
-                    &mut seq,
                 );
             }
-            StagedKind::Arrival { from, to } => {
+            EventKind::Arrival { from, to } => {
                 events_processed += 1;
-                if let Some(t) = trace.as_deref_mut() {
-                    t.push(TraceEvent {
+                if sink.enabled() {
+                    sink.record(TraceEvent {
                         kind: TraceKind::Arrival,
                         time: event.time,
                         from,
@@ -436,6 +549,7 @@ pub fn execute_sized_plan(
                 let idx = to.index();
                 arrivals[idx] += 1;
                 received_any[idx] = true;
+                first_arrival[idx] = first_arrival[idx].min(event.time);
                 last_arrival[idx] = last_arrival[idx].max(event.time);
                 advance(
                     idx,
@@ -445,24 +559,42 @@ pub fn execute_sized_plan(
                     &mut attempt_pending,
                     &nic_free,
                     &mut queue,
-                    &mut seq,
                 );
             }
         }
     }
 
-    // A machine with unissued forwards at drain time is starved — its gate
-    // never opened. Propagate loudly instead of reporting success.
-    let starved = (0..n).any(|i| cursor[i] < plan.forwards[i].len());
-    let receive_times: Vec<Time> = (0..n)
-        .map(|i| {
-            if starved && (cursor[i] < plan.forwards[i].len() || !received_any[i]) {
-                Time::INFINITY
-            } else {
-                last_arrival[i]
-            }
-        })
-        .collect();
+    let receive_times: Vec<Time> = match reception {
+        Reception::First => (0..n)
+            .map(|i| {
+                if i == source.index() {
+                    // The source holds the message from the start; duplicate
+                    // deliveries to it are ignored like any duplicate.
+                    start_offset
+                } else {
+                    first_arrival[i]
+                }
+            })
+            .collect(),
+        Reception::Last => {
+            // A machine with unissued forwards at drain time is starved — its
+            // gate never opened. Propagate loudly instead of reporting
+            // success.
+            let starved = (0..n).any(|i| cursor[i] < program.num_sends(i));
+            (0..n)
+                .map(|i| {
+                    if starved && (cursor[i] < program.num_sends(i) || !received_any[i]) {
+                        Time::INFINITY
+                    } else {
+                        last_arrival[i]
+                    }
+                })
+                .collect()
+        }
+    };
+    // Machines never reached keep an infinite receive time; the completion
+    // below then propagates the problem loudly instead of silently reporting
+    // success.
     let completion = receive_times.iter().copied().max().unwrap_or(Time::ZERO);
     SimulationOutcome {
         completion,
@@ -475,6 +607,7 @@ pub fn execute_sized_plan(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::{CountingSink, NullSink, StreamingSink};
     use gridcast_topology::{grid5000_table3, ClusterId, Grid};
 
     fn grid() -> Grid {
@@ -559,13 +692,51 @@ mod tests {
         // Trace holds one send and one arrival per message.
         assert_eq!(trace.len(), 2 * 87);
         assert!(trace.iter().any(|e| e.kind == TraceKind::SendStart));
+        // The unified core's streaming contract: the trace is globally
+        // ordered by time.
+        assert!(trace.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn null_and_counting_sinks_agree_with_the_retained_trace() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let plan = SendPlan::binomial_over_all_nodes(&grid, ClusterId(3));
+        let m = MessageSize::from_mib(1);
+        let mut retained = Vec::new();
+        let traced = execute_plan(&network, &plan, m, Time::ZERO, Some(&mut retained));
+        let mut null = NullSink;
+        let silent = execute_plan_with_sink(&network, &plan, m, Time::ZERO, &mut null);
+        assert_eq!(traced, silent);
+        let mut counting = CountingSink::default();
+        let counted = execute_plan_with_sink(&network, &plan, m, Time::ZERO, &mut counting);
+        assert_eq!(traced, counted);
+        assert_eq!(counting.sends, 87);
+        assert_eq!(counting.arrivals, 87);
+        assert_eq!(counting.last_time, retained.last().unwrap().time);
+    }
+
+    #[test]
+    fn streaming_sink_observes_the_same_events_as_the_retained_vec() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let plan = SendPlan::binomial_over_all_nodes(&grid, ClusterId(0));
+        let m = MessageSize::from_mib(1);
+        let mut retained = Vec::new();
+        let a = execute_plan(&network, &plan, m, Time::ZERO, Some(&mut retained));
+        let mut streaming = StreamingSink::new(Vec::new());
+        let b = execute_plan_with_sink(&network, &plan, m, Time::ZERO, &mut streaming);
+        assert_eq!(a, b);
+        let text = String::from_utf8(streaming.finish().unwrap()).unwrap();
+        let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let expected: Vec<String> = retained.iter().map(|e| e.to_string()).collect();
+        assert_eq!(lines, expected);
     }
 
     #[test]
     fn sized_plan_execution_prices_each_send_for_its_payload() {
         let grid = grid();
         let network = NodeNetwork::new(&grid);
-        use crate::plan::SizedSendPlan;
         let mut small = SizedSendPlan::empty(NodeId(0), network.num_nodes());
         small.push_forward(NodeId(0), NodeId(1), MessageSize::from_kib(64));
         let mut large = SizedSendPlan::empty(NodeId(0), network.num_nodes());
@@ -581,7 +752,6 @@ mod tests {
 
     #[test]
     fn staged_sends_respect_gates_and_release_times() {
-        use crate::plan::{SizedSend, SizedSendPlan};
         let grid = grid();
         let network = NodeNetwork::new(&grid);
         let m = MessageSize::from_kib(64);
@@ -611,7 +781,6 @@ mod tests {
 
     #[test]
     fn staged_sends_occupy_both_endpoint_interfaces() {
-        use crate::plan::SizedSendPlan;
         let grid = grid();
         let network = NodeNetwork::new(&grid);
         let m = MessageSize::from_mib(1);
@@ -619,13 +788,13 @@ mod tests {
         // receives must serialise on node 0's interface, so the last arrival
         // is two gaps plus one latency, not max of two parallel transfers.
         let mut plan = SizedSendPlan::empty(NodeId(1), network.num_nodes());
-        plan.forwards[1].push(crate::plan::SizedSend {
+        plan.forwards[1].push(SizedSend {
             to: NodeId(0),
             payload: m,
             not_before: Time::ZERO,
             after_arrivals: 0,
         });
-        plan.forwards[2].push(crate::plan::SizedSend {
+        plan.forwards[2].push(SizedSend {
             to: NodeId(0),
             payload: m,
             not_before: Time::ZERO,
@@ -641,7 +810,6 @@ mod tests {
 
     #[test]
     fn starved_gates_propagate_loudly() {
-        use crate::plan::{SizedSend, SizedSendPlan};
         let grid = grid();
         let network = NodeNetwork::new(&grid);
         let mut plan = SizedSendPlan::empty(NodeId(0), network.num_nodes());
@@ -658,7 +826,6 @@ mod tests {
 
     #[test]
     fn relay_scatter_executes_node_level_end_to_end() {
-        use crate::plan::SizedSendPlan;
         use gridcast_core::{RelayOrdering, RelayScatterProblem};
         let grid = grid();
         let network = NodeNetwork::new(&grid);
@@ -676,7 +843,6 @@ mod tests {
 
     #[test]
     fn gather_executes_node_level_and_reproduces_the_engine_makespan() {
-        use crate::plan::SizedSendPlan;
         use gridcast_core::{RelayGatherProblem, RelayOrdering};
         let grid = grid();
         let network = NodeNetwork::new(&grid);
@@ -705,7 +871,6 @@ mod tests {
 
     #[test]
     fn allgather_executes_node_level_and_reproduces_the_engine_makespan() {
-        use crate::plan::SizedSendPlan;
         use gridcast_core::allgather_schedule;
         let grid = grid();
         let network = NodeNetwork::new(&grid);

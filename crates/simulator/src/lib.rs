@@ -23,7 +23,15 @@
 //!   payload per send (relayed concatenations, aggregate blocks, per-machine
 //!   slices) and [`execute_sized_plan`] prices each gap for those bytes —
 //!   the node-level realisation of the relay-capable scatter schedules of
-//!   `gridcast_core::patterns`, and
+//!   `gridcast_core::patterns`,
+//! * both executors are **lowerings of one discrete-event core** ([`engine`]):
+//!   a monotonic event queue plus per-machine interface and per-pair
+//!   wide-area channel resources, emitting the trace in non-decreasing time
+//!   order to a caller-chosen [`TraceSink`] (drop, count, stream, or retain),
+//! * **what-if sweeps** ([`whatif`]) evaluate thousands of perturbed
+//!   scenarios — scaled links, degraded uplinks, alternate roots, dropped
+//!   relays — against one shared read-only grid on a scoped worker pool,
+//!   bit-identically for any thread count, and
 //! * the cost of *computing* the schedule itself (the paper's "algorithm
 //!   complexity" concern) can be measured and added via [`overhead`].
 //!
@@ -42,11 +50,15 @@ pub mod overhead;
 pub mod plan;
 pub mod simulator;
 pub mod trace;
+pub mod whatif;
 
-pub use engine::{execute_plan, execute_sized_plan};
+pub use engine::{
+    execute_plan, execute_plan_with_sink, execute_sized_plan, execute_sized_plan_with_sink,
+};
 pub use network::NodeNetwork;
 pub use outcome::SimulationOutcome;
 pub use overhead::measure_scheduling_overhead;
 pub use plan::{SendPlan, SizedSend, SizedSendPlan};
 pub use simulator::Simulator;
-pub use trace::{TraceEvent, TraceKind};
+pub use trace::{CountingSink, NullSink, StreamingSink, TraceEvent, TraceKind, TraceSink};
+pub use whatif::{Perturbation, Scenario, WhatIfReport, WhatIfRunner};

@@ -23,6 +23,14 @@ impl SimulationOutcome {
         self.receive_times[node.index()]
     }
 
+    /// Whether every machine finished: a plan that leaves machines unreached
+    /// (broadcast) or starved behind a gate that never opens (personalised
+    /// patterns) reports an infinite completion, and this is the idiomatic
+    /// check for it.
+    pub fn is_complete(&self) -> bool {
+        self.completion.is_finite()
+    }
+
     /// The last machine to receive the message and when.
     pub fn last_receiver(&self) -> (NodeId, Time) {
         self.receive_times

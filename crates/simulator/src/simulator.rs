@@ -57,14 +57,7 @@ impl Simulator {
         schedule: &Schedule,
         scheduling_overhead: Time,
     ) -> SimulationOutcome {
-        let plan = SendPlan::from_grid_schedule(&self.grid, schedule);
-        execute_plan(
-            &self.network,
-            &plan,
-            self.message,
-            scheduling_overhead,
-            None,
-        )
+        self.execute_schedule_with_sink(schedule, scheduling_overhead, &mut crate::trace::NullSink)
     }
 
     /// Executes an already-computed schedule and records the full trace.
@@ -73,16 +66,29 @@ impl Simulator {
         schedule: &Schedule,
         scheduling_overhead: Time,
     ) -> (SimulationOutcome, Vec<TraceEvent>) {
-        let plan = SendPlan::from_grid_schedule(&self.grid, schedule);
         let mut trace = Vec::new();
-        let outcome = execute_plan(
+        let outcome = self.execute_schedule_with_sink(schedule, scheduling_overhead, &mut trace);
+        (outcome, trace)
+    }
+
+    /// Executes an already-computed schedule with a caller-chosen
+    /// [`TraceSink`](crate::trace::TraceSink) — the one schedule-execution
+    /// entry point the plain and traced wrappers above delegate to, and the
+    /// way to stream a trace instead of materialising it.
+    pub fn execute_schedule_with_sink<S: crate::trace::TraceSink>(
+        &self,
+        schedule: &Schedule,
+        scheduling_overhead: Time,
+        sink: &mut S,
+    ) -> SimulationOutcome {
+        let plan = SendPlan::from_grid_schedule(&self.grid, schedule);
+        crate::engine::execute_plan_with_sink(
             &self.network,
             &plan,
             self.message,
             scheduling_overhead,
-            Some(&mut trace),
-        );
-        (outcome, trace)
+            sink,
+        )
     }
 
     /// Schedules the broadcast with `kind` rooted at `root` and executes it,

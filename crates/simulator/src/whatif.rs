@@ -1,0 +1,414 @@
+//! Concurrent what-if evaluation: thousands of perturbed scenarios against
+//! one shared, read-only grid.
+//!
+//! The paper's value proposition is *predictive* — pick the best grid-aware
+//! schedule before running it — which makes the reproduction's currency the
+//! number of what-if evaluations per second. A [`WhatIfRunner`] owns a
+//! reference to one immutable [`Grid`] and fans a batch of [`Scenario`]s out
+//! over a scoped worker pool; every worker carries its own
+//! [`ScheduleEngine`] (engine buffers are mutable scratch; the shared inputs
+//! are `Sync`-clean read paths), evaluates its scenarios independently, and
+//! writes each [`WhatIfReport`] into the slot of its scenario index.
+//!
+//! Because every scenario is a pure function of `(grid, scenario)` and the
+//! aggregation is **ordered by scenario index**, the result is bit-identical
+//! for any worker-thread count — the same contract as
+//! [`gridcast_core::schedule_all_sharded`], extended from heuristics to whole
+//! scenario sweeps. The CI what-if bench holds the runner to it.
+//!
+//! A scenario's evaluation is the full predict-then-verify loop:
+//!
+//! 1. perturb the grid (scaled link capacities, a degraded site uplink, an
+//!    alternate root, a cluster dropped from relay duty) — a cheap pure copy
+//!    via [`Grid::map_links`],
+//! 2. predict the makespan of every candidate heuristic with the engine's
+//!    allocation-free batched entry point,
+//! 3. pick the best (smallest makespan, ties to the earlier heuristic in the
+//!    runner's list — deterministic), and
+//! 4. *execute* the winning schedule node-level on the unified discrete-event
+//!    core (trace dropped through [`NullSink`]) so the report carries a
+//!    simulated completion, not just the model's claim.
+
+use crate::engine::execute_plan_with_sink;
+use crate::network::NodeNetwork;
+use crate::outcome::SimulationOutcome;
+use crate::plan::SendPlan;
+use crate::trace::NullSink;
+use gridcast_core::{BroadcastProblem, HeuristicKind, ScheduleEngine};
+use gridcast_plogp::{MessageSize, Time};
+use gridcast_topology::{ClusterId, Grid};
+
+/// Gap scale applied by [`Perturbation::DropRelay`] to a cluster's outgoing
+/// links: large enough that no heuristic ever relays through the cluster
+/// (every direct alternative is cheaper by orders of magnitude), finite so
+/// the engine's no-NaN and no-∞-arithmetic invariants hold throughout.
+pub const DROP_RELAY_FACTOR: f64 = 1e6;
+
+/// One way a scenario deviates from the baseline grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Perturbation {
+    /// Multiply every inter-cluster link's gap by `factor` (`> 1` = a slower
+    /// grid, `< 1` = a faster one). Latencies are unchanged.
+    ScaleAllLinks {
+        /// Gap multiplier, positive and finite.
+        factor: f64,
+    },
+    /// Multiply the **outgoing** links of one cluster by `factor` — a
+    /// degraded site uplink (the cluster still receives at full rate).
+    DegradeUplink {
+        /// The cluster whose uplink degrades.
+        cluster: ClusterId,
+        /// Gap multiplier, positive and finite.
+        factor: f64,
+    },
+    /// Root the broadcast at a different cluster.
+    AlternateRoot {
+        /// The replacement root.
+        root: ClusterId,
+    },
+    /// Remove a cluster from relay duty: its outgoing links become
+    /// [`DROP_RELAY_FACTOR`] times slower, so no gap-aware schedule forwards
+    /// through it while it remains reachable at full rate. (FEF scores edges
+    /// by latency alone and stays blind to the penalty by design — its
+    /// what-if report then carries the inflated makespan, which is exactly
+    /// the comparison the sweep exists to surface.)
+    DropRelay {
+        /// The cluster excluded from relaying.
+        cluster: ClusterId,
+    },
+}
+
+/// A what-if scenario: a list of perturbations applied in order to the
+/// runner's baseline grid and root. The empty list is the baseline itself.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scenario {
+    /// The perturbations, applied left to right.
+    pub perturbations: Vec<Perturbation>,
+}
+
+impl Scenario {
+    /// The unperturbed baseline.
+    pub fn baseline() -> Self {
+        Scenario::default()
+    }
+
+    /// A single-perturbation scenario.
+    pub fn one(perturbation: Perturbation) -> Self {
+        Scenario {
+            perturbations: vec![perturbation],
+        }
+    }
+
+    /// Applies the scenario to `grid`/`root`, returning the perturbed pair.
+    pub fn apply(&self, grid: &Grid, root: ClusterId) -> (Grid, ClusterId) {
+        // `map_links` already yields a fresh grid, so the baseline copy is
+        // only made when no perturbation touches the links at all.
+        let mut perturbed: Option<Grid> = None;
+        let mut root = root;
+        // Scale the outgoing gaps of `cluster` (every link when `None`).
+        let scaled = |base: &Grid, cluster: Option<ClusterId>, factor: f64| {
+            base.map_links(|from, _, link| {
+                if cluster.is_none_or(|c| from == c) {
+                    link.with_scaled_gap(factor)
+                } else {
+                    link.clone()
+                }
+            })
+        };
+        for p in &self.perturbations {
+            let base = perturbed.as_ref().unwrap_or(grid);
+            match *p {
+                Perturbation::ScaleAllLinks { factor } => {
+                    perturbed = Some(scaled(base, None, factor));
+                }
+                Perturbation::DegradeUplink { cluster, factor } => {
+                    perturbed = Some(scaled(base, Some(cluster), factor));
+                }
+                Perturbation::AlternateRoot { root: r } => root = r,
+                Perturbation::DropRelay { cluster } => {
+                    perturbed = Some(scaled(base, Some(cluster), DROP_RELAY_FACTOR));
+                }
+            }
+        }
+        (perturbed.unwrap_or_else(|| grid.clone()), root)
+    }
+}
+
+/// The evaluation of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfReport {
+    /// Index of the scenario in the batch handed to [`WhatIfRunner::run`]
+    /// (reports come back in this order, whatever the thread count).
+    pub scenario: usize,
+    /// Predicted makespan of every candidate heuristic, in the runner's
+    /// `kinds` order.
+    pub makespans: Vec<Time>,
+    /// The winning heuristic (smallest predicted makespan; ties break to the
+    /// earlier entry of the runner's `kinds`).
+    pub best: HeuristicKind,
+    /// The winner's predicted makespan.
+    pub predicted: Time,
+    /// Completion of the winner's schedule executed node-level on the
+    /// unified discrete-event core.
+    pub simulated: Time,
+    /// Events the simulation processed (one per delivered message).
+    pub events: usize,
+}
+
+/// A scoped worker pool running what-if scenarios against one shared,
+/// read-only grid. See the [module docs](self) for the evaluation pipeline
+/// and the determinism contract.
+#[derive(Debug, Clone)]
+pub struct WhatIfRunner<'a> {
+    grid: &'a Grid,
+    message: MessageSize,
+    root: ClusterId,
+    kinds: Vec<HeuristicKind>,
+    threads: usize,
+}
+
+impl<'a> WhatIfRunner<'a> {
+    /// A runner over `grid`, broadcasting `message` from `root`, evaluating
+    /// every built-in heuristic, with one worker per available core.
+    pub fn new(grid: &'a Grid, message: MessageSize, root: ClusterId) -> Self {
+        WhatIfRunner {
+            grid,
+            message,
+            root,
+            kinds: HeuristicKind::all().to_vec(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Overrides the worker count (at least 1). The results are bit-identical
+    /// for any value — this knob trades wall-clock for cores, nothing else.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "the pool needs at least one worker");
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the candidate heuristics (at least one; order defines the
+    /// tie-break and the [`WhatIfReport::makespans`] layout).
+    pub fn with_kinds(mut self, kinds: &[HeuristicKind]) -> Self {
+        assert!(!kinds.is_empty(), "the runner needs at least one heuristic");
+        self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// The candidate heuristics, in report order.
+    pub fn kinds(&self) -> &[HeuristicKind] {
+        &self.kinds
+    }
+
+    /// Evaluates every scenario, fanning the batch out over the worker pool.
+    /// Reports come back ordered by scenario index and bit-identical for any
+    /// thread count.
+    pub fn run(&self, scenarios: &[Scenario]) -> Vec<WhatIfReport> {
+        let mut out: Vec<Option<WhatIfReport>> = (0..scenarios.len()).map(|_| None).collect();
+        if scenarios.is_empty() {
+            return Vec::new();
+        }
+        let chunk = scenarios.len().div_ceil(self.threads.min(scenarios.len()));
+        std::thread::scope(|scope| {
+            for (chunk_index, (scenario_chunk, out_chunk)) in scenarios
+                .chunks(chunk)
+                .zip(out.chunks_mut(chunk))
+                .enumerate()
+            {
+                let base = chunk_index * chunk;
+                scope.spawn(move || {
+                    let mut engine = ScheduleEngine::new();
+                    let mut makespans = Vec::new();
+                    for (i, (scenario, slot)) in
+                        scenario_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
+                    {
+                        *slot =
+                            Some(self.evaluate(&mut engine, &mut makespans, base + i, scenario));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every scenario was evaluated by its shard"))
+            .collect()
+    }
+
+    /// Evaluates one scenario with a caller-owned engine (the worker loop;
+    /// also the convenient sequential entry point for tests and figures).
+    pub fn evaluate(
+        &self,
+        engine: &mut ScheduleEngine,
+        makespans: &mut Vec<Time>,
+        index: usize,
+        scenario: &Scenario,
+    ) -> WhatIfReport {
+        let (grid, root) = scenario.apply(self.grid, self.root);
+        let problem = BroadcastProblem::from_grid(&grid, root, self.message);
+        engine.makespans_into(&problem, &self.kinds, makespans);
+        let (best_slot, predicted) = makespans
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|(i, a), (j, b)| a.cmp(b).then(i.cmp(j)))
+            .expect("at least one heuristic");
+        let best = self.kinds[best_slot];
+        let schedule = engine.schedule(&problem, best);
+        let outcome = self.simulate(&grid, &schedule);
+        WhatIfReport {
+            scenario: index,
+            makespans: makespans.clone(),
+            best,
+            predicted,
+            simulated: outcome.completion,
+            events: outcome.events_processed,
+        }
+    }
+
+    fn simulate(&self, grid: &Grid, schedule: &gridcast_core::Schedule) -> SimulationOutcome {
+        let network = NodeNetwork::new(grid);
+        let plan = SendPlan::from_grid_schedule(grid, schedule);
+        execute_plan_with_sink(&network, &plan, self.message, Time::ZERO, &mut NullSink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_topology::{grid5000_table3, GridGenerator};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn scenario_mix(grid: &Grid, count: usize) -> Vec<Scenario> {
+        let n = grid.num_clusters();
+        (0..count)
+            .map(|i| match i % 5 {
+                0 => Scenario::baseline(),
+                1 => Scenario::one(Perturbation::ScaleAllLinks {
+                    factor: 0.5 + 0.25 * (i % 8) as f64,
+                }),
+                2 => Scenario::one(Perturbation::DegradeUplink {
+                    cluster: ClusterId(i % n),
+                    factor: 2.0 + (i % 4) as f64,
+                }),
+                3 => Scenario::one(Perturbation::AlternateRoot {
+                    root: ClusterId(i % n),
+                }),
+                _ => Scenario::one(Perturbation::DropRelay {
+                    cluster: ClusterId(1 + i % (n - 1)),
+                }),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reports_are_bit_identical_across_thread_counts() {
+        let grid = GridGenerator::table2()
+            .cluster_size(4)
+            .generate(12, &mut ChaCha8Rng::seed_from_u64(7));
+        let runner = WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0));
+        let scenarios = scenario_mix(&grid, 41);
+        let sequential = runner.clone().with_threads(1).run(&scenarios);
+        let parallel = runner.with_threads(4).run(&scenarios);
+        assert_eq!(sequential.len(), scenarios.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.best, b.best);
+            assert_eq!(a.events, b.events);
+            let bits =
+                |ts: &[Time]| -> Vec<u64> { ts.iter().map(|t| t.as_secs().to_bits()).collect() };
+            assert_eq!(bits(&a.makespans), bits(&b.makespans));
+            assert_eq!(
+                a.predicted.as_secs().to_bits(),
+                b.predicted.as_secs().to_bits()
+            );
+            assert_eq!(
+                a.simulated.as_secs().to_bits(),
+                b.simulated.as_secs().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_report_is_consistent() {
+        let grid = grid5000_table3();
+        let runner = WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0));
+        let reports = runner.with_threads(2).run(&[Scenario::baseline()]);
+        let report = &reports[0];
+        assert_eq!(report.scenario, 0);
+        assert_eq!(report.makespans.len(), runner_kinds_len());
+        let min = report.makespans.iter().copied().min().unwrap();
+        assert_eq!(report.predicted, min);
+        assert!(report.simulated.is_finite());
+        assert_eq!(report.events, 87);
+    }
+
+    fn runner_kinds_len() -> usize {
+        HeuristicKind::all().len()
+    }
+
+    #[test]
+    fn degraded_uplink_slows_the_flat_tree_prediction() {
+        let grid = grid5000_table3();
+        let runner = WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0))
+            .with_kinds(&[HeuristicKind::FlatTree])
+            .with_threads(1);
+        let reports = runner.run(&[
+            Scenario::baseline(),
+            Scenario::one(Perturbation::DegradeUplink {
+                cluster: ClusterId(0),
+                factor: 8.0,
+            }),
+        ]);
+        // The flat tree sends everything over the degraded root uplink: the
+        // prediction must get strictly worse.
+        assert!(reports[1].predicted > reports[0].predicted);
+        assert!(reports[1].simulated > reports[0].simulated);
+    }
+
+    #[test]
+    fn dropped_relay_never_forwards() {
+        let grid = grid5000_table3();
+        let dropped = ClusterId(2);
+        let (perturbed, root) =
+            Scenario::one(Perturbation::DropRelay { cluster: dropped }).apply(&grid, ClusterId(0));
+        assert_eq!(root, ClusterId(0));
+        let problem = BroadcastProblem::from_grid(&perturbed, root, MessageSize::from_mib(1));
+        let mut engine = ScheduleEngine::new();
+        for kind in HeuristicKind::all() {
+            let schedule = engine.schedule(&problem, kind);
+            // FEF scores by latency alone and cannot see the gap penalty;
+            // every gap-aware heuristic must route around the dropped relay.
+            if kind != HeuristicKind::Fef {
+                assert!(
+                    schedule.events.iter().all(|e| e.sender != dropped),
+                    "{kind} relayed through the dropped cluster"
+                );
+            }
+            assert!(schedule.makespan().is_finite());
+        }
+    }
+
+    #[test]
+    fn alternate_root_moves_the_source() {
+        let grid = grid5000_table3();
+        let scenario = Scenario::one(Perturbation::AlternateRoot { root: ClusterId(4) });
+        let (perturbed, root) = scenario.apply(&grid, ClusterId(0));
+        assert_eq!(root, ClusterId(4));
+        assert_eq!(perturbed, grid);
+    }
+
+    #[test]
+    fn scale_all_links_scales_gaps_but_not_latency() {
+        let grid = grid5000_table3();
+        let (scaled, _) =
+            Scenario::one(Perturbation::ScaleAllLinks { factor: 2.0 }).apply(&grid, ClusterId(0));
+        let m = MessageSize::from_mib(1);
+        let a = ClusterId(0);
+        let b = ClusterId(3);
+        assert_eq!(scaled.gap(a, b, m), grid.gap(a, b, m) * 2.0);
+        assert_eq!(scaled.latency(a, b), grid.latency(a, b));
+    }
+}

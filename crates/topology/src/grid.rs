@@ -179,6 +179,30 @@ impl Grid {
             inter,
         }
     }
+
+    /// The grid with every directed **inter-cluster** link replaced by
+    /// `f(from, to, link)`. Clusters (sizes, intra models) and the diagonal
+    /// are unchanged.
+    ///
+    /// This is the substrate of the what-if perturbations: scaled link
+    /// capacities, a degraded site uplink, a cluster removed from relay duty
+    /// — each is a pure function of the original link matrix, evaluated
+    /// against a shared read-only grid without mutating it.
+    pub fn map_links(&self, mut f: impl FnMut(ClusterId, ClusterId, &PLogP) -> PLogP) -> Grid {
+        let n = self.num_clusters();
+        let mut inter = self.inter.clone();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    inter[(i, j)] = f(ClusterId(i), ClusterId(j), &self.inter[(i, j)]);
+                }
+            }
+        }
+        Grid {
+            clusters: self.clusters.clone(),
+            inter,
+        }
+    }
 }
 
 /// Builder for [`Grid`].

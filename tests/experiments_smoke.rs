@@ -85,3 +85,25 @@ fn gather_figure_shows_the_duality_and_exchange_scaling_runs() {
     assert_eq!(exchange.series.len(), 2);
     assert_eq!(exchange.x_values(), vec![30.0, 90.0]);
 }
+
+#[test]
+fn whatif_figure_repicks_the_best_schedule_under_degradation() {
+    // Reduced factor sweep of the `whatif` experiment bin.
+    let fig = figures::whatif::degradation_sweep("smoke", &[1.0, 16.0]);
+    assert_eq!(fig.series.len(), 9); // 7 heuristics + predicted/simulated best
+    let best = fig.series_by_label("Best (predicted)").unwrap();
+    let flat = fig.series_by_label("Flat Tree").unwrap();
+    // The winner's prediction is the pointwise minimum and stays far below
+    // the flat tree once the root uplink is degraded (the flat tree pays the
+    // degraded gap once per cluster).
+    assert!(best.points[1].y < flat.points[1].y);
+    let simulated = fig.series_by_label("Best (simulated)").unwrap();
+    for (p, s) in best.points.iter().zip(&simulated.points) {
+        assert!(s.y.is_finite() && s.y > 0.0);
+        // Prediction and node-level execution track each other within the
+        // same generous band `predictions_track_measurements` uses (the
+        // prediction prices local phases with the paper's T_i, the execution
+        // runs binomial trees).
+        assert!((s.y - p.y).abs() / p.y < 0.35);
+    }
+}

@@ -21,7 +21,13 @@
 //!   plans reproduces the engine-predicted makespan exactly on grids with
 //!   pair-symmetric latencies (GRID'5000 included) and within the documented
 //!   25% gap-model tolerance on adversarial asymmetric ones — never below
-//!   the engine's figure.
+//!   the engine's figure. Both executors are now thin lowerings of the
+//!   **unified discrete-event core**, so these pins hold the one event loop
+//!   to the legacy-executor contract, and
+//! * **sink parity**: the streaming [`TraceSink`](gridcast::simulator::TraceSink)
+//!   and the retained-vec sink observe event-identical sequences in
+//!   non-decreasing time order, with outcomes bit-identical whichever sink
+//!   watches the run.
 
 use gridcast::core::patterns::{
     allgather_estimate, allgather_schedule, alltoall_estimate, alltoall_schedule,
@@ -31,7 +37,10 @@ use gridcast::core::{
     RelayScatterProblem, ScatterOrdering, ScatterProblem, ScheduleEngine, Transfer, TransferSet,
 };
 use gridcast::plogp::{MessageSize, PLogP, Time};
-use gridcast::simulator::{execute_sized_plan, NodeNetwork, SizedSendPlan};
+use gridcast::simulator::{
+    execute_plan, execute_plan_with_sink, execute_sized_plan, execute_sized_plan_with_sink,
+    CountingSink, NodeNetwork, SendPlan, SizedSendPlan, StreamingSink, TraceEvent,
+};
 use gridcast::topology::{grid5000_table3, Cluster, ClusterId, Grid, GridGenerator};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -249,6 +258,74 @@ proptest! {
                 "{:?} ({}) beat the gather brute-force optimum ({})", ordering, makespan, optimal);
         }
         prop_assert!(problem.makespan(RelayOrdering::Direct) + eps >= best_direct);
+    }
+
+    /// **Sink parity on the unified core**: for random grids and both
+    /// lowerings — the broadcast `SendPlan` and the personalised
+    /// `SizedSendPlan` — the retained-vec sink and the streaming sink observe
+    /// **event-identical sequences** in non-decreasing time order, the
+    /// counting sink agrees on the totals, and the outcome is bit-identical
+    /// whichever sink (including the legacy `Option<&mut Vec<_>>` wrapper)
+    /// watches the run.
+    #[test]
+    fn trace_sinks_observe_event_identical_sequences(
+        clusters in 2usize..=16,
+        seed in any::<u64>(),
+        root_idx in 0usize..16,
+        kib in 1u64..=256,
+    ) {
+        let grid = GridGenerator::table2()
+            .cluster_size(3)
+            .generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let network = NodeNetwork::new(&grid);
+        let root = ClusterId(root_idx % clusters);
+        let m = MessageSize::from_kib(kib * 4);
+
+        // Broadcast lowering: the grid-unaware binomial baseline (crosses
+        // cluster boundaries, so wide-area channels and retries are hit).
+        let plan = SendPlan::binomial_over_all_nodes(&grid, root);
+        let mut retained: Vec<TraceEvent> = Vec::new();
+        let legacy = execute_plan(&network, &plan, m, Time::ZERO, Some(&mut retained));
+        let mut streaming = StreamingSink::new(Vec::new());
+        let streamed = execute_plan_with_sink(&network, &plan, m, Time::ZERO, &mut streaming);
+        let mut counting = CountingSink::default();
+        let counted = execute_plan_with_sink(&network, &plan, m, Time::ZERO, &mut counting);
+        prop_assert_eq!(&legacy, &streamed);
+        prop_assert_eq!(&legacy, &counted);
+        let receive_bits: Vec<u64> =
+            legacy.receive_times.iter().map(|t| t.as_secs().to_bits()).collect();
+        let stream_bits: Vec<u64> =
+            streamed.receive_times.iter().map(|t| t.as_secs().to_bits()).collect();
+        prop_assert_eq!(receive_bits, stream_bits);
+        prop_assert!(retained.windows(2).all(|w| w[0].time <= w[1].time),
+            "trace is not in non-decreasing time order");
+        let text = String::from_utf8(streaming.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let expected: Vec<String> = retained.iter().map(|e| e.to_string()).collect();
+        prop_assert_eq!(lines.len(), expected.len());
+        for (line, event) in lines.iter().zip(&expected) {
+            prop_assert_eq!(*line, event.as_str());
+        }
+        prop_assert_eq!(counting.total(), retained.len());
+
+        // Personalised lowering: a gather schedule with its release gates.
+        let per_node = MessageSize::from_kib(kib);
+        let problem = RelayGatherProblem::from_grid(&grid, root, per_node);
+        let schedule = problem.schedule(RelayOrdering::EarliestCompletion);
+        let sized = SizedSendPlan::from_gather_schedule(&grid, &schedule, per_node);
+        let mut sized_retained: Vec<TraceEvent> = Vec::new();
+        let a = execute_sized_plan(&network, &sized, Time::ZERO, Some(&mut sized_retained));
+        let mut sized_streaming = StreamingSink::new(Vec::new());
+        let b = execute_sized_plan_with_sink(&network, &sized, Time::ZERO, &mut sized_streaming);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(sized_retained.windows(2).all(|w| w[0].time <= w[1].time));
+        let text = String::from_utf8(sized_streaming.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let expected: Vec<String> = sized_retained.iter().map(|e| e.to_string()).collect();
+        prop_assert_eq!(lines.len(), expected.len());
+        for (line, event) in lines.iter().zip(&expected) {
+            prop_assert_eq!(*line, event.as_str());
+        }
     }
 
     /// **Exchange-scheduler parity**: the lazy-invalidation heap behind
