@@ -77,3 +77,79 @@ fn exchange_heap_work_is_pinned_and_sub_quadratic() {
         "exchange heap work grew {growth:.2}x from 100 to 200 clusters (quadratic-in-T would be ~16x)"
     );
 }
+
+/// The feature-gated batch-shift scheduler keys *clusters* instead of
+/// transfers (with versioned entries instead of re-keys), so on dense
+/// all-to-alls its heap work grows ~O(T^1.3) against the lazy heap's
+/// ~O(T^1.5). The core's proptests pin its timing conformance; this pins the
+/// *work* — the advantage over the heap and its growth rate — so an edit
+/// that silently degrades it back towards per-transfer staling turns the
+/// build red.
+#[cfg(feature = "fast-math")]
+#[test]
+fn batch_shift_work_beats_the_heap_and_grows_slower() {
+    let mut engine = ScheduleEngine::new();
+    engine.take_telemetry();
+
+    let set = alltoall_transfer_set(64, 1000);
+    let t64 = set.transfers().len() as u64;
+    let fast = engine.schedule_transfers_batch_shift(&set);
+    let tel = engine.take_telemetry();
+    assert_eq!(tel.exchange_commits, t64);
+    // Versioned entries never re-key: every pop either commits, defers or
+    // re-homes a non-governing head, or discards a superseded/drained entry.
+    assert_eq!(
+        tel.exchange_reinserts, 0,
+        "batch-shift re-keyed an entry — versioning is broken"
+    );
+    // Discarded pops are bounded by the pushes that superseded them: two per
+    // commit, up to two per deferral/re-home, plus the initial seeding.
+    let pushes = 2 * tel.exchange_commits + 2 * tel.exchange_migrations + 64;
+    assert!(
+        tel.exchange_pops <= pushes,
+        "batch-shift popped {} entries but pushed at most {pushes}",
+        tel.exchange_pops
+    );
+
+    // The lazy heap's work on the identical workload is ~2.7x larger at 64
+    // clusters (226k pops vs ~84k); assert a conservative margin so the
+    // comparison survives workload drift.
+    let heap = engine.schedule_transfers(&set);
+    let heap_tel = engine.take_telemetry();
+    assert!(
+        tel.exchange_pops * 2 < heap_tel.exchange_pops,
+        "batch-shift ({} pops) should do at least 2x less work than the \
+         lazy heap ({} pops) on a dense 64-cluster all-to-all",
+        tel.exchange_pops,
+        heap_tel.exchange_pops
+    );
+
+    // Growth gate: doubling the cluster count quadruples T. The batch-shift
+    // pops grow ~6.1x per step (T^1.3); the lazy heap's grow ~7.8x (T^1.5).
+    // Gate at 7.0x so a regression to per-transfer staling fails.
+    let mut pops = Vec::new();
+    for clusters in [100usize, 200] {
+        let set = alltoall_transfer_set(clusters, 2000 + clusters as u64);
+        let _ = engine.schedule_transfers_batch_shift(&set);
+        let tel = engine.take_telemetry();
+        assert_eq!(tel.exchange_commits, set.transfers().len() as u64);
+        pops.push(tel.exchange_pops);
+    }
+    let growth = pops[1] as f64 / pops[0] as f64;
+    assert!(
+        growth < 7.0,
+        "batch-shift work grew {growth:.2}x from 100 to 200 clusters \
+         (the lazy heap's per-transfer staling grows ~7.8x)"
+    );
+
+    // Coarse conformance guard on the wiring (the tight relative-tolerance
+    // property lives in the core's `batch_shift` proptest module).
+    assert_eq!(fast.transfers.len(), heap.transfers.len());
+    for (a, b) in fast.interface_free.iter().zip(&heap.interface_free) {
+        let (a, b) = (a.as_secs(), b.as_secs());
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-9),
+            "batch-shift interface_free diverged from the heap: {a} vs {b}"
+        );
+    }
+}

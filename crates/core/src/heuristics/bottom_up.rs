@@ -59,13 +59,19 @@ impl SelectionPolicy for BottomUpPolicy {
         min_incoming_transfer: Time,
     ) -> Time {
         // Every candidate edge costs at least the receiver's cheapest incoming
-        // transfer. The receiver's intra-cluster broadcast is also part of
-        // every score, but folding it into the offset would not be float-safe:
-        // the engine bounds unwalked senders by `fl(t + offset)`, and
-        // `fl(fl(t + transfer) + intra)` is not guaranteed to dominate
-        // `fl(t + fl(min_transfer + intra))` (addition is monotone but not
-        // associative under rounding).
+        // transfer on top of the sender's ready time.
         min_incoming_transfer
+    }
+
+    fn edge_score_post_offset(&self, problem: &BroadcastProblem, receiver: ClusterId) -> Time {
+        // The receiver's intra-cluster broadcast is added to every score
+        // *after* the completion estimate's rounding — exactly the shape of
+        // the engine's two-step bound `fl(fl(t + c_j) + d_j)`. Folding it
+        // into the pre-offset instead would not be float-safe (addition is
+        // monotone but not associative under rounding); as a separate
+        // post-rounding component it tightens the rescan walk's retirement
+        // bound by the full intra time.
+        problem.intra_time(receiver)
     }
 
     fn objective(&self) -> Objective {

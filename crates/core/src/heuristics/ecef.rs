@@ -136,23 +136,22 @@ impl Heuristic for Ecef {
 /// completion estimate `RT_i + g_ij + L_ij`, and the configured [`Lookahead`]
 /// enters as the engine's receiver-level bias `F_j`.
 ///
-/// The min/max lookaheads are evaluated incrementally: at reset the policy
-/// sorts, for every receiver `j`, the other clusters by their lookahead value
-/// `g_jk + L_jk (+ T_k)` into the engine's shared [`LookaheadWorkspace`] —
-/// one flat row buffer reused by every policy instead of a private `n × n`
-/// matrix each. Because set B only ever shrinks, the workspace's per-receiver
-/// cursor that skips departed clusters yields `F_j` in amortised `O(1)` per
-/// round instead of the seed's `O(|B|)` rescan — the values are identical
-/// (a minimum does not depend on evaluation order).
-///
-/// On top of the cursors the policy keeps a **dense bias cache**: `F_j` and
-/// the candidate cluster attaining it (`watch[j]`). `F_j` can only change when
-/// that candidate leaves B, so [`SelectionPolicy::on_commit`] refreshes
-/// exactly the receivers watching the departed cluster (found with one
-/// sequential scan) and the per-round selection reads biases from a flat
-/// array instead of chasing row cursors. The average lookahead is still
-/// summed in ascending cluster order so the floating-point result stays
-/// bit-identical to the original implementation.
+/// The min/max lookaheads are evaluated incrementally through a **dense bias
+/// cache**: `F_j` and the candidate cluster attaining it (`watch[j]`). `F_j`
+/// can only change when that candidate leaves B, so
+/// [`SelectionPolicy::on_commit`] refreshes exactly the receivers watching
+/// the departed cluster (found with one sequential scan) and the per-round
+/// selection reads biases from a flat array. A refresh recomputes the
+/// extremum with one pass over the engine's compacted B list
+/// ([`EngineView::receivers`]) — no sorted candidate rows are materialised,
+/// because *which* candidate attains the extremum is irrelevant to the bias
+/// value: among tied candidates any choice of `watch[j]` yields the same
+/// float and a refresh no later than the value can change. With roughly one
+/// watcher per departing cluster this costs `O(|B|)` once per commit on
+/// average, strictly cheaper than building and maintaining `n` sorted rows.
+/// The average lookahead is still summed in ascending cluster order so the
+/// floating-point result stays bit-identical to the original
+/// implementation.
 #[derive(Debug, Clone)]
 pub struct EcefPolicy {
     lookahead: Lookahead,
@@ -174,41 +173,69 @@ impl EcefPolicy {
         }
     }
 
-    /// Recomputes the cached `F_j` of `j` from the workspace cursor, given the
-    /// aliveness predicate of the moment.
+    /// Recomputes the cached `F_j` of `j` with one dense pass over the
+    /// engine's current B list (which no longer contains departed clusters,
+    /// so no aliveness test is needed — only `j` itself is skipped).
+    ///
+    /// Ties are resolved by list position; that choice is unobservable in the
+    /// schedule because every tied candidate carries the same value, and the
+    /// cached bias is refreshed when the watched one departs — at which point
+    /// any remaining tied candidate still attains the unchanged extremum.
     #[inline]
-    fn refresh_bias(
-        &mut self,
-        problem: &BroadcastProblem,
-        workspace: &mut LookaheadWorkspace,
-        j: usize,
-        alive: impl FnMut(usize) -> bool,
-    ) {
-        match workspace.first_alive(j, alive) {
-            Some(k) => {
-                self.watch[j] = k as u32;
-                self.bias[j] = self.lookahead_value(problem, ClusterId(j), ClusterId(k));
+    fn refresh_bias(&mut self, view: &EngineView<'_>, j: usize) {
+        let mut watch = u32::MAX;
+        let mut best = Time::ZERO;
+        if matches!(self.lookahead, Lookahead::MaxEdgePlusIntra) {
+            for &k in view.receivers() {
+                if k as usize == j {
+                    continue;
+                }
+                let v = self.lookahead_value(view, ClusterId(j), ClusterId(k as usize));
+                if watch == u32::MAX || v > best {
+                    best = v;
+                    watch = k;
+                }
             }
-            None => {
-                self.watch[j] = u32::MAX;
-                self.bias[j] = Time::ZERO;
+        } else {
+            best = Time::INFINITY;
+            for &k in view.receivers() {
+                if k as usize == j {
+                    continue;
+                }
+                let v = self.lookahead_value(view, ClusterId(j), ClusterId(k as usize));
+                if v < best {
+                    best = v;
+                    watch = k;
+                }
             }
+        }
+        if watch == u32::MAX {
+            self.watch[j] = u32::MAX;
+            self.bias[j] = Time::ZERO;
+        } else {
+            self.watch[j] = watch;
+            self.bias[j] = best;
         }
     }
 
     /// The lookahead value of candidate `k` seen from receiver `j`.
+    ///
+    /// Reads the engine's flat cost matrix through the view so that the row
+    /// build in [`SelectionPolicy::reset`] streams over contiguous memory; on
+    /// the uniform-price path `view.transfer` is bit-identical to
+    /// `problem.transfer`.
     #[inline]
-    fn lookahead_value(&self, problem: &BroadcastProblem, j: ClusterId, k: ClusterId) -> Time {
+    fn lookahead_value(&self, view: &EngineView<'_>, j: ClusterId, k: ClusterId) -> Time {
         match self.lookahead {
-            Lookahead::MinEdge => problem.transfer(j, k),
+            Lookahead::MinEdge => view.transfer(j, k),
             Lookahead::MinEdgePlusIntra | Lookahead::MaxEdgePlusIntra => {
-                problem.transfer(j, k) + problem.intra_time(k)
+                view.transfer(j, k) + view.problem().intra_time(k)
             }
             Lookahead::None | Lookahead::AvgEdge => Time::ZERO,
         }
     }
 
-    fn uses_sorted_rows(&self) -> bool {
+    fn uses_bias_cache(&self) -> bool {
         matches!(
             self.lookahead,
             Lookahead::MinEdge | Lookahead::MinEdgePlusIntra | Lookahead::MaxEdgePlusIntra
@@ -221,25 +248,19 @@ impl SelectionPolicy for EcefPolicy {
         self.name
     }
 
-    fn reset(&mut self, problem: &BroadcastProblem, workspace: &mut LookaheadWorkspace) {
-        if !self.uses_sorted_rows() {
+    fn reset(&mut self, view: &EngineView<'_>, _workspace: &mut LookaheadWorkspace) {
+        if !self.uses_bias_cache() {
             return;
         }
-        let descending = matches!(self.lookahead, Lookahead::MaxEdgePlusIntra);
-        let n = problem.num_clusters();
-        workspace.build_rows(n, descending, |j, k| {
-            self.lookahead_value(problem, ClusterId(j), ClusterId(k))
-        });
+        let n = view.problem().num_clusters();
         self.bias.clear();
         self.bias.resize(n, Time::ZERO);
         self.watch.clear();
         self.watch.resize(n, u32::MAX);
-        // Initially B is everything but the root.
-        let root = problem.root.index();
-        for j in 0..n {
-            if j != root {
-                self.refresh_bias(problem, workspace, j, |k| k != j && k != root);
-            }
+        // Initially B is everything but the root — exactly the engine's list.
+        for i in 0..view.receivers().len() {
+            let j = view.receivers()[i] as usize;
+            self.refresh_bias(view, j);
         }
     }
 
@@ -330,18 +351,16 @@ impl SelectionPolicy for EcefPolicy {
         _sender: ClusterId,
         receiver: ClusterId,
     ) {
-        if !self.uses_sorted_rows() {
+        let _ = workspace;
+        if !self.uses_bias_cache() {
             return;
         }
         // `F_j` only changes when the candidate attaining it departs from B:
         // refresh exactly the receivers that watched the committed one.
         let departed = receiver.index() as u32;
-        let problem = view.problem();
         for j in 0..self.watch.len() {
             if self.watch[j] == departed && view.in_b(ClusterId(j)) {
-                self.refresh_bias(problem, workspace, j, |k| {
-                    k != j && !view.is_in_a(ClusterId(k))
-                });
+                self.refresh_bias(view, j);
             }
         }
     }

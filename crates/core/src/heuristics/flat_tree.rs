@@ -48,8 +48,8 @@ impl SelectionPolicy for FlatTreePolicy {
         "Flat Tree"
     }
 
-    fn reset(&mut self, problem: &BroadcastProblem, _workspace: &mut LookaheadWorkspace) {
-        self.root = problem.root;
+    fn reset(&mut self, view: &EngineView<'_>, _workspace: &mut LookaheadWorkspace) {
+        self.root = view.problem().root;
     }
 
     fn edge_score(&self, _view: &EngineView<'_>, sender: ClusterId, _receiver: ClusterId) -> Time {

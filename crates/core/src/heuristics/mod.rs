@@ -93,21 +93,9 @@ impl HeuristicKind {
         with_shared_engine(|engine| engine.schedule(problem, *self))
     }
 
-    /// Dense index of this kind in `HeuristicKind::all()` order; used by the
-    /// engine's per-kind policy store.
-    pub(crate) fn slot(&self) -> usize {
-        match self {
-            HeuristicKind::FlatTree => 0,
-            HeuristicKind::Fef => 1,
-            HeuristicKind::Ecef => 2,
-            HeuristicKind::EcefLa => 3,
-            HeuristicKind::EcefLaMax => 4,
-            HeuristicKind::EcefLaMin => 5,
-            HeuristicKind::BottomUp => 6,
-        }
-    }
-
-    /// Builds a fresh [`SelectionPolicy`] implementing this heuristic.
+    /// Builds a fresh boxed [`SelectionPolicy`] implementing this heuristic —
+    /// for callers composing their own engine drivers; the engine itself
+    /// stores the policies as concrete types so the round loop monomorphizes.
     pub fn new_policy(&self) -> Box<dyn SelectionPolicy> {
         match self {
             HeuristicKind::FlatTree => Box::new(FlatTreePolicy::new()),

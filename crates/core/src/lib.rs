@@ -66,9 +66,9 @@ pub mod schedule;
 pub mod state;
 
 pub use engine::{
-    makespans_sharded, schedule_all_sharded, EdgeCosts, EngineTelemetry, EngineView,
-    ExchangeSchedule, LookaheadWorkspace, Objective, ScheduleEngine, SelectionPolicy, TieBreak,
-    TimedTransfer, Transfer, TransferSet, DEFAULT_K_BEST,
+    adaptive_k_best, makespans_sharded, schedule_all_sharded, EdgeCosts, EngineTelemetry,
+    EngineView, ExchangeSchedule, LookaheadWorkspace, Objective, ScheduleEngine, SelectionPolicy,
+    TieBreak, TimedTransfer, Transfer, TransferSet, DEFAULT_K_BEST,
 };
 pub use global_minimum::{global_minimum, per_heuristic_makespans};
 pub use heuristics::{Heuristic, HeuristicKind};

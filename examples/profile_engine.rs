@@ -1,0 +1,53 @@
+//! Ad-hoc decomposition of where `schedule_all` time goes at large n.
+//!
+//! ```text
+//! cargo run --release --example profile_engine [clusters]
+//! ```
+//!
+//! Timings on shared machines are noisy; every number printed here is a
+//! minimum over several repeats, which is the best estimator of true cost
+//! under external interference.
+
+use gridcast::core::{adaptive_k_best, HeuristicKind, ScheduleEngine};
+use gridcast::prelude::*;
+use gridcast::topology::GridGenerator;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    use rand::SeedableRng;
+    let grid = GridGenerator::table2().generate(n, &mut ChaCha8Rng::seed_from_u64(0));
+    let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1));
+
+    let mut engine = ScheduleEngine::new();
+    // Warm up buffers before timing anything.
+    let _ = engine.makespan(&problem, HeuristicKind::Ecef);
+
+    for kind in HeuristicKind::all() {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            let _ = engine.makespan(&problem, kind);
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let t = engine.take_telemetry();
+        println!("{:>10}: {best:>10.2} ms (min of 5)  {t:?}", kind.name());
+    }
+
+    println!("adaptive K at n={n}: {}", adaptive_k_best(n));
+    for k in [1usize, 2, 4, 6, 8, 12, 16] {
+        let mut probe = ScheduleEngine::with_k_best(k);
+        let mut out = Vec::new();
+        let mut best = f64::INFINITY;
+        for _ in 0..7 {
+            let start = Instant::now();
+            probe.schedule_all_into(&problem, &HeuristicKind::all(), &mut out);
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        println!("K={k:<2} batch: {best:>10.2} ms (min of 7)");
+    }
+}

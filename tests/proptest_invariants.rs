@@ -168,6 +168,45 @@ proptest! {
         }
     }
 
+    /// The row width `K` is a pure performance knob: schedules are
+    /// **byte-identical** for every `K ≥ 1`, so the adaptive default
+    /// (`adaptive_k_best`) can never change an answer relative to any fixed
+    /// override. Exercised across all seven policies up to 128 clusters —
+    /// `K = 1` forces the rescan walk on every invalidation, `K = 16`
+    /// (the probe cap) almost always repairs in place, and the adaptive
+    /// engine sits between; all three must agree to the bit.
+    #[test]
+    fn adaptive_k_matches_every_fixed_k_byte_identically(
+        clusters in 2usize..=128,
+        seed in any::<u64>(),
+        root_idx in 0usize..128,
+    ) {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let root = ClusterId(root_idx % clusters);
+        let problem = BroadcastProblem::from_grid(&grid, root, MessageSize::from_mib(1));
+        let mut adaptive = ScheduleEngine::new();
+        for kind in HeuristicKind::all() {
+            let baseline = adaptive.schedule(&problem, kind);
+            for k in [1usize, 2, 5, gridcast::core::DEFAULT_K_BEST] {
+                let fixed = ScheduleEngine::with_k_best(k).schedule(&problem, kind);
+                prop_assert_eq!(
+                    baseline.events.len(), fixed.events.len(),
+                    "{} event count differs at K={}", kind, k
+                );
+                for (i, (a, b)) in baseline.events.iter().zip(&fixed.events).enumerate() {
+                    prop_assert!(
+                        a.sender == b.sender
+                            && a.receiver == b.receiver
+                            && a.start.as_secs().to_bits() == b.start.as_secs().to_bits()
+                            && a.arrival.as_secs().to_bits() == b.arrival.as_secs().to_bits(),
+                        "{} diverges from K={} at event {} ({:?} vs {:?}) on {} clusters",
+                        kind, k, i, a, b, clusters
+                    );
+                }
+            }
+        }
+    }
+
     /// Every heuristic produces a valid schedule covering each cluster exactly
     /// once, and its makespan respects the analytic lower bound.
     #[test]
