@@ -1,0 +1,247 @@
+//! Throughput of faulty what-if execution — and the storm-survival gates.
+//!
+//! The fault injector's whole value is that it is *deterministic*: a seeded
+//! [`FaultPlan`] must produce byte-identical outcomes from any number of
+//! worker threads, and a run must either complete or say **loudly** that it
+//! did not. This bench drives [`WhatIfRunner`] through a
+//! [`fault_sweep`] grid — loss rates up to 20% crossed with crash sets, for
+//! several fixed seeds — over a 60-cluster Table-2 grid, once on one worker
+//! and once on every available core.
+//!
+//! It is also the **check mode** CI runs, asserting on every invocation:
+//!
+//! * the two sweeps are bit-identical report for report (makespans, retry
+//!   counts, undelivered counts — the thread-count-independence contract),
+//! * every cell is *loud*: finite completion with zero undelivered edges, or
+//!   infinite completion with a non-empty undelivered list — never a silent
+//!   infinite makespan,
+//! * every crash-free cell at loss ≤ 0.2 completes under the retry budget
+//!   (the acceptance gate: retries absorb the storm),
+//! * replaying the parallel sweep is byte-identical (fixed seeds really do
+//!   pin the runs).
+//!
+//! Throughput and the fault-activity tallies land in `BENCH_faults.json` at
+//! the workspace root (written atomically).
+
+use gridcast_bench::{random_grid, BENCH_SEED};
+use gridcast_plogp::{MessageSize, Time};
+use gridcast_simulator::{
+    fault_sweep, NodeCrash, RetryPolicy, Scenario, WhatIfReport, WhatIfRunner,
+};
+use gridcast_topology::{ClusterId, NodeId};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Cluster count of the benched grid.
+const CLUSTERS: usize = 60;
+
+/// Per-attempt loss rates swept (the acceptance gate covers p ≤ 0.2).
+const LOSS_RATES: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
+
+/// Base seeds: each contributes a full loss × crash-set sweep with
+/// independently derived per-cell fault seeds.
+const SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Retry budget: generous enough that eight consecutive per-attempt losses
+/// (probability `0.2^8`) never exhaust it at the swept rates.
+const MAX_ATTEMPTS: u32 = 8;
+
+/// The benched sweep: for every base seed, loss rates crossed with crash
+/// sets (no crash; one mid-broadcast crash; two staggered crashes).
+fn storm_scenarios() -> Vec<Scenario> {
+    let crash_sets = vec![
+        Vec::new(),
+        vec![NodeCrash {
+            node: NodeId(1),
+            at: Time::from_millis(5.0),
+        }],
+        vec![
+            NodeCrash {
+                node: NodeId(1),
+                at: Time::from_millis(5.0),
+            },
+            NodeCrash {
+                node: NodeId(2),
+                at: Time::from_millis(8.0),
+            },
+        ],
+    ];
+    SEEDS
+        .iter()
+        .flat_map(|&seed| fault_sweep(BENCH_SEED ^ seed, &LOSS_RATES, &crash_sets))
+        .collect()
+}
+
+fn assert_bit_identical(a: &[WhatIfReport], b: &[WhatIfReport], what: &str) {
+    assert_eq!(a.len(), b.len());
+    let bits = |t: Time| t.as_secs().to_bits();
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.scenario, y.scenario);
+        assert_eq!(
+            x.best, y.best,
+            "{what}: winner diverges at cell {}",
+            x.scenario
+        );
+        assert_eq!(
+            bits(x.simulated),
+            bits(y.simulated),
+            "{what}: simulated makespan diverges at cell {}",
+            x.scenario
+        );
+        assert_eq!(
+            x.retries, y.retries,
+            "{what}: retry count diverges at cell {}",
+            x.scenario
+        );
+        assert_eq!(
+            x.undelivered, y.undelivered,
+            "{what}: undelivered count diverges at cell {}",
+            x.scenario
+        );
+        assert_eq!(
+            x.events, y.events,
+            "{what}: event count diverges at cell {}",
+            x.scenario
+        );
+    }
+}
+
+fn main() {
+    let grid = random_grid(CLUSTERS, 0);
+    let scenarios = storm_scenarios();
+    let cells = scenarios.len();
+    let retry = RetryPolicy {
+        max_attempts: MAX_ATTEMPTS,
+        ..RetryPolicy::default()
+    };
+    let runner = WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0)).with_retry(retry);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let start = Instant::now();
+    let sequential = runner.clone().with_threads(1).run(&scenarios);
+    let single_elapsed = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = runner.clone().with_threads(threads).run(&scenarios);
+    let parallel_elapsed = start.elapsed().as_secs_f64();
+
+    // Gate 1: bit-identical across worker-thread counts.
+    assert_bit_identical(&sequential, &parallel, "1-vs-N threads");
+
+    // Gate 2: replay identity — same seeds, same bytes.
+    let replay = runner.clone().with_threads(threads).run(&scenarios);
+    assert_bit_identical(&parallel, &replay, "replay");
+
+    // Gate 3: every cell loud, every crash-free cell complete.
+    let mut complete = 0usize;
+    let mut incomplete = 0usize;
+    let mut retries = 0usize;
+    for (report, scenario) in parallel.iter().zip(&scenarios) {
+        let finished = report.simulated.is_finite();
+        assert_eq!(
+            finished,
+            report.undelivered == 0,
+            "cell {} is not loud: finite={} undelivered={}",
+            report.scenario,
+            finished,
+            report.undelivered
+        );
+        let faults = scenario.faults.as_ref().expect("every cell carries faults");
+        if faults.crashes.is_empty() {
+            assert!(
+                finished,
+                "crash-free cell {} (loss {}) failed to complete under {} attempts",
+                report.scenario, faults.loss, MAX_ATTEMPTS
+            );
+        }
+        if finished {
+            complete += 1;
+        } else {
+            incomplete += 1;
+        }
+        retries += report.retries;
+    }
+    assert!(retries > 0, "the storm never forced a single retry");
+
+    let single_rate = cells as f64 / single_elapsed;
+    let parallel_rate = cells as f64 / parallel_elapsed;
+    println!(
+        "faults: {cells} storm cells on {CLUSTERS} clusters -> \
+         {single_rate:.1}/s on 1 thread, {parallel_rate:.1}/s on {threads} threads \
+         ({complete} complete, {incomplete} loudly incomplete, {retries} retries, bit-identical)"
+    );
+
+    write_report(
+        threads,
+        single_elapsed,
+        parallel_elapsed,
+        single_rate,
+        parallel_rate,
+        cells,
+        complete,
+        incomplete,
+        retries,
+    );
+}
+
+/// Path of the JSON report, anchored at the workspace root regardless of the
+/// bench invocation directory.
+fn report_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_report(
+    threads: usize,
+    single_elapsed: f64,
+    parallel_elapsed: f64,
+    single_rate: f64,
+    parallel_rate: f64,
+    cells: usize,
+    complete: usize,
+    incomplete: usize,
+    retries: usize,
+) {
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"faults\",\n");
+    json.push_str(
+        "  \"unit\": \"storm cells per second (predict 7 heuristics + execute best under faults)\",\n",
+    );
+    let _ = writeln!(json, "  \"clusters\": {CLUSTERS},");
+    let _ = writeln!(json, "  \"cells\": {cells},");
+    let _ = writeln!(json, "  \"max_attempts\": {MAX_ATTEMPTS},");
+    json.push_str("  \"loss_rates\": [");
+    for (i, p) in LOSS_RATES.iter().enumerate() {
+        let _ = write!(json, "{}{p}", if i == 0 { "" } else { ", " });
+    }
+    json.push_str("],\n");
+    let _ = writeln!(
+        json,
+        "  \"single_thread\": {{\"elapsed_s\": {single_elapsed:.3}, \
+         \"cells_per_sec\": {single_rate:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel\": {{\"threads\": {threads}, \"elapsed_s\": {parallel_elapsed:.3}, \
+         \"cells_per_sec\": {parallel_rate:.1}}},"
+    );
+    let _ = writeln!(json, "  \"bit_identical_across_thread_counts\": true,");
+    let _ = writeln!(json, "  \"replay_bit_identical\": true,");
+    let _ = writeln!(
+        json,
+        "  \"outcomes\": {{\"complete\": {complete}, \"loudly_incomplete\": {incomplete}, \
+         \"retries\": {retries}}}"
+    );
+    json.push_str("}\n");
+
+    // Atomic replace: write a sibling tmp file, then rename into place, so an
+    // interrupted bench never leaves a torn report.
+    let path = report_path();
+    let tmp = format!("{path}.tmp");
+    let result = std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        eprintln!("faults: could not write {path}: {e}");
+    }
+}

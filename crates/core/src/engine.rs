@@ -1730,6 +1730,243 @@ impl EngineState {
         self.fill_matrices(n, true, |s, r| (costs.gap(s, r), costs.latency(s, r)));
     }
 
+    /// Rebuilds the candidate rows (and floors) of every receiver in
+    /// `pending` with one **unpruned** walk over A per receiver — the
+    /// warm-start sibling of [`EngineState::rescan_pending`]. The pruned
+    /// walk's retirement bound (`ready + offset` is a lower bound on the
+    /// score) only holds for sender-time-sensitive policies; Flat Tree and
+    /// FEF score on matrix entries alone, so a warm-start rebuild — which,
+    /// unlike the commit path, runs for *every* policy — must visit all of A.
+    /// It runs once per reschedule, not once per commit, so the missing
+    /// pruning is irrelevant; the produced rows, floors and gates are
+    /// bit-identical to what the pruned walk yields where both are sound
+    /// (both compute the exact lexicographic top `K_BEST + 1`).
+    fn rebuild_pending_unpruned<P: SelectionPolicy + ?Sized>(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &P,
+    ) {
+        let k = self.k_run;
+        let stride = k + 1;
+        let EngineState {
+            in_a,
+            ready,
+            order,
+            cand_score,
+            cand_sender,
+            cand_len,
+            best_score,
+            best_sender,
+            floor_score,
+            floor_sender,
+            gate,
+            pending,
+            tops,
+            rx,
+            receivers,
+            telemetry,
+            ..
+        } = self;
+        let view = EngineView {
+            problem,
+            in_a,
+            ready,
+            mat: rx,
+            receiver_major: true,
+            receivers,
+            n: problem.num_clusters(),
+        };
+        tops.clear();
+        tops.resize(stride, (Time::INFINITY, NO_SENDER));
+        for &jr in pending.iter() {
+            telemetry.rescan();
+            let j = jr as usize;
+            let row = &mut tops[..stride];
+            let mut filled = 0usize;
+            for &s in order.iter() {
+                telemetry.heap_pop();
+                let score = policy.edge_score(&view, ClusterId(s as usize), ClusterId(j));
+                debug_assert_score_not_nan(score);
+                let entry = (score, s);
+                if filled < stride {
+                    let mut slot = filled;
+                    while slot > 0 && row[slot - 1] > entry {
+                        row[slot] = row[slot - 1];
+                        slot -= 1;
+                    }
+                    row[slot] = entry;
+                    filled += 1;
+                } else if entry < row[k] {
+                    let mut slot = k;
+                    while slot > 0 && row[slot - 1] > entry {
+                        row[slot] = row[slot - 1];
+                        slot -= 1;
+                    }
+                    row[slot] = entry;
+                }
+            }
+            debug_assert!(filled > 0, "set A is never empty");
+            let keep = filled.min(k);
+            for (slot, &(score, s)) in row[..keep].iter().enumerate() {
+                cand_score[j * k + slot] = score;
+                cand_sender[j * k + slot] = s;
+            }
+            cand_len[j] = keep as u32;
+            best_score[j] = cand_score[j * k];
+            best_sender[j] = cand_sender[j * k];
+            if filled == stride {
+                floor_score[j] = row[k].0;
+                floor_sender[j] = row[k].1;
+            } else {
+                floor_score[j] = Time::INFINITY;
+                floor_sender[j] = NO_SENDER;
+            }
+            gate[j] = if keep == k {
+                cand_score[j * k + k - 1].max(floor_score[j])
+            } else {
+                Time::INFINITY
+            };
+            for slot in row.iter_mut().take(filled) {
+                *slot = (Time::INFINITY, NO_SENDER);
+            }
+        }
+        pending.clear();
+    }
+
+    /// The warm-start crash-recovery loop behind
+    /// [`ScheduleEngine::reschedule_excluding`]: replay a committed event
+    /// prefix verbatim, excise the `failed` cluster from both sets, clamp
+    /// every surviving sender's ready time to `resume_at`, rebuild the caches
+    /// over the surviving sets, and run the ordinary select/commit rounds
+    /// until every surviving receiver is covered.
+    fn run_excluding<P: SelectionPolicy + ?Sized>(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &mut P,
+        failed: ClusterId,
+        committed: &[ScheduleEvent],
+        resume_at: Time,
+    ) {
+        self.reset(problem);
+        let n = problem.num_clusters();
+        let f = failed.index();
+        // Replay the committed prefix verbatim, with no policy involvement:
+        // these transfers already happened on the wire, including any that
+        // delivered *to* the failed cluster (they occupied real interface
+        // time), so the bookkeeping mirrors `commit` exactly — events,
+        // ready times, A/B membership — minus selection and cache upkeep.
+        for event in committed {
+            let (s, r) = (event.sender.index(), event.receiver.index());
+            assert!(
+                self.in_a[s],
+                "committed event sender must already hold the message"
+            );
+            assert!(!self.in_a[r], "a cluster receives the message at most once");
+            self.events.push(*event);
+            self.ready[s] = event.start + self.gap_of(problem, s, r);
+            self.ready[r] = event.arrival;
+            self.in_a[r] = true;
+            let pos = self.recv_pos[r] as usize;
+            let last = *self.receivers.last().expect("receiver is in B");
+            self.receivers.swap_remove(pos);
+            if pos < self.receivers.len() {
+                self.recv_pos[last as usize] = pos as u32;
+            }
+            self.recv_pos[r] = u32::MAX;
+        }
+        // Excise the failed cluster. If it never received the message it is
+        // still in B: remove it so no round ever schedules a delivery to it.
+        // Either way it is marked "in A" — the dead cluster is *handled*, not
+        // awaiting coverage — but it is kept out of the sender order below,
+        // so it can never be picked to transmit.
+        if !self.in_a[f] {
+            let pos = self.recv_pos[f] as usize;
+            let last = *self.receivers.last().expect("failed cluster is in B");
+            self.receivers.swap_remove(pos);
+            if pos < self.receivers.len() {
+                self.recv_pos[last as usize] = pos as u32;
+            }
+            self.recv_pos[f] = u32::MAX;
+            self.in_a[f] = true;
+        }
+        // No repair transmission starts before the recovery instant (the
+        // crash has to be *detected* before anyone re-plans around it).
+        for c in 0..n {
+            if self.in_a[c] && c != f && self.ready[c] < resume_at {
+                self.ready[c] = resume_at;
+            }
+        }
+        // Rebuild the sorted sender order over the survivors of A.
+        self.order.clear();
+        for c in 0..n {
+            self.order_pos[c] = u32::MAX;
+            if self.in_a[c] && c != f {
+                self.order.push(c as u32);
+            }
+        }
+        {
+            let ready = &self.ready;
+            self.order
+                .sort_by(|&a, &b| (ready[a as usize], a).cmp(&(ready[b as usize], b)));
+        }
+        for (pos, &c) in self.order.iter().enumerate() {
+            self.order_pos[c as usize] = pos as u32;
+        }
+        // Policy reset runs *after* the replay so per-problem caches (the
+        // ECEF bias/watch arrays are built over `view.receivers()`) see the
+        // surviving B, exactly as a cold run on the reduced problem would.
+        {
+            let EngineState {
+                in_a,
+                ready,
+                tx,
+                lookahead,
+                receivers,
+                ..
+            } = &mut *self;
+            let view = EngineView {
+                problem,
+                in_a,
+                ready,
+                mat: tx,
+                receiver_major: false,
+                receivers,
+                n,
+            };
+            policy.reset(&view, lookahead);
+        }
+        // Static score offsets, as in `init_caches`. `min_in` still includes
+        // the failed cluster's outgoing edges, so the offsets can only be
+        // smaller than the reduced problem's — a looser but still valid
+        // lower bound, affecting pruning effort, never results.
+        self.score_offset.clear();
+        self.score_offset.resize(n, Time::ZERO);
+        self.score_post.clear();
+        self.score_post.resize(n, Time::ZERO);
+        if policy.sender_time_sensitive() {
+            for i in 0..self.receivers.len() {
+                let r = self.receivers[i] as usize;
+                self.score_offset[r] =
+                    policy.edge_score_offset(problem, ClusterId(r), self.min_in[r]);
+                self.score_post[r] = policy.edge_score_post_offset(problem, ClusterId(r));
+            }
+        }
+        // Seed every surviving receiver's candidate row from the multi-sender
+        // A set (a cold run seeds from the singleton {root}; here A already
+        // holds every cluster the committed prefix reached).
+        self.pending.clear();
+        for i in 0..self.receivers.len() {
+            let r = self.receivers[i];
+            self.pending.push(r);
+        }
+        self.rebuild_pending_unpruned(problem, policy);
+        // Ordinary rounds until the surviving receivers are all covered.
+        while !self.receivers.is_empty() {
+            let (sender, receiver) = self.select(problem, policy);
+            self.commit(problem, policy, sender, receiver);
+        }
+    }
+
     fn run<P: SelectionPolicy + ?Sized>(&mut self, problem: &BroadcastProblem, policy: &mut P) {
         self.reset(problem);
         {
@@ -1861,6 +2098,43 @@ impl BuiltinPolicies {
             HeuristicKind::BottomUp => state.run(problem, &mut self.bottom_up),
         }
     }
+
+    /// The crash-recovery twin of [`BuiltinPolicies::run`]: dispatches `kind`
+    /// to its concrete policy and hands it to
+    /// [`EngineState::run_excluding`].
+    fn run_excluding(
+        &mut self,
+        state: &mut EngineState,
+        problem: &BroadcastProblem,
+        kind: HeuristicKind,
+        failed: ClusterId,
+        committed: &[ScheduleEvent],
+        resume_at: Time,
+    ) {
+        match kind {
+            HeuristicKind::FlatTree => {
+                state.run_excluding(problem, &mut self.flat_tree, failed, committed, resume_at)
+            }
+            HeuristicKind::Fef => {
+                state.run_excluding(problem, &mut self.fef, failed, committed, resume_at)
+            }
+            HeuristicKind::Ecef => {
+                state.run_excluding(problem, &mut self.ecef, failed, committed, resume_at)
+            }
+            HeuristicKind::EcefLa => {
+                state.run_excluding(problem, &mut self.ecef_la, failed, committed, resume_at)
+            }
+            HeuristicKind::EcefLaMin => {
+                state.run_excluding(problem, &mut self.ecef_la_min, failed, committed, resume_at)
+            }
+            HeuristicKind::EcefLaMax => {
+                state.run_excluding(problem, &mut self.ecef_la_max, failed, committed, resume_at)
+            }
+            HeuristicKind::BottomUp => {
+                state.run_excluding(problem, &mut self.bottom_up, failed, committed, resume_at)
+            }
+        }
+    }
 }
 
 /// The reusable, pattern-agnostic scheduling engine.
@@ -1931,6 +2205,70 @@ impl ScheduleEngine {
     fn schedule_prepared(&mut self, problem: &BroadcastProblem, kind: HeuristicKind) -> Schedule {
         let ScheduleEngine { state, policies } = self;
         policies.run(state, problem, kind);
+        state.schedule_of_events(problem, kind.name())
+    }
+
+    /// Warm-start crash recovery: re-plans the remainder of a broadcast after
+    /// cluster `failed` died mid-collective, splicing the repair onto the
+    /// already-executed prefix instead of restarting from round zero.
+    ///
+    /// `committed` is the prefix of [`ScheduleEvent`]s that completed on the
+    /// wire before the crash was detected (pass `&[]` for a naive
+    /// from-scratch restart at `resume_at` — the baseline the resplice is
+    /// measured against). Every committed event is replayed verbatim: its
+    /// receiver joins the sender set A with the original arrival as its ready
+    /// time, its sender's interface stays occupied for the original gap, and
+    /// deliveries *to* the failed cluster are kept (they consumed real
+    /// interface time even though the payload is now lost). The failed
+    /// cluster is then excised from both sets — it never appears as a sender
+    /// or receiver in the repair — surviving ready times are clamped to
+    /// `resume_at` (no repair transmission starts before the crash is
+    /// detected), and the ordinary select/commit rounds of `kind` cover the
+    /// surviving receivers.
+    ///
+    /// With an empty prefix and `resume_at == Time::ZERO` the result is
+    /// **bit-identical** (modulo the identity-preserving cluster-id remap) to
+    /// a cold [`ScheduleEngine::schedule`] run on the reduced problem with
+    /// the failed cluster's row and column deleted — the conformance contract
+    /// the engine's own tests pin for every built-in heuristic and every
+    /// failed cluster (`tests/fault_suite.rs` adds the end-to-end half: the
+    /// spliced repair beats that naive restart strictly). This is the
+    /// first concrete step toward warm-start what-if scheduling: the same
+    /// replay-then-repair loop applies when a perturbation invalidates only a
+    /// suffix of the commit sequence.
+    ///
+    /// The returned schedule's events are the committed prefix followed by
+    /// the repair transfers. Its completion entry for the failed cluster is
+    /// meaningless (a dead cluster never finishes); use
+    /// [`Schedule::makespan_excluding`] rather than [`Schedule::makespan`]
+    /// to judge recovery schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `failed` is the root (the message source cannot be
+    /// excluded), when `resume_at` is not finite, or when `committed` is not
+    /// a causally consistent prefix (a sender transmitting before it holds
+    /// the message, or a cluster receiving twice).
+    pub fn reschedule_excluding(
+        &mut self,
+        problem: &BroadcastProblem,
+        kind: HeuristicKind,
+        failed: ClusterId,
+        committed: &[ScheduleEvent],
+        resume_at: Time,
+    ) -> Schedule {
+        assert_ne!(
+            failed, problem.root,
+            "the root holds the message source and cannot be excluded"
+        );
+        assert!(
+            failed.index() < problem.num_clusters(),
+            "failed cluster out of range"
+        );
+        assert!(resume_at.is_finite(), "resume_at must be finite");
+        self.state.prepare_tx(problem);
+        let ScheduleEngine { state, policies } = self;
+        policies.run_excluding(state, problem, kind, failed, committed, resume_at);
         state.schedule_of_events(problem, kind.name())
     }
 
@@ -2591,6 +2929,199 @@ mod tests {
     fn random_problem(clusters: usize, seed: u64) -> BroadcastProblem {
         let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
         BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1))
+    }
+
+    /// Deletes `failed`'s row and column from `problem` with the monotone
+    /// cluster-id remap (ids above `failed` shift down by one).
+    fn reduced_excluding(problem: &BroadcastProblem, failed: ClusterId) -> BroadcastProblem {
+        use gridcast_topology::SquareMatrix;
+        let n = problem.num_clusters();
+        let keep: Vec<usize> = (0..n).filter(|&c| c != failed.index()).collect();
+        let m = keep.len();
+        let mut latency = SquareMatrix::filled(m, Time::ZERO);
+        let mut gap = SquareMatrix::filled(m, Time::ZERO);
+        let mut intra = Vec::with_capacity(m);
+        for (i, &a) in keep.iter().enumerate() {
+            intra.push(problem.intra_time(ClusterId(a)));
+            for (j, &b) in keep.iter().enumerate() {
+                latency[(i, j)] = problem.latency(ClusterId(a), ClusterId(b));
+                gap[(i, j)] = problem.gap(ClusterId(a), ClusterId(b));
+            }
+        }
+        let root = keep
+            .iter()
+            .position(|&c| c == problem.root.index())
+            .expect("root survives");
+        BroadcastProblem::from_parts(ClusterId(root), problem.message, latency, gap, intra)
+    }
+
+    /// Conformance contract of the warm-start entry point: with an empty
+    /// committed prefix and `resume_at == 0`, `reschedule_excluding` is
+    /// bit-identical (modulo the monotone id remap) to a cold engine run on
+    /// the reduced problem with the failed cluster deleted — for every
+    /// heuristic and every possible failed cluster.
+    #[test]
+    fn reschedule_excluding_matches_cold_run_on_reduced_problem() {
+        for (clusters, seed) in [(9usize, 11u64), (17, 23)] {
+            let problem = random_problem(clusters, seed);
+            let mut engine = ScheduleEngine::new();
+            for kind in HeuristicKind::all() {
+                for f in 1..clusters {
+                    let failed = ClusterId(f);
+                    let warm = engine.reschedule_excluding(&problem, kind, failed, &[], Time::ZERO);
+                    let reduced = reduced_excluding(&problem, failed);
+                    let cold = engine.schedule(&reduced, kind);
+                    assert!(cold.validate(&reduced).is_ok());
+                    let remap = |c: ClusterId| {
+                        if c.index() < f {
+                            c.index()
+                        } else {
+                            c.index() + 1
+                        }
+                    };
+                    assert_eq!(warm.events.len(), cold.events.len(), "{kind} failed={f}");
+                    for (w, c) in warm.events.iter().zip(&cold.events) {
+                        assert_eq!(w.sender.index(), remap(c.sender), "{kind} failed={f}");
+                        assert_eq!(w.receiver.index(), remap(c.receiver), "{kind} failed={f}");
+                        assert_eq!(
+                            w.start.as_secs().to_bits(),
+                            c.start.as_secs().to_bits(),
+                            "{kind} failed={f}"
+                        );
+                        assert_eq!(
+                            w.arrival.as_secs().to_bits(),
+                            c.arrival.as_secs().to_bits(),
+                            "{kind} failed={f}"
+                        );
+                    }
+                    assert_eq!(
+                        warm.makespan_excluding(failed).as_secs().to_bits(),
+                        cold.makespan().as_secs().to_bits(),
+                        "{kind} failed={f}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every surviving cluster is covered exactly once by the spliced
+    /// schedule, repair sends start no earlier than `resume_at`, causality
+    /// holds across the splice boundary, and the failed cluster appears in
+    /// no repair event.
+    #[test]
+    fn reschedule_excluding_splices_consistent_repairs() {
+        let problem = random_problem(14, 7);
+        let mut engine = ScheduleEngine::new();
+        for kind in HeuristicKind::all() {
+            let full = engine.schedule(&problem, kind);
+            // Crash a relay (an interior sender) at the median arrival time.
+            let mut arrivals: Vec<Time> = full.events.iter().map(|e| e.arrival).collect();
+            arrivals.sort();
+            let crash_at = arrivals[arrivals.len() / 2];
+            let failed = full
+                .events
+                .iter()
+                .map(|e| e.sender)
+                .find(|&s| s != problem.root)
+                .unwrap_or(full.events.last().unwrap().receiver);
+            let committed: Vec<ScheduleEvent> = full
+                .events
+                .iter()
+                .copied()
+                .filter(|e| e.arrival <= crash_at)
+                .collect();
+            let n_committed = committed.len();
+            let spliced = engine.reschedule_excluding(&problem, kind, failed, &committed, crash_at);
+            // The committed prefix is preserved verbatim.
+            assert_eq!(&spliced.events[..n_committed], &committed[..], "{kind}");
+            let mut received = vec![0usize; problem.num_clusters()];
+            let mut ready = vec![Time::INFINITY; problem.num_clusters()];
+            ready[problem.root.index()] = Time::ZERO;
+            for (idx, e) in spliced.events.iter().enumerate() {
+                if idx >= n_committed {
+                    assert_ne!(e.sender, failed, "{kind}: dead cluster transmits");
+                    assert_ne!(e.receiver, failed, "{kind}: repair delivers to the dead");
+                    assert!(
+                        e.start >= crash_at,
+                        "{kind}: repair starts before detection"
+                    );
+                }
+                assert!(
+                    ready[e.sender.index()].is_finite() && e.start >= ready[e.sender.index()],
+                    "{kind}: causality violated at event {idx}"
+                );
+                received[e.receiver.index()] += 1;
+                ready[e.receiver.index()] = e.arrival;
+            }
+            for (c, &count) in received.iter().enumerate() {
+                if c == problem.root.index() {
+                    assert_eq!(count, 0, "{kind}");
+                } else if c == failed.index() {
+                    // The prefix may have delivered to the relay before it
+                    // died; the repair never does (asserted above).
+                    assert!(count <= 1, "{kind}");
+                } else {
+                    assert_eq!(count, 1, "{kind}: cluster {c} coverage");
+                }
+            }
+        }
+    }
+
+    /// The acceptance scenario: when a relay dies mid-broadcast after
+    /// delivering to part of its subtree, resplicing onto the surviving
+    /// prefix strictly beats a naive from-scratch restart at the crash
+    /// instant — the survivors it already fed act as extra repair senders.
+    #[test]
+    fn resplice_strictly_beats_naive_restart() {
+        let problem = random_problem(20, 5);
+        let mut engine = ScheduleEngine::new();
+        let mut strict_wins = 0usize;
+        for kind in HeuristicKind::all() {
+            let full = engine.schedule(&problem, kind);
+            let Some(relay) = full
+                .events
+                .iter()
+                .map(|e| e.sender)
+                .find(|&s| s != problem.root)
+            else {
+                continue;
+            };
+            // Crash right after the relay's first delivery completes, so at
+            // least one of its children survives holding the message.
+            let crash_at = full
+                .events
+                .iter()
+                .find(|e| e.sender == relay)
+                .expect("relay sends")
+                .arrival;
+            let committed: Vec<ScheduleEvent> = full
+                .events
+                .iter()
+                .copied()
+                .filter(|e| e.arrival <= crash_at)
+                .collect();
+            assert!(
+                committed.iter().any(|e| e.sender != problem.root),
+                "{kind}: prefix must contain a relay delivery"
+            );
+            let resplice = engine
+                .reschedule_excluding(&problem, kind, relay, &committed, crash_at)
+                .makespan_excluding(relay);
+            let naive = engine
+                .reschedule_excluding(&problem, kind, relay, &[], crash_at)
+                .makespan_excluding(relay);
+            assert!(
+                resplice <= naive,
+                "{kind}: resplice {resplice} worse than naive restart {naive}"
+            );
+            if resplice < naive {
+                strict_wins += 1;
+            }
+        }
+        assert!(
+            strict_wins > 0,
+            "resplice never strictly beat the naive restart on any heuristic"
+        );
     }
 
     #[test]

@@ -147,6 +147,23 @@ impl Schedule {
             .unwrap_or(Time::ZERO)
     }
 
+    /// The makespan over every cluster except `excluded`.
+    ///
+    /// This is the completion metric for crash-recovery schedules
+    /// ([`ScheduleEngine::reschedule_excluding`](crate::ScheduleEngine::reschedule_excluding)):
+    /// a dead cluster never finishes, and its `cluster_completion` entry only
+    /// reflects whatever prefix executed before the crash, so the plain
+    /// [`Schedule::makespan`] would mix a meaningless number into the max.
+    pub fn makespan_excluding(&self, excluded: ClusterId) -> Time {
+        self.cluster_completion
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != excluded.index())
+            .map(|(_, &t)| t)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
     /// The completion time of one cluster.
     pub fn completion_of(&self, cluster: ClusterId) -> Time {
         self.cluster_completion[cluster.index()]

@@ -29,6 +29,7 @@ fn main() {
         ("gather", figures::gather::run(&config)),
         ("exchange-scaling", figures::gather::run_exchange(&config)),
         ("whatif", figures::whatif::run(&config)),
+        ("faults", figures::faults::run(&config)),
     ] {
         println!("== {name} ==");
         println!("{}", figure.to_ascii_table());

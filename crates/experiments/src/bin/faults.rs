@@ -1,0 +1,20 @@
+//! Regenerates the storm sweep: every heuristic's Table-3 schedule executed
+//! on the node-level discrete-event core under seeded message loss with
+//! ack/retry/timeout transport, mean completion per loss rate, plus the
+//! per-rate winner — the scan that shows where (and whether) the calm grid's
+//! best heuristic loses its crown in the storm.
+
+use gridcast_experiments::{figures, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let figure = figures::faults::run(&config);
+    print!("{}", figure.to_ascii_table());
+    println!();
+    println!("winner per loss rate:");
+    for (loss, label) in figures::faults::ranking(&figure) {
+        println!("  p = {loss:<5} -> {label}");
+    }
+    eprintln!();
+    eprint!("{}", figure.to_csv());
+}

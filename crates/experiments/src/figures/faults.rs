@@ -1,0 +1,157 @@
+//! Storm sweep: makespan inflation under message loss, per heuristic.
+//!
+//! The paper schedules against a *calm* pLogP model — every send succeeds,
+//! every gap is exactly `g(m)`. This figure prices the storm instead: each
+//! heuristic's schedule for the GRID'5000 Table-3 grid is executed on the
+//! node-level discrete-event core under a seeded
+//! [`FaultPlan`] with growing per-attempt
+//! loss, the ack/retry/timeout transport resending lost copies until they
+//! land. Per loss rate the figure reports each heuristic's mean completion
+//! over a fixed seed set — the *inflation* of its makespan as the network
+//! degrades — and [`ranking`] extracts the per-rate winner, so a **ranking
+//! flip** (the calm grid's best heuristic losing its crown in the storm) is
+//! one scan away.
+//!
+//! The transport couples the seeds across loss rates: a copy lost at 5% is
+//! also lost at 20% (same uniform draw, higher threshold), so every curve is
+//! monotone in the loss rate by construction, not by averaging luck.
+
+use crate::params::ExperimentConfig;
+use crate::report::{FigureResult, Series};
+use gridcast_core::{BroadcastProblem, HeuristicKind, ScheduleEngine};
+use gridcast_plogp::{MessageSize, Time};
+use gridcast_simulator::{
+    execute_plan_under_faults, FaultPlan, NodeNetwork, NullSink, RetryPolicy, SendPlan,
+};
+use gridcast_topology::{grid5000_table3, ClusterId};
+
+/// Per-attempt loss probabilities swept by the figure (0 = the calm grid).
+pub const LOSS_RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.15, 0.2];
+
+/// Fault seeds averaged per cell (shared across loss rates for coupling).
+pub const SEEDS: [u64; 5] = [11, 23, 47, 101, 211];
+
+/// Retry budget: eight attempts make per-send delivery failure at the swept
+/// rates (`0.2^8`) practically impossible, so every cell completes and the
+/// curves measure pure retry-delay inflation.
+const MAX_ATTEMPTS: u32 = 8;
+
+/// Runs the storm sweep on the Table-3 grid.
+pub fn run(_config: &ExperimentConfig) -> FigureResult {
+    storm_sweep(
+        "Storm on GRID'5000: makespan inflation per heuristic vs per-attempt loss",
+        &LOSS_RATES,
+        &SEEDS,
+    )
+}
+
+/// The sweep behind [`run`], reusable with fewer cells for smoke tests.
+pub fn storm_sweep(title: &str, loss_rates: &[f64], seeds: &[u64]) -> FigureResult {
+    let grid = grid5000_table3();
+    let message = MessageSize::from_mib(1);
+    let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), message);
+    let network = NodeNetwork::new(&grid);
+    let retry = RetryPolicy {
+        max_attempts: MAX_ATTEMPTS,
+        ..RetryPolicy::default()
+    };
+    let mut engine = ScheduleEngine::new();
+
+    let mut figure =
+        FigureResult::new(title, "per-attempt loss probability", "completion time (s)");
+    for kind in HeuristicKind::all() {
+        let schedule = engine.schedule(&problem, kind);
+        let plan = SendPlan::from_grid_schedule(&grid, &schedule);
+        let points: Vec<(f64, f64)> = loss_rates
+            .iter()
+            .map(|&loss| {
+                let mean = seeds
+                    .iter()
+                    .map(|&seed| {
+                        let faults = FaultPlan::new(seed).with_loss(loss);
+                        let outcome = execute_plan_under_faults(
+                            &network,
+                            &plan,
+                            message,
+                            Time::ZERO,
+                            &faults,
+                            &retry,
+                            &mut NullSink,
+                        )
+                        .expect("the monotone-clock invariant holds under faults");
+                        assert!(
+                            outcome.is_complete(),
+                            "{} dropped a send at loss {loss} under {MAX_ATTEMPTS} attempts",
+                            kind.name()
+                        );
+                        outcome.completion().as_secs()
+                    })
+                    .sum::<f64>()
+                    / seeds.len() as f64;
+                (loss, mean)
+            })
+            .collect();
+        figure.push(Series::new(kind.name(), points));
+    }
+    figure
+}
+
+/// The per-loss-rate winner: for every x value of the storm sweep, the label
+/// of the cheapest series. A change of label along the vector is a **ranking
+/// flip** — the calm grid's best heuristic is not the storm's.
+pub fn ranking(figure: &FigureResult) -> Vec<(f64, String)> {
+    let xs = figure.x_values();
+    xs.iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let winner = figure
+                .series
+                .iter()
+                .min_by(|a, b| a.points[i].y.total_cmp(&b.points[i].y))
+                .expect("the sweep has at least one series");
+            (x, winner.label.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_sweep_inflates_every_heuristic_monotonically() {
+        let fig = storm_sweep("t", &[0.0, 0.1, 0.2], &[11, 23]);
+        assert_eq!(fig.series.len(), HeuristicKind::all().len());
+        for series in &fig.series {
+            let ys: Vec<f64> = series.points.iter().map(|p| p.y).collect();
+            assert!(ys.iter().all(|y| y.is_finite() && *y > 0.0));
+            // Seed coupling makes each curve monotone: a copy lost at 10% is
+            // also lost at 20%, so retries only accumulate.
+            assert!(
+                ys.windows(2).all(|w| w[0] <= w[1]),
+                "{} is not monotone under growing loss: {ys:?}",
+                series.label
+            );
+            // And the storm genuinely bites: 20% loss costs real time.
+            assert!(
+                ys[2] > ys[0],
+                "{} shows no inflation at 20% loss",
+                series.label
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_names_a_winner_per_loss_rate() {
+        let fig = storm_sweep("t", &[0.0, 0.2], &[11]);
+        let ranks = ranking(&fig);
+        assert_eq!(ranks.len(), 2);
+        for (x, label) in &ranks {
+            let series = fig.series_by_label(label).expect("winner is a series");
+            let i = usize::from(*x > 0.0);
+            for other in &fig.series {
+                assert!(series.points[i].y <= other.points[i].y);
+            }
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Reproduction of the paper's figures.
 
+pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

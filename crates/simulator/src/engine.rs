@@ -33,13 +33,19 @@
 //!   `ScheduleEngine::schedule_transfers`, which makes engine-predicted
 //!   exchange makespans reproducible node-level).
 //!
-//! The queue's clock is **monotone by construction and by assertion**: no
-//! event may be scheduled before the current simulated time (a debug
-//! assertion guards the INF-arithmetic class of bug where a corrupted time
-//! would silently reorder the simulation), and every [`TraceEvent`] therefore
-//! reaches the [`TraceSink`] in non-decreasing time order — which is what
-//! lets traces stream instead of accumulating.
+//! The queue's clock is **monotone by construction and by an always-on
+//! check**: no event may be scheduled before the current simulated time. A
+//! violation (the INF-arithmetic class of bug where a corrupted time would
+//! silently reorder the simulation) is a structured
+//! [`SimError::ClockRegression`] from the fallible entry points
+//! ([`try_execute_plan_with_sink`], [`try_execute_sized_plan_with_sink`]) and
+//! a panic from the legacy infallible ones — never silent corruption, in any
+//! build profile. Every [`TraceEvent`] therefore reaches the [`TraceSink`] in
+//! non-decreasing time order — which is what lets traces stream instead of
+//! accumulating — and the fallible entry points additionally surface the
+//! sink's own I/O failures as [`SimError::Trace`].
 
+use crate::error::SimError;
 use crate::network::NodeNetwork;
 use crate::outcome::SimulationOutcome;
 use crate::plan::{SendPlan, SizedSend, SizedSendPlan};
@@ -58,22 +64,33 @@ enum EventKind {
     Attempt { node: NodeId },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    time: Time,
+/// An event with a deterministic `(time, seq)` total order. The kind is
+/// opaque to the ordering, so one queue serves both the fault-free programs
+/// (`EventKind`) and the fault executor's richer vocabulary.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event<K> {
+    pub(crate) time: Time,
     /// Monotonic sequence number breaking ties deterministically (FIFO order
     /// for simultaneous events).
-    seq: u64,
-    kind: EventKind,
+    pub(crate) seq: u64,
+    pub(crate) kind: K,
 }
 
-impl Ord for Event {
+impl<K> PartialEq for Event<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<K> Eq for Event<K> {}
+
+impl<K> Ord for Event<K> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
     }
 }
 
-impl PartialOrd for Event {
+impl<K> PartialOrd for Event<K> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
@@ -84,16 +101,18 @@ impl PartialOrd for Event {
 ///
 /// Pushing an event earlier than the current clock would silently reorder the
 /// simulation — exactly the failure mode of the INF−INF arithmetic bugs the
-/// engine's NaN audit hunts — so `push` asserts (in debug builds, which is
-/// how the whole test suite runs) that simulated time never flows backwards.
-struct EventQueue {
-    heap: BinaryHeap<Reverse<Event>>,
+/// engine's NaN audit hunts — so `push` checks **in every build profile**
+/// that simulated time never flows backwards (and that the time is not NaN),
+/// returning a structured [`SimError::ClockRegression`] instead of
+/// corrupting the run.
+pub(crate) struct EventQueue<K> {
+    heap: BinaryHeap<Reverse<Event<K>>>,
     now: Time,
     seq: u64,
 }
 
-impl EventQueue {
-    fn new() -> Self {
+impl<K> EventQueue<K> {
+    pub(crate) fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             now: Time::ZERO,
@@ -104,21 +123,22 @@ impl EventQueue {
     /// Schedules `kind` at `time`, which must not precede the current
     /// simulated time.
     #[inline]
-    fn push(&mut self, time: Time, kind: EventKind) {
-        debug_assert!(
-            time >= self.now,
-            "event scheduled at {time} before the current simulated time {} — \
-             the clock never runs backwards",
-            self.now
-        );
+    pub(crate) fn push(&mut self, time: Time, kind: K) -> Result<(), SimError> {
+        if time.as_secs().is_nan() || time < self.now {
+            return Err(SimError::ClockRegression {
+                scheduled: time,
+                now: self.now,
+            });
+        }
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Event { time, seq, kind }));
+        Ok(())
     }
 
     /// Pops the next event and advances the clock to it.
     #[inline]
-    fn pop(&mut self) -> Option<Event> {
+    pub(crate) fn pop(&mut self) -> Option<Event<K>> {
         let event = self.heap.pop()?.0;
         debug_assert!(event.time >= self.now, "heap order is time order");
         self.now = event.time;
@@ -247,7 +267,7 @@ impl EventProgram for &SizedSendPlan {
 /// that serialise on the earliest-free channel. One definition serves every
 /// lowered plan, so the broadcast and personalised paths can never simulate
 /// different contention models for the same grid.
-struct WanChannels {
+pub(crate) struct WanChannels {
     /// Flat `[pair][channel]` free times (stride `concurrency`), indexed by
     /// the unordered pair `{lo, hi}`.
     free: Vec<Time>,
@@ -256,7 +276,7 @@ struct WanChannels {
 }
 
 impl WanChannels {
-    fn new(network: &NodeNetwork) -> Self {
+    pub(crate) fn new(network: &NodeNetwork) -> Self {
         let num_clusters = network.grid().num_clusters();
         let concurrency = network.wan_concurrency();
         WanChannels {
@@ -276,7 +296,7 @@ impl WanChannels {
     /// The earliest-free channel of the unordered pair `{a, b}`: its free
     /// time and its slot (first minimal slot, deterministically).
     #[inline]
-    fn earliest(&self, a: usize, b: usize) -> (Time, usize) {
+    pub(crate) fn earliest(&self, a: usize, b: usize) -> (Time, usize) {
         let range = self.pair_range(a, b);
         let base = range.start;
         let mut best = Time::INFINITY;
@@ -291,7 +311,7 @@ impl WanChannels {
     }
 
     #[inline]
-    fn occupy(&mut self, slot: usize, until: Time) {
+    pub(crate) fn occupy(&mut self, slot: usize, until: Time) {
         self.free[slot] = until;
     }
 }
@@ -333,6 +353,10 @@ pub fn execute_plan(
 
 /// [`execute_plan`] with a caller-chosen [`TraceSink`] observing the event
 /// stream in non-decreasing time order.
+///
+/// Panics on a clock-regression violation (impossible for well-formed plans;
+/// use [`try_execute_plan_with_sink`] to get a structured [`SimError`]
+/// instead, including the sink's own I/O failures).
 pub fn execute_plan_with_sink<S: TraceSink>(
     network: &NodeNetwork,
     plan: &SendPlan,
@@ -346,6 +370,31 @@ pub fn execute_plan_with_sink<S: TraceSink>(
         start_offset,
         sink,
     )
+    .unwrap_or_else(|e| panic!("simulation invariant violated: {e}"))
+}
+
+/// The fallible sibling of [`execute_plan_with_sink`]: a clock-regression
+/// violation (the always-on monotonicity invariant) returns
+/// [`SimError::ClockRegression`], and a trace sink whose writer failed
+/// mid-stream returns [`SimError::Trace`] after the drain instead of
+/// discarding the I/O error.
+pub fn try_execute_plan_with_sink<S: TraceSink>(
+    network: &NodeNetwork,
+    plan: &SendPlan,
+    m: MessageSize,
+    start_offset: Time,
+    sink: &mut S,
+) -> Result<SimulationOutcome, SimError> {
+    let outcome = execute_events(
+        network,
+        &BroadcastProgram { plan, message: m },
+        start_offset,
+        sink,
+    )?;
+    if let Some(e) = sink.take_error() {
+        return Err(SimError::Trace(e));
+    }
+    Ok(outcome)
 }
 
 /// Executes a [`SizedSendPlan`] — the node-level
@@ -389,6 +438,9 @@ pub fn execute_sized_plan(
 
 /// [`execute_sized_plan`] with a caller-chosen [`TraceSink`] observing the
 /// event stream in non-decreasing time order.
+///
+/// Panics on a clock-regression violation (impossible for well-formed plans;
+/// use [`try_execute_sized_plan_with_sink`] for the structured error path).
 pub fn execute_sized_plan_with_sink<S: TraceSink>(
     network: &NodeNetwork,
     plan: &SizedSendPlan,
@@ -396,6 +448,23 @@ pub fn execute_sized_plan_with_sink<S: TraceSink>(
     sink: &mut S,
 ) -> SimulationOutcome {
     execute_events(network, &plan, start_offset, sink)
+        .unwrap_or_else(|e| panic!("simulation invariant violated: {e}"))
+}
+
+/// The fallible sibling of [`execute_sized_plan_with_sink`]: clock
+/// regressions and trace-sink write failures come back as [`SimError`]
+/// instead of a panic / a silently discarded I/O error.
+pub fn try_execute_sized_plan_with_sink<S: TraceSink>(
+    network: &NodeNetwork,
+    plan: &SizedSendPlan,
+    start_offset: Time,
+    sink: &mut S,
+) -> Result<SimulationOutcome, SimError> {
+    let outcome = execute_events(network, &plan, start_offset, sink)?;
+    if let Some(e) = sink.take_error() {
+        return Err(SimError::Trace(e));
+    }
+    Ok(outcome)
 }
 
 /// The one discrete-event loop behind both executors.
@@ -404,7 +473,7 @@ fn execute_events<P: EventProgram, S: TraceSink>(
     program: &P,
     start_offset: Time,
     sink: &mut S,
-) -> SimulationOutcome {
+) -> Result<SimulationOutcome, SimError> {
     let n = network.num_nodes();
     assert_eq!(
         program.num_nodes(),
@@ -442,13 +511,14 @@ fn execute_events<P: EventProgram, S: TraceSink>(
                    arrivals: &[u32],
                    attempt_pending: &mut [bool],
                    nic_free: &[Time],
-                   queue: &mut EventQueue| {
+                   queue: &mut EventQueue<EventKind>|
+     -> Result<(), SimError> {
         if attempt_pending[node] || cursor[node] >= program.num_sends(node) {
-            return;
+            return Ok(());
         }
         let send = program.send(node, cursor[node]);
         if arrivals[node] < send.after_arrivals {
-            return;
+            return Ok(());
         }
         let at = now.max(nic_free[node]).max(send.not_before);
         attempt_pending[node] = true;
@@ -457,7 +527,7 @@ fn execute_events<P: EventProgram, S: TraceSink>(
             EventKind::Attempt {
                 node: NodeId(node as u32),
             },
-        );
+        )
     };
 
     for node in 0..n {
@@ -469,7 +539,7 @@ fn execute_events<P: EventProgram, S: TraceSink>(
             &mut attempt_pending,
             &nic_free,
             &mut queue,
-        );
+        )?;
     }
 
     while let Some(event) = queue.pop() {
@@ -495,7 +565,7 @@ fn execute_events<P: EventProgram, S: TraceSink>(
                     None
                 };
                 if earliest > event.time {
-                    queue.push(earliest, event.kind);
+                    queue.push(earliest, event.kind)?;
                     continue;
                 }
                 let start = event.time;
@@ -522,7 +592,7 @@ fn execute_events<P: EventProgram, S: TraceSink>(
                         from: node,
                         to: send.to,
                     },
-                );
+                )?;
                 messages += 1;
                 cursor[idx] += 1;
                 attempt_pending[idx] = false;
@@ -534,7 +604,7 @@ fn execute_events<P: EventProgram, S: TraceSink>(
                     &mut attempt_pending,
                     &nic_free,
                     &mut queue,
-                );
+                )?;
             }
             EventKind::Arrival { from, to } => {
                 events_processed += 1;
@@ -559,7 +629,7 @@ fn execute_events<P: EventProgram, S: TraceSink>(
                     &mut attempt_pending,
                     &nic_free,
                     &mut queue,
-                );
+                )?;
             }
         }
     }
@@ -596,12 +666,12 @@ fn execute_events<P: EventProgram, S: TraceSink>(
     // below then propagates the problem loudly instead of silently reporting
     // success.
     let completion = receive_times.iter().copied().max().unwrap_or(Time::ZERO);
-    SimulationOutcome {
+    Ok(SimulationOutcome {
         completion,
         receive_times,
         messages,
         events_processed,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -891,6 +961,78 @@ mod tests {
         // a local gather block), and every machine holding data forwarded on
         // time: no starvation.
         assert!(outcome.receive_times.iter().all(|t| t.is_finite()));
+    }
+
+    /// A writer whose every write fails — the regression rig for the
+    /// sink-error path.
+    struct FailingWriter;
+
+    impl std::io::Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_write_failures_surface_through_the_fallible_executor() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let plan = SendPlan::binomial_over_all_nodes(&grid, ClusterId(0));
+        let m = MessageSize::from_mib(1);
+        let mut sink = StreamingSink::new(FailingWriter);
+        let err = try_execute_plan_with_sink(&network, &plan, m, Time::ZERO, &mut sink)
+            .expect_err("a failing writer must surface as SimError::Trace");
+        match err {
+            crate::error::SimError::Trace(e) => assert!(e.to_string().contains("disk full")),
+            other => panic!("expected SimError::Trace, got {other}"),
+        }
+        // The executor *took* the error, so it is reported exactly once:
+        // `finish` no longer re-reports it.
+        assert_eq!(sink.written(), 0);
+        assert!(sink.finish().is_ok());
+    }
+
+    #[test]
+    fn fallible_executors_match_the_infallible_ones() {
+        let grid = grid();
+        let network = NodeNetwork::new(&grid);
+        let plan = SendPlan::binomial_over_all_nodes(&grid, ClusterId(2));
+        let m = MessageSize::from_mib(1);
+        let mut null = NullSink;
+        let plain = execute_plan_with_sink(&network, &plan, m, Time::ZERO, &mut null);
+        let tried = try_execute_plan_with_sink(&network, &plan, m, Time::ZERO, &mut null).unwrap();
+        assert_eq!(plain, tried);
+
+        let mut sized = SizedSendPlan::empty(NodeId(0), network.num_nodes());
+        sized.push_forward(NodeId(0), NodeId(1), MessageSize::from_kib(64));
+        let plain = execute_sized_plan_with_sink(&network, &sized, Time::ZERO, &mut null);
+        let tried =
+            try_execute_sized_plan_with_sink(&network, &sized, Time::ZERO, &mut null).unwrap();
+        assert_eq!(plain, tried);
+    }
+
+    #[test]
+    fn the_clock_invariant_is_checked_in_every_build_profile() {
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        queue.push(Time::from_millis(5.0), 0).unwrap();
+        assert!(queue.pop().is_some());
+        // Scheduling into the past is a structured error, not a debug-only
+        // assertion.
+        let err = queue.push(Time::from_millis(1.0), 1).unwrap_err();
+        match err {
+            crate::error::SimError::ClockRegression { scheduled, now } => {
+                assert_eq!(scheduled, Time::from_millis(1.0));
+                assert_eq!(now, Time::from_millis(5.0));
+            }
+            other => panic!("expected ClockRegression, got {other}"),
+        }
+        // NaN times (the INF−INF arithmetic class) are rejected too.
+        let nan = Time::INFINITY - Time::INFINITY;
+        assert!(queue.push(nan, 2).is_err());
     }
 
     #[test]

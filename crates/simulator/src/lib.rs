@@ -31,7 +31,14 @@
 //! * **what-if sweeps** ([`whatif`]) evaluate thousands of perturbed
 //!   scenarios — scaled links, degraded uplinks, alternate roots, dropped
 //!   relays — against one shared read-only grid on a scoped worker pool,
-//!   bit-identically for any thread count, and
+//!   bit-identically for any thread count,
+//! * **faults are first-class events** ([`faults`]): a seeded [`FaultPlan`]
+//!   injects deterministic message loss, duplication, extra delay, link
+//!   flaps and node crashes; [`execute_plan_under_faults`] runs plans with
+//!   ack/retry/timeout transport semantics and returns a loud
+//!   [`Outcome::Incomplete`] (never a silent hang) when delivery is
+//!   impossible, while [`resplice_after_crash`] re-plans the orphaned
+//!   remainder of a broadcast around a dead relay, and
 //! * the cost of *computing* the schedule itself (the paper's "algorithm
 //!   complexity" concern) can be measured and added via [`overhead`].
 //!
@@ -44,6 +51,8 @@
 #![deny(unsafe_code)]
 
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod network;
 pub mod outcome;
 pub mod overhead;
@@ -54,11 +63,16 @@ pub mod whatif;
 
 pub use engine::{
     execute_plan, execute_plan_with_sink, execute_sized_plan, execute_sized_plan_with_sink,
+    try_execute_plan_with_sink, try_execute_sized_plan_with_sink,
+};
+pub use error::SimError;
+pub use faults::{
+    execute_plan_under_faults, resplice_after_crash, FaultPlan, LinkFlap, NodeCrash, RetryPolicy,
 };
 pub use network::NodeNetwork;
-pub use outcome::SimulationOutcome;
+pub use outcome::{FaultStats, FaultySimulation, Outcome, SimulationOutcome};
 pub use overhead::measure_scheduling_overhead;
 pub use plan::{SendPlan, SizedSend, SizedSendPlan};
 pub use simulator::Simulator;
 pub use trace::{CountingSink, NullSink, StreamingSink, TraceEvent, TraceKind, TraceSink};
-pub use whatif::{Perturbation, Scenario, WhatIfReport, WhatIfRunner};
+pub use whatif::{fault_sweep, Perturbation, Scenario, WhatIfReport, WhatIfRunner};

@@ -52,6 +52,97 @@ impl SimulationOutcome {
     }
 }
 
+/// Fault-activity counters of one run under a
+/// [`FaultPlan`](crate::faults::FaultPlan).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Transmissions started (first attempts *and* retransmissions; each
+    /// occupies its sender's interface and, cross-cluster, a WAN channel).
+    pub attempts: usize,
+    /// Transmissions that failed to deliver (lost by the injector, or
+    /// addressed to a machine that is dead at the arrival instant).
+    pub lost: usize,
+    /// Retransmissions: attempts beyond the first for some send.
+    pub retries: usize,
+    /// Sends abandoned after exhausting their retry budget.
+    pub drops: usize,
+    /// Extra copies injected by the duplication fault.
+    pub duplicates: usize,
+    /// Node crashes that fired.
+    pub crashes: usize,
+}
+
+/// A [`SimulationOutcome`] annotated with the fault activity that produced
+/// it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultySimulation {
+    /// The per-machine outcome (reception times, makespan, message count —
+    /// where `messages` includes retransmissions).
+    pub outcome: SimulationOutcome,
+    /// What the fault injector and the retry protocol did.
+    pub stats: FaultStats,
+}
+
+impl FaultySimulation {
+    /// Machines whose reception time is infinite: never reached by any
+    /// delivered copy (crashed before receiving, or starved by drops).
+    pub fn unreached(&self) -> Vec<NodeId> {
+        self.outcome
+            .receive_times
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_finite())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// The loud result of a faulty execution: either every machine holds the
+/// message, or the run is **explicitly** incomplete — no silent infinite
+/// times to discover three aggregations later.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Every machine received the message; the makespan is finite.
+    Complete(FaultySimulation),
+    /// At least one machine never received the message (its sender exhausted
+    /// the retry budget, or a crash removed it / its whole subtree).
+    Incomplete {
+        /// Plan edges whose payload never arrived, in deterministic
+        /// `(sender, receiver)` plan order — both sends dropped after the
+        /// retry budget and sends never attempted (the sender itself was
+        /// never reached, or died first).
+        undelivered: Vec<(NodeId, NodeId)>,
+        /// The partial run: reception times of the machines that *were*
+        /// reached, with an infinite completion.
+        partial: FaultySimulation,
+    },
+}
+
+impl Outcome {
+    /// The simulation record, complete or partial.
+    pub fn simulation(&self) -> &FaultySimulation {
+        match self {
+            Outcome::Complete(sim) => sim,
+            Outcome::Incomplete { partial, .. } => partial,
+        }
+    }
+
+    /// The fault-activity counters of the run.
+    pub fn stats(&self) -> FaultStats {
+        self.simulation().stats
+    }
+
+    /// The completion time: finite iff the run is [`Outcome::Complete`].
+    pub fn completion(&self) -> Time {
+        self.simulation().outcome.completion
+    }
+
+    /// Whether every machine was reached.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Complete(_))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +177,36 @@ mod tests {
         };
         assert_eq!(outcome.mean_receive_time(), Time::ZERO);
         assert_eq!(outcome.last_receiver(), (NodeId(0), Time::ZERO));
+    }
+
+    #[test]
+    fn outcome_accessors_cover_both_arms() {
+        let sim = FaultySimulation {
+            outcome: SimulationOutcome {
+                completion: Time::INFINITY,
+                receive_times: vec![Time::ZERO, Time::from_millis(1.0), Time::INFINITY],
+                messages: 2,
+                events_processed: 1,
+            },
+            stats: FaultStats {
+                drops: 1,
+                ..FaultStats::default()
+            },
+        };
+        assert_eq!(sim.unreached(), vec![NodeId(2)]);
+        let incomplete = Outcome::Incomplete {
+            undelivered: vec![(NodeId(1), NodeId(2))],
+            partial: sim.clone(),
+        };
+        assert!(!incomplete.is_complete());
+        assert!(!incomplete.completion().is_finite());
+        assert_eq!(incomplete.stats().drops, 1);
+
+        let mut done = sim;
+        done.outcome.completion = Time::from_millis(1.0);
+        done.outcome.receive_times[2] = Time::from_millis(1.0);
+        let complete = Outcome::Complete(done);
+        assert!(complete.is_complete());
+        assert!(complete.completion().is_finite());
     }
 }

@@ -27,6 +27,17 @@ pub enum TraceKind {
     SendStart,
     /// A machine received the full message.
     Arrival,
+    /// A machine retransmitted an unacknowledged send (fault executor only):
+    /// the retry timer expired without a delivery, and the retry budget still
+    /// had attempts left.
+    Retry,
+    /// A machine abandoned a send after exhausting its retry budget (fault
+    /// executor only). The payload is reported in
+    /// [`Outcome::Incomplete`](crate::Outcome::Incomplete) as undelivered.
+    Drop,
+    /// A machine crashed (fault executor only); `from == to` names the dead
+    /// machine. Sends and receptions at or after this time do not happen.
+    Crash,
 }
 
 /// One entry of an execution trace.
@@ -47,6 +58,9 @@ impl fmt::Display for TraceEvent {
         match self.kind {
             TraceKind::SendStart => write!(f, "[{}] {} -> {} send", self.time, self.from, self.to),
             TraceKind::Arrival => write!(f, "[{}] {} -> {} arrival", self.time, self.from, self.to),
+            TraceKind::Retry => write!(f, "[{}] {} -> {} retry", self.time, self.from, self.to),
+            TraceKind::Drop => write!(f, "[{}] {} -> {} drop", self.time, self.from, self.to),
+            TraceKind::Crash => write!(f, "[{}] {} crash", self.time, self.from),
         }
     }
 }
@@ -67,6 +81,19 @@ pub trait TraceSink {
     #[inline]
     fn enabled(&self) -> bool {
         true
+    }
+
+    /// Takes the sink's pending I/O error, if any. The fallible executors
+    /// ([`try_execute_plan_with_sink`](crate::engine::try_execute_plan_with_sink)
+    /// and friends) call this after the event queue drains and surface the
+    /// error as [`SimError::Trace`](crate::SimError::Trace); sinks without a
+    /// fallible backing (counting, retained, null) keep the default `None`.
+    /// Taking the error clears it: for [`StreamingSink`] a subsequent
+    /// [`finish`](StreamingSink::finish) succeeds, so the error is reported
+    /// exactly once.
+    #[inline]
+    fn take_error(&mut self) -> Option<std::io::Error> {
+        None
     }
 }
 
@@ -92,6 +119,12 @@ pub struct CountingSink {
     pub sends: usize,
     /// Number of [`TraceKind::Arrival`] events observed.
     pub arrivals: usize,
+    /// Number of [`TraceKind::Retry`] events observed.
+    pub retries: usize,
+    /// Number of [`TraceKind::Drop`] events observed.
+    pub drops: usize,
+    /// Number of [`TraceKind::Crash`] events observed.
+    pub crashes: usize,
     /// Time of the last event observed (`Time::ZERO` before the first).
     pub last_time: Time,
 }
@@ -99,7 +132,7 @@ pub struct CountingSink {
 impl CountingSink {
     /// Total number of events observed.
     pub fn total(&self) -> usize {
-        self.sends + self.arrivals
+        self.sends + self.arrivals + self.retries + self.drops + self.crashes
     }
 }
 
@@ -109,6 +142,9 @@ impl TraceSink for CountingSink {
         match event.kind {
             TraceKind::SendStart => self.sends += 1,
             TraceKind::Arrival => self.arrivals += 1,
+            TraceKind::Retry => self.retries += 1,
+            TraceKind::Drop => self.drops += 1,
+            TraceKind::Crash => self.crashes += 1,
         }
         self.last_time = event.time;
     }
@@ -129,8 +165,12 @@ impl TraceSink for Vec<TraceEvent> {
 /// (or a pipe) instead of accumulating in memory.
 ///
 /// Write errors are sticky: the first failure is retained, further events are
-/// dropped, and [`StreamingSink::finish`] surfaces the error. The simulation
-/// itself never fails because of a trace sink.
+/// dropped, and either [`StreamingSink::finish`] or the executor surfaces it —
+/// the fallible entry points
+/// ([`try_execute_plan_with_sink`](crate::engine::try_execute_plan_with_sink)
+/// and friends) call [`TraceSink::take_error`] after the drain and return
+/// [`SimError::Trace`](crate::SimError::Trace). The infallible executors still
+/// never fail because of a trace sink; with those, check `finish()`.
 #[derive(Debug)]
 pub struct StreamingSink<W: Write> {
     writer: W,
@@ -173,6 +213,11 @@ impl<W: Write> TraceSink for StreamingSink<W> {
             Ok(()) => self.written += 1,
             Err(e) => self.error = Some(e),
         }
+    }
+
+    #[inline]
+    fn take_error(&mut self) -> Option<std::io::Error> {
+        self.error.take()
     }
 }
 

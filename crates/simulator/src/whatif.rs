@@ -27,11 +27,21 @@
 //!    runner's list — deterministic), and
 //! 4. *execute* the winning schedule node-level on the unified discrete-event
 //!    core (trace dropped through [`NullSink`]) so the report carries a
-//!    simulated completion, not just the model's claim.
+//!    simulated completion, not just the model's claim. A scenario carrying a
+//!    [`FaultPlan`] executes under
+//!    [`execute_plan_under_faults`] instead — with the runner's
+//!    [`RetryPolicy`] — and the report additionally carries the retry count
+//!    and the undelivered-edge count
+//!    (an [`Outcome::Incomplete`] run reports an
+//!    infinite simulated completion, loudly). Fault draws are a pure
+//!    function of the scenario's seed, so the bit-identical-for-any-thread-
+//!    count contract extends to faulty sweeps unchanged; [`fault_sweep`]
+//!    builds the loss-rate × crash-set grid of such scenarios.
 
 use crate::engine::execute_plan_with_sink;
+use crate::faults::{execute_plan_under_faults, FaultPlan, NodeCrash, RetryPolicy};
 use crate::network::NodeNetwork;
-use crate::outcome::SimulationOutcome;
+use crate::outcome::{Outcome, SimulationOutcome};
 use crate::plan::SendPlan;
 use crate::trace::NullSink;
 use gridcast_core::{BroadcastProblem, HeuristicKind, ScheduleEngine};
@@ -79,11 +89,16 @@ pub enum Perturbation {
 }
 
 /// A what-if scenario: a list of perturbations applied in order to the
-/// runner's baseline grid and root. The empty list is the baseline itself.
+/// runner's baseline grid and root, plus an optional fault plan for the
+/// execution leg. The empty list is the baseline itself.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Scenario {
     /// The perturbations, applied left to right.
     pub perturbations: Vec<Perturbation>,
+    /// Faults injected while *executing* the winning schedule (the
+    /// prediction leg stays fault-free — the engine prices the model, the
+    /// injector prices reality).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -96,7 +111,14 @@ impl Scenario {
     pub fn one(perturbation: Perturbation) -> Self {
         Scenario {
             perturbations: vec![perturbation],
+            ..Scenario::default()
         }
+    }
+
+    /// Attaches a fault plan to the execution leg of this scenario.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Applies the scenario to `grid`/`root`, returning the perturbed pair.
@@ -149,10 +171,17 @@ pub struct WhatIfReport {
     /// The winner's predicted makespan.
     pub predicted: Time,
     /// Completion of the winner's schedule executed node-level on the
-    /// unified discrete-event core.
+    /// unified discrete-event core. Infinite when a fault scenario could not
+    /// deliver everywhere (the loud `Incomplete` signal).
     pub simulated: Time,
     /// Events the simulation processed (one per delivered message).
     pub events: usize,
+    /// Retransmissions the ack/retry protocol issued (0 for fault-free
+    /// scenarios).
+    pub retries: usize,
+    /// Plan edges never delivered (0 for fault-free scenarios and for every
+    /// complete faulty run).
+    pub undelivered: usize,
 }
 
 /// A scoped worker pool running what-if scenarios against one shared,
@@ -165,6 +194,7 @@ pub struct WhatIfRunner<'a> {
     root: ClusterId,
     kinds: Vec<HeuristicKind>,
     threads: usize,
+    retry: RetryPolicy,
 }
 
 impl<'a> WhatIfRunner<'a> {
@@ -179,7 +209,15 @@ impl<'a> WhatIfRunner<'a> {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Overrides the ack/retry protocol used by fault scenarios (scenarios
+    /// without a [`FaultPlan`] never retry).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Overrides the worker count (at least 1). The results are bit-identical
@@ -256,7 +294,32 @@ impl<'a> WhatIfRunner<'a> {
             .expect("at least one heuristic");
         let best = self.kinds[best_slot];
         let schedule = engine.schedule(&problem, best);
-        let outcome = self.simulate(&grid, &schedule);
+        let (outcome, retries, undelivered) = match &scenario.faults {
+            None => (self.simulate(&grid, &schedule), 0, 0),
+            Some(faults) => {
+                let network = NodeNetwork::new(&grid);
+                let plan = SendPlan::from_grid_schedule(&grid, &schedule);
+                let result = execute_plan_under_faults(
+                    &network,
+                    &plan,
+                    self.message,
+                    Time::ZERO,
+                    faults,
+                    &self.retry,
+                    &mut NullSink,
+                )
+                .expect("the monotone-clock invariant holds under faults");
+                let retries = result.stats().retries;
+                let undelivered = match &result {
+                    Outcome::Complete(_) => 0,
+                    Outcome::Incomplete { undelivered, .. } => undelivered.len(),
+                };
+                let sim = match result {
+                    Outcome::Complete(sim) | Outcome::Incomplete { partial: sim, .. } => sim,
+                };
+                (sim.outcome, retries, undelivered)
+            }
+        };
         WhatIfReport {
             scenario: index,
             makespans: makespans.clone(),
@@ -264,6 +327,8 @@ impl<'a> WhatIfRunner<'a> {
             predicted,
             simulated: outcome.completion,
             events: outcome.events_processed,
+            retries,
+            undelivered,
         }
     }
 
@@ -272,6 +337,37 @@ impl<'a> WhatIfRunner<'a> {
         let plan = SendPlan::from_grid_schedule(grid, schedule);
         execute_plan_with_sink(&network, &plan, self.message, Time::ZERO, &mut NullSink)
     }
+}
+
+/// Builds the fault-sweep what-if dimension: the cross product of loss rates
+/// and crash sets over the unperturbed baseline grid, every cell carrying a
+/// [`FaultPlan`] whose seed is derived deterministically from `seed` and the
+/// cell index. Feed the result to [`WhatIfRunner::run`] (typically with a
+/// larger retry budget via [`WhatIfRunner::with_retry`]) and compare each
+/// cell's `simulated` against the fault-free baseline for the makespan
+/// inflation, `undelivered` for the completion-or-`Incomplete` invariant.
+pub fn fault_sweep(seed: u64, loss_rates: &[f64], crash_sets: &[Vec<NodeCrash>]) -> Vec<Scenario> {
+    let no_crashes: [Vec<NodeCrash>; 1] = [Vec::new()];
+    let sets: &[Vec<NodeCrash>] = if crash_sets.is_empty() {
+        &no_crashes
+    } else {
+        crash_sets
+    };
+    let mut scenarios = Vec::with_capacity(loss_rates.len() * sets.len());
+    for (i, &loss) in loss_rates.iter().enumerate() {
+        for (j, set) in sets.iter().enumerate() {
+            let cell = (i * sets.len() + j) as u64;
+            let mut faults = FaultPlan::new(seed ^ cell.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            if loss > 0.0 {
+                faults = faults.with_loss(loss);
+            }
+            for &crash in set {
+                faults = faults.with_crash(crash);
+            }
+            scenarios.push(Scenario::baseline().with_faults(faults));
+        }
+    }
+    scenarios
 }
 
 #[cfg(test)]
@@ -347,6 +443,82 @@ mod tests {
 
     fn runner_kinds_len() -> usize {
         HeuristicKind::all().len()
+    }
+
+    /// A scenario mix with fault plans interleaved: perturbed grids, lossy
+    /// executions, crashes — the storm the determinism contract must survive.
+    fn faulty_scenario_mix(grid: &Grid, count: usize) -> Vec<Scenario> {
+        let n = grid.num_clusters();
+        scenario_mix(grid, count)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| match i % 3 {
+                0 => s,
+                1 => s.with_faults(FaultPlan::new(i as u64).with_loss(0.15)),
+                _ => s.with_faults(
+                    FaultPlan::new(i as u64 ^ 0xFEED)
+                        .with_loss(0.05)
+                        .with_duplication(0.1)
+                        .with_crash(NodeCrash {
+                            node: gridcast_topology::NodeId((1 + i % (4 * n - 1)) as u32),
+                            at: Time::from_millis(5.0 * (1 + i % 7) as f64),
+                        }),
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fault_reports_are_bit_identical_across_thread_counts() {
+        let grid = GridGenerator::table2()
+            .cluster_size(4)
+            .generate(9, &mut ChaCha8Rng::seed_from_u64(13));
+        let runner = WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0));
+        let scenarios = faulty_scenario_mix(&grid, 33);
+        let sequential = runner.clone().with_threads(1).run(&scenarios);
+        let parallel = runner.with_threads(5).run(&scenarios);
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.retries, b.retries);
+            assert_eq!(a.undelivered, b.undelivered);
+            assert_eq!(a.events, b.events);
+            assert_eq!(
+                a.simulated.as_secs().to_bits(),
+                b.simulated.as_secs().to_bits()
+            );
+        }
+        // The mix genuinely exercised the protocol: some scenario retried.
+        assert!(sequential.iter().any(|r| r.retries > 0));
+    }
+
+    #[test]
+    fn fault_sweep_cells_complete_or_report_incomplete_loudly() {
+        let grid = grid5000_table3();
+        let crash_sets = vec![
+            Vec::new(),
+            vec![NodeCrash {
+                node: gridcast_topology::NodeId(9),
+                at: Time::from_millis(10.0),
+            }],
+        ];
+        let scenarios = fault_sweep(0xBAD5EED, &[0.0, 0.05, 0.1, 0.2], &crash_sets);
+        assert_eq!(scenarios.len(), 8);
+        let runner = WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0))
+            .with_threads(2)
+            .with_retry(RetryPolicy {
+                max_attempts: 8,
+                ..RetryPolicy::default()
+            });
+        for report in runner.run(&scenarios) {
+            // The acceptance invariant: under loss p <= 0.2 with retries,
+            // every cell either completes with a finite (inflated) makespan
+            // or says *why* it could not — never a silent hang.
+            if report.simulated.is_finite() {
+                assert_eq!(report.undelivered, 0);
+                assert!(report.simulated >= report.predicted * 0.99);
+            } else {
+                assert!(report.undelivered > 0, "incomplete runs name their edges");
+            }
+        }
     }
 
     #[test]

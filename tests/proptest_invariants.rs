@@ -8,10 +8,14 @@ use gridcast::core::{
     global_minimum, BroadcastProblem, HeuristicKind, Schedule, ScheduleEngine, ScheduleState,
 };
 use gridcast::plogp::{GapFunction, MessageSize, PLogP, Time};
+use gridcast::simulator::{
+    execute_plan_under_faults, FaultPlan, NodeCrash, NodeNetwork, Outcome, RetryPolicy, SendPlan,
+    TraceEvent,
+};
 use gridcast::topology::clustering::synthesize_node_matrix;
 use gridcast::topology::{
-    detect_logical_clusters, Cluster, ClusterId, GridGenerator, LowekampConfig, ParameterRanges,
-    SquareMatrix,
+    detect_logical_clusters, Cluster, ClusterId, GridGenerator, LowekampConfig, NodeId,
+    ParameterRanges, SquareMatrix,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -324,6 +328,90 @@ proptest! {
         for (cluster_idx, members) in clustering.clusters.iter().enumerate() {
             for &node in members {
                 prop_assert_eq!(clustering.assignment[node], cluster_idx);
+            }
+        }
+    }
+
+    /// Fault-boundary totality of the faulty executor: however the storm is
+    /// parameterised — loss on every attempt, minimal retry budgets (so
+    /// crashes land *after* the last attempt), zero-jitter timeouts that tie
+    /// exactly with arrivals, one crash at a bit-exact fault-free reception
+    /// instant and another at an arbitrary fraction of the makespan
+    /// (including past completion) — the run never produces a NaN time,
+    /// never lets the clock run backwards (the always-on queue check would
+    /// surface it as a structured `Err`), and is always **loud**: finite
+    /// completion if and only if no plan edge went undelivered.
+    #[test]
+    fn faulty_execution_is_total_loud_and_monotone(
+        clusters in 2usize..=8,
+        seed in any::<u64>(),
+        kind_idx in 0usize..8,
+        loss in 0.0f64..1.0,
+        duplication in 0.0f64..1.0,
+        max_attempts in 1u32..=4,
+        jitter in 0.0f64..0.5,
+        crash_node in 0u32..64,
+        crash_frac in 0.0f64..1.5,
+    ) {
+        let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+        let problem = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1));
+        let kinds = HeuristicKind::all();
+        let kind = kinds[kind_idx % kinds.len()];
+        let mut engine = ScheduleEngine::new();
+        let schedule = engine.schedule(&problem, kind);
+        let plan = SendPlan::from_grid_schedule(&grid, &schedule);
+        let network = NodeNetwork::new(&grid);
+
+        // One crash pinned bit-exactly to a fault-free reception instant (the
+        // arrival-at-crash-instant tie), one scaled off the makespan so the
+        // window covers both mid-broadcast and after-the-last-attempt.
+        let clean = gridcast::simulator::execute_plan(
+            &network, &plan, problem.message, Time::ZERO, None,
+        );
+        let nodes = grid.num_nodes();
+        let tie_node = NodeId(1 + crash_node % (nodes - 1));
+        let frac_node = NodeId(1 + (crash_node / 2) % (nodes - 1));
+        let faults = FaultPlan::new(seed)
+            .with_loss(loss)
+            .with_duplication(duplication)
+            .with_crash(NodeCrash {
+                node: tie_node,
+                at: clean.receive_time(tie_node).max(Time::ZERO),
+            })
+            .with_crash(NodeCrash {
+                node: frac_node,
+                at: clean.completion * crash_frac,
+            });
+        let retry = RetryPolicy { max_attempts, jitter, ..RetryPolicy::default() };
+
+        let mut trace: Vec<TraceEvent> = Vec::new();
+        let run = execute_plan_under_faults(
+            &network, &plan, problem.message, Time::ZERO, &faults, &retry, &mut trace,
+        );
+        let outcome = match run {
+            Ok(outcome) => outcome,
+            Err(e) => return Err(TestCaseError::fail(format!("clock invariant broken: {e}"))),
+        };
+
+        for event in &trace {
+            prop_assert!(!event.time.as_secs().is_nan(), "NaN trace time: {}", event);
+        }
+        for w in trace.windows(2) {
+            prop_assert!(w[0].time <= w[1].time, "clock regressed: {} then {}", w[0], w[1]);
+        }
+        let sim = outcome.simulation();
+        for t in &sim.outcome.receive_times {
+            prop_assert!(!t.as_secs().is_nan(), "NaN reception time");
+        }
+        match &outcome {
+            Outcome::Complete(sim) => {
+                prop_assert!(sim.outcome.completion.is_finite());
+                prop_assert!(sim.outcome.receive_times.iter().all(|t| t.is_finite()));
+                prop_assert!(sim.unreached().is_empty());
+            }
+            Outcome::Incomplete { undelivered, partial } => {
+                prop_assert!(!partial.outcome.completion.is_finite());
+                prop_assert!(!undelivered.is_empty(), "silent incompleteness");
             }
         }
     }
