@@ -80,6 +80,7 @@
 use crate::heuristics::{
     BottomUpPolicy, EcefPolicy, FefPolicy, FlatTreePolicy, HeuristicKind, Lookahead,
 };
+use crate::perturb::{DeltaDirection, Perturbation, ReplayDelta};
 use crate::{BroadcastProblem, Schedule, ScheduleEvent};
 use gridcast_plogp::{MessageSize, Time};
 use gridcast_topology::{ClusterId, Grid};
@@ -680,6 +681,20 @@ pub struct EngineTelemetry {
     /// (`ScheduleEngine::schedule_transfers_batch_shift`; stays zero
     /// without the `fast-math` feature).
     pub exchange_migrations: u64,
+    /// Commits replayed **verbatim** from a [`CommitLog`] during a warm-start
+    /// run ([`ScheduleEngine::reschedule_perturbed`] and friends): the logged
+    /// selection was trusted outright and only the event times were
+    /// recomputed.
+    pub replayed_commits: u64,
+    /// Commits a warm-start replay had to **verify** against the perturbed
+    /// problem (winner tuple or dirty receivers re-scored) and still took
+    /// from the log.
+    pub repaired_commits: u64,
+    /// Commits produced by full select/commit rounds: the warm-start suffix
+    /// after a replay diverged, the crash-recovery repair of
+    /// [`ScheduleEngine::reschedule_excluding`], and the cold fallback of an
+    /// incompatible commit log.
+    pub recomputed_commits: u64,
 }
 
 impl EngineTelemetry {
@@ -787,6 +802,71 @@ impl EngineTelemetry {
             self.exchange_migrations += 1;
         }
     }
+
+    #[inline]
+    fn replayed_commit(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.replayed_commits += 1;
+        }
+    }
+
+    #[inline]
+    fn repaired_commit(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.repaired_commits += 1;
+        }
+    }
+
+    #[inline]
+    fn recomputed_commit(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.recomputed_commits += 1;
+        }
+    }
+
+    #[inline]
+    fn recomputed_many(&mut self, count: usize) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.recomputed_commits += count as u64;
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = count;
+    }
+}
+
+/// How a policy's scores react to the quantities a [`Perturbation`] can
+/// change (gaps, and through them sender ready times) — consulted by the
+/// commit-log replay of [`ScheduleEngine::reschedule_perturbed`] to decide
+/// how much of a baseline log can be trusted under a perturbed problem.
+///
+/// The conservative default (every flag `false`) makes replay diverge at the
+/// first commit any changed matrix entry could influence, which is always
+/// correct — the flags only unlock *longer verbatim prefixes*, never
+/// different output (the warm-start bit-identity invariant holds for any
+/// flag combination, honest or conservative; a *dishonest* flag breaks it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayTraits {
+    /// Scores and biases never read gaps or ready times — latency-only (FEF)
+    /// or constant (Flat Tree) selection. Replay then trusts every logged
+    /// selection outright and only recomputes event times.
+    pub gap_blind: bool,
+    /// Scores and biases are monotone **non-decreasing** in every gap entry
+    /// (and, as [`SelectionPolicy::edge_score`] already requires, in sender
+    /// ready times). Combined with a minimised objective, the
+    /// receiver-then-sender tie-break and a worsening-only delta, replay can
+    /// verify a suspect commit against its logged runner-up instead of
+    /// diverging outright.
+    pub gap_monotone: bool,
+    /// [`SelectionPolicy::replay_bias`] is implemented and returns floats
+    /// bit-identical to what the policy's incremental caches would serve at
+    /// the same round. Required (for biased policies) before replay will
+    /// re-score any logged commit; without it a dirty problem diverges at
+    /// the first commit.
+    pub replay_bias_exact: bool,
 }
 
 /// A scheduling heuristic reduced to its selection rule.
@@ -934,14 +1014,37 @@ pub trait SelectionPolicy: Send {
     ) {
         let _ = (view, workspace, sender, receiver);
     }
+
+    /// How this policy's scores react to perturbed gaps — see
+    /// [`ReplayTraits`]. The default (all flags off) is always sound and
+    /// simply makes warm-start replay diverge early.
+    fn replay_traits(&self) -> ReplayTraits {
+        ReplayTraits::default()
+    }
+
+    /// Cache-free recomputation of [`SelectionPolicy::receiver_bias`] for one
+    /// receiver, used while re-scoring logged commits during warm-start
+    /// replay (where the policy's own incremental caches are cold — `reset`
+    /// has not run). Must return floats **bit-identical** to what the cached
+    /// path would serve at the same round; policies that can promise that
+    /// declare [`ReplayTraits::replay_bias_exact`]. Only consulted when that
+    /// flag is set.
+    fn replay_bias(&self, view: &EngineView<'_>, receiver: ClusterId) -> Time {
+        let _ = (view, receiver);
+        Time::ZERO
+    }
 }
+
+/// A candidate `(objective value, receiver, sender)` tuple as scored by the
+/// selection scan — the currency of commit logging and replay verification.
+pub type CandidateTuple = (Time, u32, u32);
 
 /// Candidate `(objective, receiver, sender)` comparison.
 fn candidate_improves(
     objective: Objective,
     tie: TieBreak,
-    new: (Time, u32, u32),
-    cur: (Time, u32, u32),
+    new: CandidateTuple,
+    cur: CandidateTuple,
 ) -> bool {
     use std::cmp::Ordering;
     let ord = match objective {
@@ -955,6 +1058,92 @@ fn candidate_improves(
             TieBreak::ReceiverThenSender => (new.1, new.2) < (cur.1, cur.2),
             TieBreak::SenderThenReceiver => (new.2, new.1) < (cur.2, cur.1),
         },
+    }
+}
+
+/// One committed round of a logged run: the selected edge, its event times,
+/// and the round's **runner-up** candidate — the best `(objective, receiver,
+/// sender)` tuple among the receivers that lost. The runner-up is what lets a
+/// warm-start replay *verify* a re-scored winner locally: under a monotone
+/// worsening delta every clean candidate can only have drifted further behind
+/// the logged runner-up, so `recomputed winner still beats the logged
+/// runner-up` certifies the whole round without re-scanning B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoggedCommit {
+    /// Selected sender (already in A at this round).
+    pub sender: u32,
+    /// Selected receiver (moved from B to A by this round).
+    pub receiver: u32,
+    /// When the transfer started on the sender's interface.
+    pub start: Time,
+    /// When the payload arrived at the receiver's coordinator.
+    pub arrival: Time,
+    /// The winning `(objective value, receiver, sender)` tuple.
+    pub winner: CandidateTuple,
+    /// The best losing tuple, `(∞, u32::MAX, u32::MAX)` when B was a
+    /// singleton (check [`LoggedCommit::has_runner_up`]).
+    pub runner_up: CandidateTuple,
+}
+
+impl LoggedCommit {
+    /// Whether the round had more than one receiver to choose from.
+    #[inline]
+    pub fn has_runner_up(&self) -> bool {
+        self.runner_up.1 != u32::MAX
+    }
+}
+
+/// The replayable record of one schedule: every commit in sequence, plus the
+/// problem identity (`root`, payload, cluster count) and the heuristic that
+/// produced it. Produced by [`ScheduleEngine::schedule_logged`] /
+/// [`ScheduleEngine::makespans_logged`]; consumed by
+/// [`ScheduleEngine::reschedule_perturbed`], which replays the longest sound
+/// prefix under a perturbed problem and re-runs selection only from the first
+/// divergent commit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitLog {
+    root: ClusterId,
+    message: MessageSize,
+    n: usize,
+    kind: HeuristicKind,
+    commits: Vec<LoggedCommit>,
+}
+
+impl CommitLog {
+    /// The heuristic that produced this log.
+    #[inline]
+    pub fn kind(&self) -> HeuristicKind {
+        self.kind
+    }
+
+    /// The root cluster of the logged run.
+    #[inline]
+    pub fn root(&self) -> ClusterId {
+        self.root
+    }
+
+    /// The number of clusters of the logged problem.
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.n
+    }
+
+    /// The recorded commit sequence, in round order.
+    #[inline]
+    pub fn commits(&self) -> &[LoggedCommit] {
+        &self.commits
+    }
+
+    /// Whether `problem` has the same identity (root, payload, cluster
+    /// count) as the logged run — the precondition for replaying any prefix.
+    /// A mismatch (an [`Perturbation::AlternateRoot`] scenario, a different
+    /// payload, a resized grid) makes the warm entry points fall back to a
+    /// cold run.
+    pub fn compatible_with(&self, problem: &BroadcastProblem) -> bool {
+        self.root == problem.root
+            && self.message == problem.message
+            && self.n == problem.num_clusters()
+            && self.commits.len() + 1 == self.n.max(1)
     }
 }
 
@@ -1061,6 +1250,14 @@ struct EngineState {
     k_best: KBest,
     /// The width `k_best` resolved to for the problem of the current run.
     k_run: usize,
+    /// Warm-replay scratch: clusters whose ready time may have drifted from
+    /// the logged run because they committed a transfer over a perturbed
+    /// (dirty) edge — or inherited drift from an earlier tainted commit.
+    taint: Vec<bool>,
+    /// Warm-replay scratch: the compacted list of dirty clusters of the
+    /// current [`ReplayDelta`], so the checked replay mode scans `O(dirty)`
+    /// per round instead of the whole bitmap.
+    dirty_list: Vec<u32>,
     telemetry: EngineTelemetry,
 }
 
@@ -1180,6 +1377,20 @@ impl EngineState {
         problem: &BroadcastProblem,
         policy: &mut P,
     ) -> (ClusterId, ClusterId) {
+        let ((_, r, s), _) = self.select_full::<P, false>(problem, policy);
+        (ClusterId(s as usize), ClusterId(r as usize))
+    }
+
+    /// The selection scan, optionally tracking the round's runner-up tuple
+    /// for commit logging. `TRACK` is a const generic so the ordinary
+    /// [`EngineState::select`] path compiles to the exact scan it always was
+    /// — the second-best bookkeeping exists only in the logged
+    /// monomorphization.
+    fn select_full<P: SelectionPolicy + ?Sized, const TRACK: bool>(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &mut P,
+    ) -> (CandidateTuple, Option<CandidateTuple>) {
         let objective = policy.objective();
         let tie = policy.tie_break();
         let EngineState {
@@ -1207,16 +1418,24 @@ impl EngineState {
             policy.receiver_biases(&view, lookahead, receivers, bias_buf);
         }
         let mut best: Option<(Time, u32, u32)> = None;
+        let mut second: Option<(Time, u32, u32)> = None;
         for (i, &r) in receivers.iter().enumerate() {
             let bias = if biased { bias_buf[i] } else { Time::ZERO };
             let candidate = (best_score[r as usize] + bias, r, best_sender[r as usize]);
             debug_assert_score_not_nan(candidate.0);
             if best.is_none_or(|cur| candidate_improves(objective, tie, candidate, cur)) {
+                if TRACK {
+                    second = best;
+                }
                 best = Some(candidate);
+            } else if TRACK
+                && second.is_none_or(|cur| candidate_improves(objective, tie, candidate, cur))
+            {
+                second = Some(candidate);
             }
         }
-        let (_, r, s) = best.expect("set B is non-empty while the schedule is incomplete");
-        (ClusterId(s as usize), ClusterId(r as usize))
+        let best = best.expect("set B is non-empty while the schedule is incomplete");
+        (best, second)
     }
 
     /// Rebuilds the candidate rows (and floors) of every receiver in
@@ -1896,11 +2115,37 @@ impl EngineState {
                 self.ready[c] = resume_at;
             }
         }
-        // Rebuild the sorted sender order over the survivors of A.
+        // Rebuild the engine caches over the surviving sets and cover the
+        // remaining receivers with ordinary rounds.
+        self.repair_and_finish(problem, policy, Some(f));
+    }
+
+    /// The **repair core** shared by crash recovery and warm-start replay:
+    /// given an arbitrary mid-schedule state (A/B membership, ready times, a
+    /// committed event prefix), rebuild every engine cache exactly as a cold
+    /// run arriving at this state would hold it, then run the ordinary
+    /// select/commit rounds until B is empty. `exclude` keeps a dead cluster
+    /// out of the sender order (crash path); `None` on the what-if path.
+    ///
+    /// The rebuilt state is *bit-identical* to the cold run's: the candidate
+    /// rows come from [`EngineState::rebuild_pending_unpruned`] (the exact
+    /// unpruned top-`K+1`), the policy re-derives its caches from the same
+    /// view a cold run would see, and the static score offsets use the same
+    /// rounded expressions — which is what makes the warm-start invariant
+    /// (warm output ≡ cold output, bit for bit) hold through a divergence.
+    fn repair_and_finish<P: SelectionPolicy + ?Sized>(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &mut P,
+        exclude: Option<usize>,
+    ) {
+        let n = problem.num_clusters();
+        // Rebuild the sorted sender order over A (minus any excluded
+        // cluster).
         self.order.clear();
         for c in 0..n {
             self.order_pos[c] = u32::MAX;
-            if self.in_a[c] && c != f {
+            if self.in_a[c] && Some(c) != exclude {
                 self.order.push(c as u32);
             }
         }
@@ -1935,10 +2180,11 @@ impl EngineState {
             };
             policy.reset(&view, lookahead);
         }
-        // Static score offsets, as in `init_caches`. `min_in` still includes
-        // the failed cluster's outgoing edges, so the offsets can only be
-        // smaller than the reduced problem's — a looser but still valid
-        // lower bound, affecting pruning effort, never results.
+        // Static score offsets, as in `init_caches`. On the crash path
+        // `min_in` still includes the failed cluster's outgoing edges, so the
+        // offsets can only be smaller than the reduced problem's — a looser
+        // but still valid lower bound, affecting pruning effort, never
+        // results.
         self.score_offset.clear();
         self.score_offset.resize(n, Time::ZERO);
         self.score_post.clear();
@@ -1951,7 +2197,7 @@ impl EngineState {
                 self.score_post[r] = policy.edge_score_post_offset(problem, ClusterId(r));
             }
         }
-        // Seed every surviving receiver's candidate row from the multi-sender
+        // Seed every remaining receiver's candidate row from the multi-sender
         // A set (a cold run seeds from the singleton {root}; here A already
         // holds every cluster the committed prefix reached).
         self.pending.clear();
@@ -1960,9 +2206,10 @@ impl EngineState {
             self.pending.push(r);
         }
         self.rebuild_pending_unpruned(problem, policy);
-        // Ordinary rounds until the surviving receivers are all covered.
+        // Ordinary rounds until the remaining receivers are all covered.
         while !self.receivers.is_empty() {
             let (sender, receiver) = self.select(problem, policy);
+            self.telemetry.recomputed_commit();
             self.commit(problem, policy, sender, receiver);
         }
     }
@@ -1997,6 +2244,308 @@ impl EngineState {
         while self.events.len() + 1 < n {
             let (sender, receiver) = self.select(problem, policy);
             self.commit(problem, policy, sender, receiver);
+        }
+    }
+
+    /// [`EngineState::run`] with commit logging: identical rounds (the
+    /// selection scan is the same monomorphization with runner-up tracking
+    /// switched on), recording one [`LoggedCommit`] per round into `commits`.
+    fn run_logged<P: SelectionPolicy + ?Sized>(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &mut P,
+        commits: &mut Vec<LoggedCommit>,
+    ) {
+        commits.clear();
+        self.reset(problem);
+        {
+            let EngineState {
+                in_a,
+                ready,
+                tx,
+                lookahead,
+                receivers,
+                ..
+            } = &mut *self;
+            let view = EngineView {
+                problem,
+                in_a,
+                ready,
+                mat: tx,
+                receiver_major: false,
+                receivers,
+                n: problem.num_clusters(),
+            };
+            policy.reset(&view, lookahead);
+        }
+        self.init_caches(problem, policy);
+        let n = problem.num_clusters();
+        commits.reserve(n.saturating_sub(1));
+        while self.events.len() + 1 < n {
+            let (winner, runner_up) = self.select_full::<P, true>(problem, policy);
+            let (sender, receiver) = (ClusterId(winner.2 as usize), ClusterId(winner.1 as usize));
+            self.commit(problem, policy, sender, receiver);
+            let event = *self.events.last().expect("commit pushed an event");
+            commits.push(LoggedCommit {
+                sender: winner.2,
+                receiver: winner.1,
+                start: event.start,
+                arrival: event.arrival,
+                winner,
+                runner_up: runner_up.unwrap_or((Time::INFINITY, u32::MAX, u32::MAX)),
+            });
+        }
+    }
+
+    /// Replays one logged commit's bookkeeping: event times recomputed from
+    /// the *current* (possibly perturbed) matrices, A/B membership and the
+    /// swap-remove layout mirrored bit for bit so a divergence hands
+    /// [`EngineState::repair_and_finish`] exactly the state a cold run would
+    /// hold. No selection, no cache upkeep — the caller already decided this
+    /// commit stands.
+    fn replay_commit(&mut self, problem: &BroadcastProblem, s: usize, r: usize) {
+        let n = problem.num_clusters();
+        self.telemetry.round();
+        let start = self.ready[s];
+        let arrival = start + self.tx[s * n + r];
+        self.events.push(ScheduleEvent {
+            sender: ClusterId(s),
+            receiver: ClusterId(r),
+            start,
+            arrival,
+        });
+        self.ready[s] = start + self.gap_of(problem, s, r);
+        self.ready[r] = arrival;
+        self.in_a[r] = true;
+        let pos = self.recv_pos[r] as usize;
+        let last = *self.receivers.last().expect("receiver is in B");
+        self.receivers.swap_remove(pos);
+        if pos < self.receivers.len() {
+            self.recv_pos[last as usize] = pos as u32;
+        }
+        self.recv_pos[r] = u32::MAX;
+    }
+
+    /// Re-scores one receiver's selection tuple from scratch against the
+    /// current state: the exact lexicographic head `(edge score, sender)`
+    /// over all of A, plus the policy's cache-free
+    /// [`SelectionPolicy::replay_bias`]. Bit-identical to the candidate the
+    /// cached selection scan of [`EngineState::select_full`] would build for
+    /// this receiver — the heads it reads store verbatim `edge_score`
+    /// outputs, and `replay_bias` contracts to match the cached bias.
+    fn recompute_tuple<P: SelectionPolicy + ?Sized>(
+        &self,
+        problem: &BroadcastProblem,
+        policy: &P,
+        receiver: usize,
+        biased: bool,
+    ) -> (Time, u32, u32) {
+        let n = problem.num_clusters();
+        let view = EngineView {
+            problem,
+            in_a: &self.in_a,
+            ready: &self.ready,
+            mat: &self.rx,
+            receiver_major: true,
+            receivers: &self.receivers,
+            n,
+        };
+        let rj = ClusterId(receiver);
+        let mut head: Option<(Time, u32)> = None;
+        for s in 0..n {
+            if !self.in_a[s] {
+                continue;
+            }
+            let score = policy.edge_score(&view, ClusterId(s), rj);
+            debug_assert_score_not_nan(score);
+            let entry = (score, s as u32);
+            if head.is_none_or(|h| entry < h) {
+                head = Some(entry);
+            }
+        }
+        let (score, s) = head.expect("set A is never empty");
+        let bias = if biased {
+            policy.replay_bias(&view, rj)
+        } else {
+            Time::ZERO
+        };
+        (score + bias, receiver as u32, s)
+    }
+
+    /// The warm-start core: re-derive the schedule of `log` under a changed
+    /// `problem`, replaying the longest provably-unchanged commit prefix and
+    /// handing everything from the **first divergent commit** to
+    /// [`EngineState::repair_and_finish`].
+    ///
+    /// Three trust regimes, picked per policy from [`ReplayTraits`] and the
+    /// delta's direction:
+    ///
+    /// * **static** (`gap_blind`, or a clean delta): selection never reads a
+    ///   perturbed quantity, so every logged selection stands and only event
+    ///   times are recomputed. Never diverges.
+    /// * **monotone** (`gap_monotone` × minimised objective ×
+    ///   receiver-then-sender tie-break × worsening delta): every score can
+    ///   only have grown, so a commit is *suspect* only when its own inputs
+    ///   drifted (dirty sender row, tainted sender ready time, or dirty
+    ///   receiver row under a biased policy). A suspect winner is re-scored
+    ///   exactly; if it kept its sender and still beats the logged
+    ///   runner-up, every other candidate — which drifted *away* — is beaten
+    ///   transitively and the commit stands. Anything else diverges.
+    /// * **checked** (everything else — BottomUp's maximised objective,
+    ///   improving/mixed deltas, conservative custom policies): commits
+    ///   replay while no dirty cluster has entered A (sender-side state is
+    ///   then exact); dirty receivers still in B are re-scored against the
+    ///   winner every round, and the first round that admits any drift into
+    ///   A diverges.
+    ///
+    /// Divergence is always *safe*, never wrong: the replayed prefix leaves
+    /// state bit-identical to a cold run's, and the repair core rebuilds
+    /// caches exactly as that cold run would hold them — so warm output
+    /// equals cold output bit for bit regardless of how early the replay
+    /// gives up. The traits only buy longer prefixes.
+    fn run_replay<P: SelectionPolicy + ?Sized>(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &mut P,
+        log: &CommitLog,
+        delta: &ReplayDelta,
+    ) {
+        let n = problem.num_clusters();
+        if !log.compatible_with(problem) || delta.num_clusters() != n {
+            // Moved root, altered payload, resized grid or a foreign delta:
+            // nothing in the log is replayable — run cold.
+            self.run(problem, policy);
+            let events = self.events.len();
+            self.telemetry.recomputed_many(events);
+            return;
+        }
+        self.reset(problem);
+        self.taint.clear();
+        self.taint.resize(n, false);
+        self.dirty_list.clear();
+        for c in 0..n {
+            if delta.is_dirty(c) {
+                self.dirty_list.push(c as u32);
+            }
+        }
+
+        let objective = policy.objective();
+        let tie = policy.tie_break();
+        let biased = policy.uses_receiver_bias();
+        let sensitive = policy.sender_time_sensitive();
+        let traits = policy.replay_traits();
+        let bias_ok = !biased || traits.replay_bias_exact;
+        let clean = !delta.any_dirty();
+        let static_ok = clean || (traits.gap_blind && !sensitive);
+        let monotone_ok = traits.gap_monotone
+            && objective == Objective::Minimize
+            && tie == TieBreak::ReceiverThenSender
+            && matches!(
+                delta.direction(),
+                DeltaDirection::Unchanged | DeltaDirection::Worsening
+            );
+        // Checked mode re-scores dirty receivers every round, which needs an
+        // exact cache-free bias; a biased policy that cannot provide one
+        // diverges immediately (repair-from-scratch ≡ cold run).
+        let checked_usable = bias_ok;
+
+        let mut suspect_in_a = delta.is_dirty(problem.root.index());
+        let mut diverged = false;
+
+        for commit in log.commits.iter() {
+            let (s, r) = (commit.sender as usize, commit.receiver as usize);
+            assert!(s < n && r < n, "logged commit outside the problem");
+            assert!(self.in_a[s], "logged sender must already hold the message");
+            assert!(!self.in_a[r], "a cluster receives the message at most once");
+            let s_was_clean = !self.taint[s] && !delta.is_dirty(s);
+            if static_ok {
+                self.telemetry.replayed_commit();
+            } else if monotone_ok {
+                let suspect = delta.is_dirty(s)
+                    || (sensitive && self.taint[s])
+                    || (biased && delta.is_dirty(r));
+                if !suspect {
+                    self.telemetry.replayed_commit();
+                } else if !bias_ok {
+                    diverged = true;
+                    break;
+                } else {
+                    let w = self.recompute_tuple(problem, policy, r, biased);
+                    debug_assert_eq!(w.1, commit.receiver);
+                    if w.2 != commit.sender
+                        || (commit.has_runner_up()
+                            && candidate_improves(objective, tie, commit.runner_up, w))
+                    {
+                        diverged = true;
+                        break;
+                    }
+                    self.telemetry.repaired_commit();
+                }
+            } else {
+                if suspect_in_a || !checked_usable {
+                    diverged = true;
+                    break;
+                }
+                let winner_suspect = biased && delta.is_dirty(r);
+                let mut w = commit.winner;
+                let mut verified = false;
+                if winner_suspect {
+                    w = self.recompute_tuple(problem, policy, r, biased);
+                    verified = true;
+                    if w.1 != commit.receiver
+                        || w.2 != commit.sender
+                        || (commit.has_runner_up()
+                            && candidate_improves(objective, tie, commit.runner_up, w))
+                    {
+                        diverged = true;
+                        break;
+                    }
+                }
+                // A dirty receiver still waiting in B may now beat the
+                // logged winner — re-score each one exactly.
+                if biased {
+                    for i in 0..self.dirty_list.len() {
+                        let d = self.dirty_list[i] as usize;
+                        if d == r || self.recv_pos[d] == u32::MAX {
+                            continue;
+                        }
+                        let t = self.recompute_tuple(problem, policy, d, biased);
+                        verified = true;
+                        if candidate_improves(objective, tie, t, w) {
+                            diverged = true;
+                            break;
+                        }
+                    }
+                    if diverged {
+                        break;
+                    }
+                }
+                if verified {
+                    self.telemetry.repaired_commit();
+                } else {
+                    self.telemetry.replayed_commit();
+                }
+            }
+            self.replay_commit(problem, s, r);
+            #[cfg(debug_assertions)]
+            if s_was_clean {
+                let event = self.events.last().expect("replay pushed an event");
+                debug_assert_eq!(event.start, commit.start, "clean replay drifted");
+                debug_assert_eq!(event.arrival, commit.arrival, "clean replay drifted");
+            }
+            // Drift tracking: committing over a perturbed row moves the
+            // sender's and receiver's ready times off the logged trajectory.
+            if !s_was_clean {
+                self.taint[s] = true;
+                self.taint[r] = true;
+            }
+            suspect_in_a |= delta.is_dirty(r);
+        }
+
+        if diverged {
+            self.repair_and_finish(problem, policy, None);
+        } else {
+            debug_assert!(self.receivers.is_empty(), "full replay covers all of B");
         }
     }
 
@@ -2135,6 +2684,49 @@ impl BuiltinPolicies {
             }
         }
     }
+
+    /// The commit-logging twin of [`BuiltinPolicies::run`].
+    fn run_logged(
+        &mut self,
+        state: &mut EngineState,
+        problem: &BroadcastProblem,
+        kind: HeuristicKind,
+        commits: &mut Vec<LoggedCommit>,
+    ) {
+        match kind {
+            HeuristicKind::FlatTree => state.run_logged(problem, &mut self.flat_tree, commits),
+            HeuristicKind::Fef => state.run_logged(problem, &mut self.fef, commits),
+            HeuristicKind::Ecef => state.run_logged(problem, &mut self.ecef, commits),
+            HeuristicKind::EcefLa => state.run_logged(problem, &mut self.ecef_la, commits),
+            HeuristicKind::EcefLaMin => state.run_logged(problem, &mut self.ecef_la_min, commits),
+            HeuristicKind::EcefLaMax => state.run_logged(problem, &mut self.ecef_la_max, commits),
+            HeuristicKind::BottomUp => state.run_logged(problem, &mut self.bottom_up, commits),
+        }
+    }
+
+    /// The warm-start twin of [`BuiltinPolicies::run`]: dispatches on the
+    /// **log's** heuristic kind.
+    fn run_replay(
+        &mut self,
+        state: &mut EngineState,
+        problem: &BroadcastProblem,
+        log: &CommitLog,
+        delta: &ReplayDelta,
+    ) {
+        match log.kind {
+            HeuristicKind::FlatTree => state.run_replay(problem, &mut self.flat_tree, log, delta),
+            HeuristicKind::Fef => state.run_replay(problem, &mut self.fef, log, delta),
+            HeuristicKind::Ecef => state.run_replay(problem, &mut self.ecef, log, delta),
+            HeuristicKind::EcefLa => state.run_replay(problem, &mut self.ecef_la, log, delta),
+            HeuristicKind::EcefLaMin => {
+                state.run_replay(problem, &mut self.ecef_la_min, log, delta)
+            }
+            HeuristicKind::EcefLaMax => {
+                state.run_replay(problem, &mut self.ecef_la_max, log, delta)
+            }
+            HeuristicKind::BottomUp => state.run_replay(problem, &mut self.bottom_up, log, delta),
+        }
+    }
 }
 
 /// The reusable, pattern-agnostic scheduling engine.
@@ -2270,6 +2862,118 @@ impl ScheduleEngine {
         let ScheduleEngine { state, policies } = self;
         policies.run_excluding(state, problem, kind, failed, committed, resume_at);
         state.schedule_of_events(problem, kind.name())
+    }
+
+    /// [`ScheduleEngine::schedule`] with commit logging: the identical
+    /// schedule (same rounds, same floats) plus the [`CommitLog`] that lets
+    /// [`ScheduleEngine::reschedule_perturbed`] warm-start what-if variants
+    /// of this problem.
+    pub fn schedule_logged(
+        &mut self,
+        problem: &BroadcastProblem,
+        kind: HeuristicKind,
+    ) -> (Schedule, CommitLog) {
+        self.state.prepare_tx(problem);
+        let ScheduleEngine { state, policies } = self;
+        let mut commits = Vec::new();
+        policies.run_logged(state, problem, kind, &mut commits);
+        let schedule = state.schedule_of_events(problem, kind.name());
+        let log = CommitLog {
+            root: problem.root,
+            message: problem.message,
+            n: problem.num_clusters(),
+            kind,
+            commits,
+        };
+        (schedule, log)
+    }
+
+    /// The logged twin of [`ScheduleEngine::makespans_into`]: one shared
+    /// transfer-matrix build, then every heuristic in `kinds` run with commit
+    /// logging. Returns the makespans and one [`CommitLog`] per kind, in
+    /// order — the baseline a warm what-if sweep replays against.
+    pub fn makespans_logged(
+        &mut self,
+        problem: &BroadcastProblem,
+        kinds: &[HeuristicKind],
+    ) -> (Vec<Time>, Vec<CommitLog>) {
+        self.state.prepare_tx(problem);
+        let mut makespans = Vec::with_capacity(kinds.len());
+        let mut logs = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            let ScheduleEngine { state, policies } = self;
+            let mut commits = Vec::new();
+            policies.run_logged(state, problem, kind, &mut commits);
+            makespans.push(state.makespan_of_events(problem));
+            logs.push(CommitLog {
+                root: problem.root,
+                message: problem.message,
+                n: problem.num_clusters(),
+                kind,
+                commits,
+            });
+        }
+        (makespans, logs)
+    }
+
+    /// Warm-start what-if scheduling: re-derives `log`'s schedule under
+    /// `problem` — the **perturbed** problem — replaying the longest
+    /// provably-unchanged commit prefix and re-running selection only from
+    /// the first divergent commit (see [`ReplayTraits`] for the per-policy
+    /// trust regimes). `perturbations` describes *how* `problem` differs
+    /// from the logged baseline; it is folded into a [`ReplayDelta`] marking
+    /// the perturbed sender rows and the drift direction.
+    ///
+    /// **Invariant:** the result is bit-identical to a cold
+    /// [`ScheduleEngine::schedule`] of `log.kind()` on `problem`, for every
+    /// policy, every candidate-row width and every thread count — replay
+    /// only ever commits a round it can prove the cold run would commit, and
+    /// falls back to the cold path entirely when the log is incompatible
+    /// (moved root, altered payload, resized grid).
+    ///
+    /// Telemetry (with the `telemetry` feature) splits the rounds into
+    /// `replayed_commits` / `repaired_commits` / `recomputed_commits`.
+    pub fn reschedule_perturbed(
+        &mut self,
+        problem: &BroadcastProblem,
+        log: &CommitLog,
+        perturbations: &[Perturbation],
+    ) -> Schedule {
+        let delta = ReplayDelta::from_perturbations(problem.num_clusters(), perturbations);
+        self.warm_run(problem, log, &delta);
+        self.state.schedule_of_events(problem, log.kind.name())
+    }
+
+    /// The delta-form primitive behind [`ScheduleEngine::reschedule_perturbed`]:
+    /// runs the warm replay and leaves the events in the engine buffer
+    /// ([`ScheduleEngine::events`]) without materialising a [`Schedule`] —
+    /// the shape the what-if runner's hot loop wants.
+    pub fn warm_run(&mut self, problem: &BroadcastProblem, log: &CommitLog, delta: &ReplayDelta) {
+        self.state.prepare_tx(problem);
+        let ScheduleEngine { state, policies } = self;
+        policies.run_replay(state, problem, log, delta);
+    }
+
+    /// The warm twin of [`ScheduleEngine::makespans_into`]: one shared
+    /// transfer-matrix build, then one warm replay per baseline log in
+    /// `logs`, writing each replay's makespan into `out` (cleared first) in
+    /// order. Every makespan is bit-identical to what a cold
+    /// [`ScheduleEngine::makespan`] of that log's kind on `problem` returns.
+    pub fn warm_makespans_into(
+        &mut self,
+        problem: &BroadcastProblem,
+        logs: &[CommitLog],
+        delta: &ReplayDelta,
+        out: &mut Vec<Time>,
+    ) {
+        out.clear();
+        out.reserve(logs.len());
+        self.state.prepare_tx(problem);
+        let ScheduleEngine { state, policies } = self;
+        for log in logs {
+            policies.run_replay(state, problem, log, delta);
+            out.push(state.makespan_of_events(problem));
+        }
     }
 
     /// Schedules `problem` with a caller-provided policy.
@@ -2929,6 +3633,168 @@ mod tests {
     fn random_problem(clusters: usize, seed: u64) -> BroadcastProblem {
         let grid = GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
         BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1))
+    }
+
+    fn random_grid_for(clusters: usize, seed: u64) -> Grid {
+        GridGenerator::table2().generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed))
+    }
+
+    fn assert_events_bit_identical(warm: &[ScheduleEvent], cold: &[ScheduleEvent], what: &str) {
+        assert_eq!(warm.len(), cold.len(), "{what}: event count");
+        for (i, (w, c)) in warm.iter().zip(cold).enumerate() {
+            assert_eq!(w.sender, c.sender, "{what}: sender of event {i}");
+            assert_eq!(w.receiver, c.receiver, "{what}: receiver of event {i}");
+            assert_eq!(
+                w.start.as_secs().to_bits(),
+                c.start.as_secs().to_bits(),
+                "{what}: start of event {i}"
+            );
+            assert_eq!(
+                w.arrival.as_secs().to_bits(),
+                c.arrival.as_secs().to_bits(),
+                "{what}: arrival of event {i}"
+            );
+        }
+    }
+
+    /// Commit logging must not change the schedule: same rounds, same floats,
+    /// and the log records exactly the committed sequence.
+    #[test]
+    fn logged_run_matches_plain_run_bit_for_bit() {
+        let problem = random_problem(23, 5);
+        let mut engine = ScheduleEngine::new();
+        for kind in HeuristicKind::all() {
+            let plain = engine.schedule(&problem, kind);
+            let (logged, log) = engine.schedule_logged(&problem, kind);
+            assert_events_bit_identical(&logged.events, &plain.events, kind.name());
+            assert_eq!(log.kind(), kind);
+            assert!(log.compatible_with(&problem));
+            assert_eq!(log.commits().len() + 1, problem.num_clusters());
+            for (c, e) in log.commits().iter().zip(&plain.events) {
+                assert_eq!(c.sender as usize, e.sender.index(), "{kind}");
+                assert_eq!(c.receiver as usize, e.receiver.index(), "{kind}");
+                assert_eq!(c.start.as_secs().to_bits(), e.start.as_secs().to_bits());
+                assert_eq!(c.arrival.as_secs().to_bits(), e.arrival.as_secs().to_bits());
+            }
+        }
+    }
+
+    /// The tentpole invariant at engine level: a warm replay of a baseline
+    /// log under a perturbed problem is bit-identical to a cold run on that
+    /// problem — for every policy, every candidate-row width, and a
+    /// perturbation mix covering worsening, improving and mixed deltas
+    /// (single link, whole uplink, site span, dropped relay).
+    #[test]
+    fn warm_replay_is_bit_identical_to_cold_for_every_policy() {
+        let grid = random_grid_for(23, 9);
+        let root = ClusterId(0);
+        let message = MessageSize::from_mib(1);
+        let base = BroadcastProblem::from_grid(&grid, root, message);
+        let cases: Vec<Vec<Perturbation>> = vec![
+            vec![Perturbation::DegradeLink {
+                from: ClusterId(3),
+                to: ClusterId(11),
+                factor: 4.0,
+            }],
+            vec![Perturbation::DegradeUplink {
+                cluster: ClusterId(7),
+                factor: 2.5,
+            }],
+            // Improving: forces the checked mode (and divergence) for the
+            // minimising policies too.
+            vec![Perturbation::DegradeLink {
+                from: ClusterId(0),
+                to: ClusterId(1),
+                factor: 0.25,
+            }],
+            vec![Perturbation::DegradeSite {
+                first: ClusterId(4),
+                span: 3,
+                factor: 8.0,
+            }],
+            vec![Perturbation::DropRelay {
+                cluster: ClusterId(13),
+            }],
+            // Mixed-direction chain.
+            vec![
+                Perturbation::DegradeUplink {
+                    cluster: ClusterId(2),
+                    factor: 3.0,
+                },
+                Perturbation::DegradeLink {
+                    from: ClusterId(5),
+                    to: ClusterId(6),
+                    factor: 0.5,
+                },
+            ],
+        ];
+        for k in [1usize, 2, 4, 16] {
+            let mut engine = ScheduleEngine::with_k_best(k);
+            for kind in HeuristicKind::all() {
+                let (_, log) = engine.schedule_logged(&base, kind);
+                for (ci, perturbations) in cases.iter().enumerate() {
+                    let mut proot = root;
+                    let mut cur = grid.clone();
+                    for p in perturbations {
+                        if let Some(g) = p.apply(&cur, &mut proot) {
+                            cur = g;
+                        }
+                    }
+                    let perturbed = BroadcastProblem::from_grid(&cur, proot, message);
+                    let cold = engine.schedule(&perturbed, kind);
+                    let warm = engine.reschedule_perturbed(&perturbed, &log, perturbations);
+                    assert_events_bit_identical(
+                        &warm.events,
+                        &cold.events,
+                        &format!("{kind} K={k} case={ci}"),
+                    );
+                    assert_eq!(
+                        warm.makespan().as_secs().to_bits(),
+                        cold.makespan().as_secs().to_bits(),
+                        "{kind} K={k} case={ci}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A log whose identity no longer matches the problem (here: the root
+    /// moved) is not replayable; the warm entry point must fall back to a
+    /// cold run and still return the bit-identical result.
+    #[test]
+    fn incompatible_log_falls_back_to_cold_run() {
+        let grid = random_grid_for(12, 3);
+        let message = MessageSize::from_mib(1);
+        let base = BroadcastProblem::from_grid(&grid, ClusterId(0), message);
+        let perturbations = vec![Perturbation::AlternateRoot { root: ClusterId(5) }];
+        let mut engine = ScheduleEngine::new();
+        for kind in HeuristicKind::all() {
+            let (_, log) = engine.schedule_logged(&base, kind);
+            let perturbed = BroadcastProblem::from_grid(&grid, ClusterId(5), message);
+            let cold = engine.schedule(&perturbed, kind);
+            let warm = engine.reschedule_perturbed(&perturbed, &log, &perturbations);
+            assert_events_bit_identical(&warm.events, &cold.events, kind.name());
+        }
+    }
+
+    /// An unperturbed replay is a pure prefix replay: every commit verbatim,
+    /// nothing repaired, nothing recomputed.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn clean_replay_replays_every_commit_verbatim() {
+        let grid = random_grid_for(17, 21);
+        let message = MessageSize::from_mib(1);
+        let base = BroadcastProblem::from_grid(&grid, ClusterId(0), message);
+        let mut engine = ScheduleEngine::new();
+        for kind in HeuristicKind::all() {
+            let (_, log) = engine.schedule_logged(&base, kind);
+            engine.take_telemetry();
+            let warm = engine.reschedule_perturbed(&base, &log, &[]);
+            let t = engine.take_telemetry();
+            assert_eq!(t.replayed_commits, warm.events.len() as u64, "{kind}");
+            assert_eq!(t.repaired_commits, 0, "{kind}");
+            assert_eq!(t.recomputed_commits, 0, "{kind}");
+        }
     }
 
     /// Deletes `failed`'s row and column from `problem` with the monotone

@@ -1,6 +1,6 @@
 //! The BottomUp heuristic (Section 5.3).
 
-use crate::engine::{with_shared_engine, EngineView, Objective, SelectionPolicy};
+use crate::engine::{with_shared_engine, EngineView, Objective, ReplayTraits, SelectionPolicy};
 use crate::heuristics::Heuristic;
 use crate::{BroadcastProblem, Schedule};
 use gridcast_plogp::Time;
@@ -80,6 +80,19 @@ impl SelectionPolicy for BottomUpPolicy {
 
     fn uses_receiver_bias(&self) -> bool {
         false
+    }
+
+    fn replay_traits(&self) -> ReplayTraits {
+        ReplayTraits {
+            gap_blind: false,
+            // Scores grow with gaps, but the *maximised* objective means a
+            // worsening delta can flip selections in either direction — the
+            // engine's replay therefore keeps BottomUp in checked mode
+            // (replay until perturbed state enters A), which `gap_monotone`
+            // alone does not override.
+            gap_monotone: true,
+            replay_bias_exact: false,
+        }
     }
 }
 

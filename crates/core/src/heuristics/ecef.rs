@@ -1,7 +1,9 @@
 //! The ECEF family: Early Completion Edge First and its lookahead variants
 //! (Sections 4.3, 4.4, 5.1 and 5.2).
 
-use crate::engine::{with_shared_engine, EngineView, LookaheadWorkspace, SelectionPolicy};
+use crate::engine::{
+    with_shared_engine, EngineView, LookaheadWorkspace, ReplayTraits, SelectionPolicy,
+};
 use crate::heuristics::Heuristic;
 use crate::{BroadcastProblem, Schedule};
 use gridcast_plogp::Time;
@@ -361,6 +363,84 @@ impl SelectionPolicy for EcefPolicy {
         for j in 0..self.watch.len() {
             if self.watch[j] == departed && view.in_b(ClusterId(j)) {
                 self.refresh_bias(view, j);
+            }
+        }
+    }
+
+    fn replay_traits(&self) -> ReplayTraits {
+        ReplayTraits {
+            gap_blind: false,
+            // The completion estimate is `RT_i + g_ij + L_ij` and every
+            // lookahead is an extremum or average over `g + L (+ T)` terms:
+            // all monotone non-decreasing in every gap entry.
+            gap_monotone: true,
+            replay_bias_exact: true,
+        }
+    }
+
+    /// Cache-free `F_j`, bit-identical to the cached path: the min/max
+    /// variants recompute the extremum with the same pass `refresh_bias`
+    /// runs (the cached value is refreshed no later than it can change, so a
+    /// fresh extremum over the current B carries the same float), and the
+    /// average variant uses the exact ascending-order sum of
+    /// [`SelectionPolicy::receiver_bias`], which never caches.
+    fn replay_bias(&self, view: &EngineView<'_>, receiver: ClusterId) -> Time {
+        let j = receiver.index();
+        match self.lookahead {
+            Lookahead::None => Time::ZERO,
+            Lookahead::AvgEdge => {
+                let problem = view.problem();
+                let mut total = Time::ZERO;
+                let mut count = 0usize;
+                for k in problem.cluster_ids() {
+                    if k != receiver && view.in_b(k) {
+                        total += problem.transfer(receiver, k);
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    Time::ZERO
+                } else {
+                    total / count as f64
+                }
+            }
+            Lookahead::MaxEdgePlusIntra => {
+                let mut any = false;
+                let mut best = Time::ZERO;
+                for &k in view.receivers() {
+                    if k as usize == j {
+                        continue;
+                    }
+                    let v = self.lookahead_value(view, receiver, ClusterId(k as usize));
+                    if !any || v > best {
+                        best = v;
+                        any = true;
+                    }
+                }
+                if any {
+                    best
+                } else {
+                    Time::ZERO
+                }
+            }
+            Lookahead::MinEdge | Lookahead::MinEdgePlusIntra => {
+                let mut any = false;
+                let mut best = Time::INFINITY;
+                for &k in view.receivers() {
+                    if k as usize == j {
+                        continue;
+                    }
+                    let v = self.lookahead_value(view, receiver, ClusterId(k as usize));
+                    if v < best {
+                        best = v;
+                        any = true;
+                    }
+                }
+                if any {
+                    best
+                } else {
+                    Time::ZERO
+                }
             }
         }
     }

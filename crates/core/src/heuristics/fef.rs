@@ -1,6 +1,6 @@
 //! Fastest Edge First (Section 4.2).
 
-use crate::engine::{with_shared_engine, EngineView, SelectionPolicy, TieBreak};
+use crate::engine::{with_shared_engine, EngineView, ReplayTraits, SelectionPolicy, TieBreak};
 use crate::heuristics::Heuristic;
 use crate::{BroadcastProblem, Schedule};
 use gridcast_plogp::Time;
@@ -54,6 +54,16 @@ impl SelectionPolicy for FefPolicy {
 
     fn uses_receiver_bias(&self) -> bool {
         false
+    }
+
+    fn replay_traits(&self) -> ReplayTraits {
+        ReplayTraits {
+            // Latency-only scores: perturbations scale gaps, never latencies,
+            // so a logged FEF selection is valid under any gap delta.
+            gap_blind: true,
+            gap_monotone: true,
+            replay_bias_exact: false,
+        }
     }
 }
 

@@ -1,6 +1,8 @@
 //! The Flat Tree baseline (Section 4.1).
 
-use crate::engine::{with_shared_engine, EngineView, LookaheadWorkspace, SelectionPolicy};
+use crate::engine::{
+    with_shared_engine, EngineView, LookaheadWorkspace, ReplayTraits, SelectionPolicy,
+};
 use crate::heuristics::Heuristic;
 use crate::{BroadcastProblem, Schedule};
 use gridcast_plogp::Time;
@@ -66,6 +68,16 @@ impl SelectionPolicy for FlatTreePolicy {
 
     fn uses_receiver_bias(&self) -> bool {
         false
+    }
+
+    fn replay_traits(&self) -> ReplayTraits {
+        ReplayTraits {
+            // Constant scores (root or not): no perturbed quantity is ever
+            // read, so every logged selection stands verbatim.
+            gap_blind: true,
+            gap_monotone: true,
+            replay_bias_exact: false,
+        }
     }
 }
 

@@ -61,14 +61,16 @@ pub mod heuristics;
 pub mod mixed;
 pub mod optimal;
 pub mod patterns;
+pub mod perturb;
 pub mod problem;
 pub mod schedule;
 pub mod state;
 
 pub use engine::{
-    adaptive_k_best, makespans_sharded, schedule_all_sharded, EdgeCosts, EngineTelemetry,
-    EngineView, ExchangeSchedule, LookaheadWorkspace, Objective, ScheduleEngine, SelectionPolicy,
-    TieBreak, TimedTransfer, Transfer, TransferSet, DEFAULT_K_BEST,
+    adaptive_k_best, makespans_sharded, schedule_all_sharded, CandidateTuple, CommitLog, EdgeCosts,
+    EngineTelemetry, EngineView, ExchangeSchedule, LoggedCommit, LookaheadWorkspace, Objective,
+    ReplayTraits, ScheduleEngine, SelectionPolicy, TieBreak, TimedTransfer, Transfer, TransferSet,
+    DEFAULT_K_BEST,
 };
 pub use global_minimum::{global_minimum, per_heuristic_makespans};
 pub use heuristics::{Heuristic, HeuristicKind};
@@ -80,6 +82,7 @@ pub use patterns::{
     RelayGatherSchedule, RelayOrdering, RelayScatterPolicy, RelayScatterProblem, RelaySchedule,
     ScatterOrdering, ScatterProblem, ScatterTailPolicy,
 };
+pub use perturb::{DeltaDirection, Perturbation, ReplayDelta, DROP_RELAY_FACTOR};
 pub use problem::BroadcastProblem;
 pub use schedule::{Schedule, ScheduleError, ScheduleEvent};
 pub use state::ScheduleState;

@@ -86,6 +86,26 @@ impl BroadcastProblem {
         }
     }
 
+    /// Re-evaluates one directed link entry from `grid` — the incremental
+    /// counterpart of [`BroadcastProblem::from_grid`] for a scratch problem
+    /// tracking a patched scratch grid. Evaluating the same pure expressions
+    /// as `from_grid` keeps the patched problem bit-identical to a cold
+    /// rebuild from the patched grid.
+    pub fn repatch_link_from_grid(&mut self, grid: &Grid, from: ClusterId, to: ClusterId) {
+        assert_ne!(from, to, "the diagonal carries no inter-cluster link");
+        self.latency[(from.index(), to.index())] = grid.latency(from, to);
+        self.gap[(from.index(), to.index())] = grid.gap(from, to, self.message);
+    }
+
+    /// Copies one directed link entry from `other` (typically the unperturbed
+    /// baseline problem, to restore a scratch entry after a scenario).
+    pub fn copy_link_from(&mut self, other: &BroadcastProblem, from: ClusterId, to: ClusterId) {
+        assert_ne!(from, to, "the diagonal carries no inter-cluster link");
+        let idx = (from.index(), to.index());
+        self.latency[idx] = other.latency[idx];
+        self.gap[idx] = other.gap[idx];
+    }
+
     /// Number of clusters.
     #[inline]
     pub fn num_clusters(&self) -> usize {

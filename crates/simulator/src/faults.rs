@@ -72,6 +72,29 @@ impl LinkFlap {
     }
 }
 
+/// A time-varying capacity window: transmissions over the **directed**
+/// cluster link `from → to` that *start* inside `[from_time, until)` have
+/// their gap scaled by `factor`. Copies already in flight are unaffected,
+/// and the retry protocol prices its timeout off the scaled gap (a congested
+/// link earns a longer timeout, exactly as a real RTT estimator would).
+///
+/// This is the execution-time lowering of
+/// [`gridcast_core::Perturbation::TimeVaryingCapacity`]: the static model the
+/// prediction leg prices never sees the window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityWindow {
+    /// Sending cluster of the affected directed link.
+    pub from: ClusterId,
+    /// Receiving cluster of the affected directed link.
+    pub to: ClusterId,
+    /// Gap multiplier inside the window, positive and finite.
+    pub factor: f64,
+    /// Start of the window (inclusive).
+    pub from_time: Time,
+    /// End of the window (exclusive).
+    pub until: Time,
+}
+
 /// A fail-stop node crash: the machine is dead at `at` — it starts no
 /// transmission and receives no copy at or after that instant, and it never
 /// recovers.
@@ -123,6 +146,9 @@ pub struct FaultPlan {
     pub flaps: Vec<LinkFlap>,
     /// Fail-stop node crashes.
     pub crashes: Vec<NodeCrash>,
+    /// Time-varying capacity windows (gap scaling by start time).
+    #[serde(default)]
+    pub capacity_windows: Vec<CapacityWindow>,
 }
 
 impl FaultPlan {
@@ -138,6 +164,7 @@ impl FaultPlan {
             max_extra_delay: Time::ZERO,
             flaps: Vec::new(),
             crashes: Vec::new(),
+            capacity_windows: Vec::new(),
         }
     }
 
@@ -186,6 +213,37 @@ impl FaultPlan {
         assert!(crash.at.is_finite(), "crash time must be finite");
         self.crashes.push(crash);
         self
+    }
+
+    /// Adds a time-varying capacity window.
+    pub fn with_capacity_window(mut self, window: CapacityWindow) -> Self {
+        assert!(
+            window.factor.is_finite() && window.factor > 0.0,
+            "capacity factor must be positive and finite"
+        );
+        assert!(
+            window.from_time <= window.until,
+            "capacity window must not be inverted"
+        );
+        self.capacity_windows.push(window);
+        self
+    }
+
+    /// The gap of a transmission over the directed cluster link `from → to`
+    /// starting at `start`, with every active capacity window applied (stacked
+    /// windows multiply).
+    fn capacity_gap(&self, from: usize, to: usize, start: Time, gap: Time) -> Time {
+        let mut gap = gap;
+        for w in &self.capacity_windows {
+            if w.from.index() == from
+                && w.to.index() == to
+                && start >= w.from_time
+                && start < w.until
+            {
+                gap = gap * w.factor;
+            }
+        }
+        gap
     }
 
     /// A uniform draw in `[0, 1)` for one decision — a pure function of the
@@ -349,7 +407,7 @@ fn transmit<S: TraceSink>(
     let to = ctx.plan.forwards[node][entry];
     let src_cluster = ctx.network.nodes()[node].cluster.index();
     let dst_cluster = ctx.network.nodes()[to.index()].cluster.index();
-    let gap = ctx.network.gap(from, to, ctx.m);
+    let mut gap = ctx.network.gap(from, to, ctx.m);
     let latency = ctx.network.latency(from, to);
 
     let mut earliest = now.max(st.nic_free[node]);
@@ -365,6 +423,12 @@ fn transmit<S: TraceSink>(
     earliest = ctx.faults.flap_clear(src_cluster, dst_cluster, earliest);
     if earliest > now {
         return Ok(Transmit::Deferred(earliest));
+    }
+    // Capacity windows scale the gap of transmissions *starting* inside them;
+    // the send is committed to `now`, so the scaled gap drives both the NIC
+    // release and the retry timeout below.
+    if !ctx.faults.capacity_windows.is_empty() {
+        gap = ctx.faults.capacity_gap(src_cluster, dst_cluster, now, gap);
     }
 
     let flat = st.send_base[node] + entry;
@@ -715,6 +779,40 @@ mod tests {
 
     fn binomial(grid: &Grid) -> SendPlan {
         SendPlan::binomial_over_all_nodes(grid, ClusterId(0))
+    }
+
+    #[test]
+    fn capacity_windows_scale_gap_only_inside_window() {
+        let plan = FaultPlan::new(1).with_capacity_window(CapacityWindow {
+            from: ClusterId(0),
+            to: ClusterId(1),
+            factor: 4.0,
+            from_time: Time::from_millis(10.0),
+            until: Time::from_millis(20.0),
+        });
+        let g = Time::from_millis(100.0);
+        // Inclusive start, exclusive end, directed link only.
+        assert_eq!(plan.capacity_gap(0, 1, Time::from_millis(10.0), g), g * 4.0);
+        assert_eq!(plan.capacity_gap(0, 1, Time::from_millis(19.0), g), g * 4.0);
+        assert_eq!(plan.capacity_gap(0, 1, Time::from_millis(20.0), g), g);
+        assert_eq!(plan.capacity_gap(0, 1, Time::from_millis(5.0), g), g);
+        assert_eq!(plan.capacity_gap(1, 0, Time::from_millis(15.0), g), g);
+    }
+
+    #[test]
+    fn stacked_capacity_windows_multiply() {
+        let w = |factor| CapacityWindow {
+            from: ClusterId(2),
+            to: ClusterId(3),
+            factor,
+            from_time: Time::ZERO,
+            until: Time::from_millis(50.0),
+        };
+        let plan = FaultPlan::new(1)
+            .with_capacity_window(w(2.0))
+            .with_capacity_window(w(3.0));
+        let g = Time::from_millis(10.0);
+        assert_eq!(plan.capacity_gap(2, 3, Time::ZERO, g), g * 2.0 * 3.0);
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub use engine::{
 };
 pub use error::SimError;
 pub use faults::{
-    execute_plan_under_faults, resplice_after_crash, FaultPlan, LinkFlap, NodeCrash, RetryPolicy,
+    execute_plan_under_faults, resplice_after_crash, CapacityWindow, FaultPlan, LinkFlap,
+    NodeCrash, RetryPolicy,
 };
 pub use network::NodeNetwork;
 pub use outcome::{FaultStats, FaultySimulation, Outcome, SimulationOutcome};
@@ -75,4 +76,7 @@ pub use overhead::measure_scheduling_overhead;
 pub use plan::{SendPlan, SizedSend, SizedSendPlan};
 pub use simulator::Simulator;
 pub use trace::{CountingSink, NullSink, StreamingSink, TraceEvent, TraceKind, TraceSink};
-pub use whatif::{fault_sweep, Perturbation, Scenario, WhatIfReport, WhatIfRunner};
+pub use whatif::{
+    fault_sweep, Perturbation, ReplayDelta, Scenario, WarmStartTelemetry, WhatIfReport,
+    WhatIfRunner, DROP_RELAY_FACTOR,
+};

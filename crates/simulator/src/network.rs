@@ -1,7 +1,7 @@
 //! Resolution of point-to-point parameters between individual machines.
 
 use gridcast_plogp::{MessageSize, PLogP, Time};
-use gridcast_topology::{Grid, IntraClusterParams, Node, NodeId};
+use gridcast_topology::{ClusterId, Grid, IntraClusterParams, Node, NodeId};
 
 /// A node-level view of the grid: given two machines, what are the pLogP
 /// parameters of the path between them?
@@ -66,6 +66,15 @@ impl NodeNetwork {
     /// The underlying grid.
     pub fn grid(&self) -> &Grid {
         &self.grid
+    }
+
+    /// Overwrites one directed inter-cluster link of this network's grid copy
+    /// with the link `grid` holds — the warm what-if runner's way of keeping a
+    /// long-lived network in sync with a patched scratch grid instead of
+    /// re-enumerating every node per scenario. Cluster layout must match; the
+    /// node table is untouched (links never change membership).
+    pub fn sync_link_from(&mut self, grid: &Grid, from: ClusterId, to: ClusterId) {
+        self.grid.set_link(from, to, grid.link(from, to).clone());
     }
 
     /// The pLogP parameters governing a message from `from` to `to`.

@@ -39,54 +39,20 @@
 //!    builds the loss-rate × crash-set grid of such scenarios.
 
 use crate::engine::execute_plan_with_sink;
-use crate::faults::{execute_plan_under_faults, FaultPlan, NodeCrash, RetryPolicy};
+use crate::faults::{execute_plan_under_faults, CapacityWindow, FaultPlan, NodeCrash, RetryPolicy};
 use crate::network::NodeNetwork;
 use crate::outcome::{Outcome, SimulationOutcome};
 use crate::plan::SendPlan;
 use crate::trace::NullSink;
-use gridcast_core::{BroadcastProblem, HeuristicKind, ScheduleEngine};
+use gridcast_core::{BroadcastProblem, CommitLog, HeuristicKind, ScheduleEngine};
 use gridcast_plogp::{MessageSize, Time};
 use gridcast_topology::{ClusterId, Grid};
+use std::borrow::Cow;
 
-/// Gap scale applied by [`Perturbation::DropRelay`] to a cluster's outgoing
-/// links: large enough that no heuristic ever relays through the cluster
-/// (every direct alternative is cheaper by orders of magnitude), finite so
-/// the engine's no-NaN and no-∞-arithmetic invariants hold throughout.
-pub const DROP_RELAY_FACTOR: f64 = 1e6;
-
-/// One way a scenario deviates from the baseline grid.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Perturbation {
-    /// Multiply every inter-cluster link's gap by `factor` (`> 1` = a slower
-    /// grid, `< 1` = a faster one). Latencies are unchanged.
-    ScaleAllLinks {
-        /// Gap multiplier, positive and finite.
-        factor: f64,
-    },
-    /// Multiply the **outgoing** links of one cluster by `factor` — a
-    /// degraded site uplink (the cluster still receives at full rate).
-    DegradeUplink {
-        /// The cluster whose uplink degrades.
-        cluster: ClusterId,
-        /// Gap multiplier, positive and finite.
-        factor: f64,
-    },
-    /// Root the broadcast at a different cluster.
-    AlternateRoot {
-        /// The replacement root.
-        root: ClusterId,
-    },
-    /// Remove a cluster from relay duty: its outgoing links become
-    /// [`DROP_RELAY_FACTOR`] times slower, so no gap-aware schedule forwards
-    /// through it while it remains reachable at full rate. (FEF scores edges
-    /// by latency alone and stays blind to the penalty by design — its
-    /// what-if report then carries the inflated makespan, which is exactly
-    /// the comparison the sweep exists to surface.)
-    DropRelay {
-        /// The cluster excluded from relaying.
-        cluster: ClusterId,
-    },
-}
+// The perturbation vocabulary lives in the core crate since the engine's
+// commit-log replay reasons about perturbations directly; the simulator
+// re-exports it unchanged so existing callers keep compiling.
+pub use gridcast_core::{Perturbation, ReplayDelta, DROP_RELAY_FACTOR};
 
 /// A what-if scenario: a list of perturbations applied in order to the
 /// runner's baseline grid and root, plus an optional fault plan for the
@@ -122,34 +88,17 @@ impl Scenario {
     }
 
     /// Applies the scenario to `grid`/`root`, returning the perturbed pair.
+    /// [`Perturbation::TimeVaryingCapacity`] leaves the static model alone —
+    /// it surfaces on the execution leg as a fault-injector capacity window.
     pub fn apply(&self, grid: &Grid, root: ClusterId) -> (Grid, ClusterId) {
-        // `map_links` already yields a fresh grid, so the baseline copy is
-        // only made when no perturbation touches the links at all.
+        // `Perturbation::apply` already yields a fresh grid, so the baseline
+        // copy is only made when no perturbation touches the links at all.
         let mut perturbed: Option<Grid> = None;
         let mut root = root;
-        // Scale the outgoing gaps of `cluster` (every link when `None`).
-        let scaled = |base: &Grid, cluster: Option<ClusterId>, factor: f64| {
-            base.map_links(|from, _, link| {
-                if cluster.is_none_or(|c| from == c) {
-                    link.with_scaled_gap(factor)
-                } else {
-                    link.clone()
-                }
-            })
-        };
         for p in &self.perturbations {
             let base = perturbed.as_ref().unwrap_or(grid);
-            match *p {
-                Perturbation::ScaleAllLinks { factor } => {
-                    perturbed = Some(scaled(base, None, factor));
-                }
-                Perturbation::DegradeUplink { cluster, factor } => {
-                    perturbed = Some(scaled(base, Some(cluster), factor));
-                }
-                Perturbation::AlternateRoot { root: r } => root = r,
-                Perturbation::DropRelay { cluster } => {
-                    perturbed = Some(scaled(base, Some(cluster), DROP_RELAY_FACTOR));
-                }
+            if let Some(g) = p.apply(base, &mut root) {
+                perturbed = Some(g);
             }
         }
         (perturbed.unwrap_or_else(|| grid.clone()), root)
@@ -195,6 +144,60 @@ pub struct WhatIfRunner<'a> {
     kinds: Vec<HeuristicKind>,
     threads: usize,
     retry: RetryPolicy,
+    warm: bool,
+}
+
+/// Warm-start replay counters summed over every worker engine of one sweep —
+/// the telemetry leg of `BENCH_whatif.json`. The counters mirror
+/// [`gridcast_core::EngineTelemetry`] and stay all-zero when the core's
+/// `telemetry` feature is compiled out or the runner is cold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStartTelemetry {
+    /// Commits replayed verbatim from a baseline commit log.
+    pub replayed_commits: u64,
+    /// Commits re-verified against the perturbed problem and kept.
+    pub repaired_commits: u64,
+    /// Commits produced by full selection rounds (divergent suffixes and
+    /// cold fallbacks).
+    pub recomputed_commits: u64,
+}
+
+impl WarmStartTelemetry {
+    /// Element-wise sum of two counter sets.
+    pub fn merge(self, other: WarmStartTelemetry) -> WarmStartTelemetry {
+        WarmStartTelemetry {
+            replayed_commits: self.replayed_commits + other.replayed_commits,
+            repaired_commits: self.repaired_commits + other.repaired_commits,
+            recomputed_commits: self.recomputed_commits + other.recomputed_commits,
+        }
+    }
+}
+
+/// Per-worker warm-start state: the pristine baseline problem, one commit
+/// log per candidate heuristic, and the scratch grid / problem / node
+/// network the worker patches in place for each scenario and restores from
+/// the baseline afterwards — `O(touched links)` per scenario instead of a
+/// fresh `O(n²)` world.
+struct WarmState {
+    baseline: BroadcastProblem,
+    problem: BroadcastProblem,
+    logs: Vec<CommitLog>,
+    scratch: Grid,
+    network: NodeNetwork,
+    patched: Vec<(ClusterId, ClusterId)>,
+}
+
+/// Whether the warm evaluation path handles this scenario. Grid-wide scaling
+/// dirties every sender row *and* patches `O(n²)` links (the bookkeeping
+/// costs more than the replay saves), and an alternate root makes the
+/// baseline log incompatible by construction — both take the cold path.
+fn warm_eligible(scenario: &Scenario) -> bool {
+    scenario.perturbations.iter().all(|p| {
+        !matches!(
+            p,
+            Perturbation::ScaleAllLinks { .. } | Perturbation::AlternateRoot { .. }
+        )
+    })
 }
 
 impl<'a> WhatIfRunner<'a> {
@@ -210,7 +213,19 @@ impl<'a> WhatIfRunner<'a> {
                 .map(|n| n.get())
                 .unwrap_or(1),
             retry: RetryPolicy::default(),
+            warm: false,
         }
+    }
+
+    /// Toggles warm-start evaluation: each worker schedules the baseline
+    /// once with commit logging, then evaluates every scenario by replaying
+    /// the baseline logs under the scenario's [`ReplayDelta`] instead of
+    /// scheduling from scratch. The engine's replay contract makes the
+    /// reports **bit-identical** to the cold runner's, for every policy and
+    /// thread count — this knob trades nothing but wall-clock.
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.warm = warm;
+        self
     }
 
     /// Overrides the ack/retry protocol used by fault scenarios (scenarios
@@ -243,35 +258,74 @@ impl<'a> WhatIfRunner<'a> {
 
     /// Evaluates every scenario, fanning the batch out over the worker pool.
     /// Reports come back ordered by scenario index and bit-identical for any
-    /// thread count.
+    /// thread count — and, via the replay contract, for warm and cold
+    /// runners alike.
     pub fn run(&self, scenarios: &[Scenario]) -> Vec<WhatIfReport> {
+        self.run_with_telemetry(scenarios).0
+    }
+
+    /// Like [`WhatIfRunner::run`], additionally returning the summed
+    /// warm-start telemetry of every worker engine (all zeros when the
+    /// runner is cold or the core's `telemetry` feature is off).
+    pub fn run_with_telemetry(
+        &self,
+        scenarios: &[Scenario],
+    ) -> (Vec<WhatIfReport>, WarmStartTelemetry) {
         let mut out: Vec<Option<WhatIfReport>> = (0..scenarios.len()).map(|_| None).collect();
         if scenarios.is_empty() {
-            return Vec::new();
+            return (Vec::new(), WarmStartTelemetry::default());
         }
         let chunk = scenarios.len().div_ceil(self.threads.min(scenarios.len()));
+        let mut counters = vec![WarmStartTelemetry::default(); scenarios.len().div_ceil(chunk)];
         std::thread::scope(|scope| {
-            for (chunk_index, (scenario_chunk, out_chunk)) in scenarios
+            for ((chunk_index, (scenario_chunk, out_chunk)), counter) in scenarios
                 .chunks(chunk)
                 .zip(out.chunks_mut(chunk))
                 .enumerate()
+                .zip(counters.iter_mut())
             {
                 let base = chunk_index * chunk;
                 scope.spawn(move || {
                     let mut engine = ScheduleEngine::new();
                     let mut makespans = Vec::new();
+                    let mut warm = if self.warm {
+                        Some(self.warm_state(&mut engine))
+                    } else {
+                        None
+                    };
+                    // The baseline logging run is setup, not sweep work.
+                    engine.take_telemetry();
                     for (i, (scenario, slot)) in
                         scenario_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
                     {
-                        *slot =
-                            Some(self.evaluate(&mut engine, &mut makespans, base + i, scenario));
+                        *slot = Some(match warm.as_mut() {
+                            Some(w) if warm_eligible(scenario) => self.evaluate_warm(
+                                &mut engine,
+                                w,
+                                &mut makespans,
+                                base + i,
+                                scenario,
+                            ),
+                            _ => self.evaluate(&mut engine, &mut makespans, base + i, scenario),
+                        });
                     }
+                    let t = engine.take_telemetry();
+                    *counter = WarmStartTelemetry {
+                        replayed_commits: t.replayed_commits,
+                        repaired_commits: t.repaired_commits,
+                        recomputed_commits: t.recomputed_commits,
+                    };
                 });
             }
         });
-        out.into_iter()
+        let telemetry = counters
+            .into_iter()
+            .fold(WarmStartTelemetry::default(), WarmStartTelemetry::merge);
+        let reports = out
+            .into_iter()
             .map(|r| r.expect("every scenario was evaluated by its shard"))
-            .collect()
+            .collect();
+        (reports, telemetry)
     }
 
     /// Evaluates one scenario with a caller-owned engine (the worker loop;
@@ -294,30 +348,12 @@ impl<'a> WhatIfRunner<'a> {
             .expect("at least one heuristic");
         let best = self.kinds[best_slot];
         let schedule = engine.schedule(&problem, best);
-        let (outcome, retries, undelivered) = match &scenario.faults {
+        let (outcome, retries, undelivered) = match self.effective_faults(scenario) {
             None => (self.simulate(&grid, &schedule), 0, 0),
             Some(faults) => {
                 let network = NodeNetwork::new(&grid);
                 let plan = SendPlan::from_grid_schedule(&grid, &schedule);
-                let result = execute_plan_under_faults(
-                    &network,
-                    &plan,
-                    self.message,
-                    Time::ZERO,
-                    faults,
-                    &self.retry,
-                    &mut NullSink,
-                )
-                .expect("the monotone-clock invariant holds under faults");
-                let retries = result.stats().retries;
-                let undelivered = match &result {
-                    Outcome::Complete(_) => 0,
-                    Outcome::Incomplete { undelivered, .. } => undelivered.len(),
-                };
-                let sim = match result {
-                    Outcome::Complete(sim) | Outcome::Incomplete { partial: sim, .. } => sim,
-                };
-                (sim.outcome, retries, undelivered)
+                self.execute_faulty(&network, &plan, &faults)
             }
         };
         WhatIfReport {
@@ -330,6 +366,151 @@ impl<'a> WhatIfRunner<'a> {
             retries,
             undelivered,
         }
+    }
+
+    /// Builds this worker's warm-start state: the baseline problem, one
+    /// commit log per candidate heuristic, and scratch copies of the grid,
+    /// problem and node network to patch in place.
+    fn warm_state(&self, engine: &mut ScheduleEngine) -> WarmState {
+        let baseline = BroadcastProblem::from_grid(self.grid, self.root, self.message);
+        let (_, logs) = engine.makespans_logged(&baseline, &self.kinds);
+        WarmState {
+            problem: baseline.clone(),
+            baseline,
+            logs,
+            scratch: self.grid.clone(),
+            network: NodeNetwork::new(self.grid),
+            patched: Vec::new(),
+        }
+    }
+
+    /// The warm evaluation of one scenario: patch the scratch world, replay
+    /// every baseline log under the scenario's delta, re-run only the
+    /// divergent suffix of the winner, execute on the long-lived network.
+    /// Bit-identical to [`WhatIfRunner::evaluate`] on the same scenario.
+    fn evaluate_warm(
+        &self,
+        engine: &mut ScheduleEngine,
+        warm: &mut WarmState,
+        makespans: &mut Vec<Time>,
+        index: usize,
+        scenario: &Scenario,
+    ) -> WhatIfReport {
+        // Undo the previous scenario's patches from the baseline, then patch
+        // this scenario's perturbation chain in — both `O(touched links)`.
+        for &(f, t) in &warm.patched {
+            warm.scratch.set_link(f, t, self.grid.link(f, t).clone());
+            warm.problem.copy_link_from(&warm.baseline, f, t);
+            warm.network.sync_link_from(self.grid, f, t);
+        }
+        warm.patched.clear();
+        for p in &scenario.perturbations {
+            p.patch(&mut warm.scratch, &mut warm.patched);
+        }
+        for &(f, t) in &warm.patched {
+            warm.problem.repatch_link_from_grid(&warm.scratch, f, t);
+            warm.network.sync_link_from(&warm.scratch, f, t);
+        }
+
+        let delta =
+            ReplayDelta::from_perturbations(warm.problem.num_clusters(), &scenario.perturbations);
+        engine.warm_makespans_into(&warm.problem, &warm.logs, &delta, makespans);
+        let (best_slot, predicted) = makespans
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|(i, a), (j, b)| a.cmp(b).then(i.cmp(j)))
+            .expect("at least one heuristic");
+        let best = self.kinds[best_slot];
+        engine.warm_run(&warm.problem, &warm.logs[best_slot], &delta);
+        let plan =
+            SendPlan::from_inter_cluster_events(&warm.scratch, warm.problem.root, engine.events());
+        let (outcome, retries, undelivered) = match self.effective_faults(scenario) {
+            None => (
+                execute_plan_with_sink(
+                    &warm.network,
+                    &plan,
+                    self.message,
+                    Time::ZERO,
+                    &mut NullSink,
+                ),
+                0,
+                0,
+            ),
+            Some(faults) => self.execute_faulty(&warm.network, &plan, &faults),
+        };
+        WhatIfReport {
+            scenario: index,
+            makespans: makespans.clone(),
+            best,
+            predicted,
+            simulated: outcome.completion,
+            events: outcome.events_processed,
+            retries,
+            undelivered,
+        }
+    }
+
+    /// The fault plan the execution leg actually runs under: the scenario's
+    /// own plan, extended with one capacity window per
+    /// [`Perturbation::TimeVaryingCapacity`] in the chain. Shared by the
+    /// cold and warm paths so their executions stay bit-identical.
+    fn effective_faults<'s>(&self, scenario: &'s Scenario) -> Option<Cow<'s, FaultPlan>> {
+        let windows = scenario.perturbations.iter().filter_map(|p| match *p {
+            Perturbation::TimeVaryingCapacity {
+                from,
+                to,
+                factor,
+                from_time,
+                until,
+            } => Some(CapacityWindow {
+                from,
+                to,
+                factor,
+                from_time,
+                until,
+            }),
+            _ => None,
+        });
+        let mut windows = windows.peekable();
+        match (&scenario.faults, windows.peek().is_some()) {
+            (None, false) => None,
+            (Some(faults), false) => Some(Cow::Borrowed(faults)),
+            (faults, true) => {
+                let mut plan = faults.clone().unwrap_or_else(|| FaultPlan::new(0));
+                for w in windows {
+                    plan = plan.with_capacity_window(w);
+                }
+                Some(Cow::Owned(plan))
+            }
+        }
+    }
+
+    fn execute_faulty(
+        &self,
+        network: &NodeNetwork,
+        plan: &SendPlan,
+        faults: &FaultPlan,
+    ) -> (SimulationOutcome, usize, usize) {
+        let result = execute_plan_under_faults(
+            network,
+            plan,
+            self.message,
+            Time::ZERO,
+            faults,
+            &self.retry,
+            &mut NullSink,
+        )
+        .expect("the monotone-clock invariant holds under faults");
+        let retries = result.stats().retries;
+        let undelivered = match &result {
+            Outcome::Complete(_) => 0,
+            Outcome::Incomplete { undelivered, .. } => undelivered.len(),
+        };
+        let sim = match result {
+            Outcome::Complete(sim) | Outcome::Incomplete { partial: sim, .. } => sim,
+        };
+        (sim.outcome, retries, undelivered)
     }
 
     fn simulate(&self, grid: &Grid, schedule: &gridcast_core::Schedule) -> SimulationOutcome {
@@ -570,6 +751,160 @@ mod tests {
         let (perturbed, root) = scenario.apply(&grid, ClusterId(0));
         assert_eq!(root, ClusterId(4));
         assert_eq!(perturbed, grid);
+    }
+
+    /// Every perturbation kind, warm-eligible and not, so the warm runner's
+    /// per-scenario dispatch (replay vs cold fallback) is exercised end to
+    /// end.
+    fn warm_scenario_mix(grid: &Grid, count: usize) -> Vec<Scenario> {
+        let n = grid.num_clusters();
+        (0..count)
+            .map(|i| match i % 8 {
+                0 => Scenario::baseline(),
+                1 => Scenario::one(Perturbation::DegradeLink {
+                    from: ClusterId(i % n),
+                    to: ClusterId((i % n + 1) % n),
+                    factor: 1.5 + (i % 5) as f64,
+                }),
+                2 => Scenario::one(Perturbation::DegradeUplink {
+                    cluster: ClusterId(i % n),
+                    factor: 2.0 + (i % 4) as f64,
+                }),
+                3 => Scenario::one(Perturbation::DegradeSite {
+                    first: ClusterId(i % n),
+                    span: 1 + i % 3,
+                    factor: 3.0,
+                }),
+                4 => Scenario::one(Perturbation::TimeVaryingCapacity {
+                    from: ClusterId(i % n),
+                    to: ClusterId((i % n + 2) % n),
+                    factor: 5.0,
+                    from_time: Time::ZERO,
+                    until: Time::from_millis(400.0),
+                }),
+                5 => Scenario::one(Perturbation::DropRelay {
+                    cluster: ClusterId(1 + i % (n - 1)),
+                }),
+                6 => Scenario::one(Perturbation::ScaleAllLinks { factor: 2.0 }),
+                _ => Scenario::one(Perturbation::AlternateRoot {
+                    root: ClusterId(i % n),
+                }),
+            })
+            .collect()
+    }
+
+    fn assert_reports_bit_identical(a: &[WhatIfReport], b: &[WhatIfReport]) {
+        assert_eq!(a.len(), b.len());
+        let bits = |ts: &[Time]| -> Vec<u64> { ts.iter().map(|t| t.as_secs().to_bits()).collect() };
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.scenario, y.scenario);
+            assert_eq!(x.best, y.best, "winner diverges at scenario {}", x.scenario);
+            assert_eq!(
+                bits(&x.makespans),
+                bits(&y.makespans),
+                "scenario {}",
+                x.scenario
+            );
+            assert_eq!(
+                x.predicted.as_secs().to_bits(),
+                y.predicted.as_secs().to_bits()
+            );
+            assert_eq!(
+                x.simulated.as_secs().to_bits(),
+                y.simulated.as_secs().to_bits(),
+                "simulation diverges at scenario {}",
+                x.scenario
+            );
+            assert_eq!(x.events, y.events);
+            assert_eq!(x.retries, y.retries);
+            assert_eq!(x.undelivered, y.undelivered);
+        }
+    }
+
+    #[test]
+    fn warm_runner_matches_cold_runner_bit_for_bit() {
+        let grid = GridGenerator::table2()
+            .cluster_size(4)
+            .generate(14, &mut ChaCha8Rng::seed_from_u64(29));
+        let runner = WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0));
+        let scenarios = warm_scenario_mix(&grid, 48);
+        let cold = runner.clone().with_threads(2).run(&scenarios);
+        let warm = runner
+            .clone()
+            .with_warm_start(true)
+            .with_threads(2)
+            .run(&scenarios);
+        let warm_single = runner.with_warm_start(true).with_threads(1).run(&scenarios);
+        assert_reports_bit_identical(&cold, &warm);
+        assert_reports_bit_identical(&cold, &warm_single);
+    }
+
+    #[test]
+    fn warm_runner_matches_cold_under_faults() {
+        let grid = GridGenerator::table2()
+            .cluster_size(4)
+            .generate(10, &mut ChaCha8Rng::seed_from_u64(31));
+        let scenarios: Vec<Scenario> = warm_scenario_mix(&grid, 24)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i % 3 == 1 {
+                    s.with_faults(FaultPlan::new(i as u64).with_loss(0.1))
+                } else {
+                    s
+                }
+            })
+            .collect();
+        let runner =
+            WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0)).with_threads(3);
+        let cold = runner.clone().run(&scenarios);
+        let warm = runner.with_warm_start(true).run(&scenarios);
+        assert_reports_bit_identical(&cold, &warm);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn warm_sweep_reports_replay_telemetry() {
+        let grid = GridGenerator::table2()
+            .cluster_size(4)
+            .generate(12, &mut ChaCha8Rng::seed_from_u64(3));
+        let scenarios = warm_scenario_mix(&grid, 16);
+        let runner = WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0))
+            .with_threads(1)
+            .with_warm_start(true);
+        let (reports, telemetry) = runner.run_with_telemetry(&scenarios);
+        assert_eq!(reports.len(), scenarios.len());
+        assert!(telemetry.replayed_commits > 0, "some prefixes must replay");
+    }
+
+    #[test]
+    fn capacity_window_slows_execution_but_not_prediction() {
+        let grid = grid5000_table3();
+        let n = grid.num_clusters();
+        // A congestion window over every root uplink from t = 0: the first
+        // transfers of any winning schedule start inside it.
+        let windowed = Scenario {
+            perturbations: (1..n)
+                .map(|j| Perturbation::TimeVaryingCapacity {
+                    from: ClusterId(0),
+                    to: ClusterId(j),
+                    factor: 50.0,
+                    from_time: Time::ZERO,
+                    until: Time::from_millis(10_000.0),
+                })
+                .collect(),
+            faults: None,
+        };
+        let runner =
+            WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0)).with_threads(1);
+        let reports = runner.run(&[Scenario::baseline(), windowed]);
+        // The static model the prediction leg prices is untouched...
+        assert_eq!(
+            reports[0].predicted.as_secs().to_bits(),
+            reports[1].predicted.as_secs().to_bits()
+        );
+        // ...but the executed collective pays the congestion.
+        assert!(reports[1].simulated > reports[0].simulated);
     }
 
     #[test]

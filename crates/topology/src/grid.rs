@@ -203,6 +203,18 @@ impl Grid {
             inter,
         }
     }
+
+    /// Replaces one directed inter-cluster link in place.
+    ///
+    /// This is the incremental counterpart of [`Grid::map_links`]: a warm
+    /// what-if scratch grid patches the handful of links a perturbation
+    /// touches (and later restores them from the baseline) instead of
+    /// rebuilding the whole `n²` matrix per scenario. Self-links cannot be
+    /// replaced — the diagonal carries no inter-cluster model.
+    pub fn set_link(&mut self, from: ClusterId, to: ClusterId, link: PLogP) {
+        assert_ne!(from, to, "the diagonal carries no inter-cluster link");
+        self.inter[(from.index(), to.index())] = link;
+    }
 }
 
 /// Builder for [`Grid`].
