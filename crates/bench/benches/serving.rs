@@ -1,0 +1,272 @@
+//! Sustained throughput of the scheduling daemon — and its consistency gates.
+//!
+//! The serving layer's pitch is *amortisation*: a long-running engine pool
+//! plus a full-problem schedule cache should answer a realistic request mix
+//! far faster than one cold scheduling run per request. This bench drives
+//! [`gridcast_serve::Server::handle_batch`] directly (no subprocess, no
+//! pipe noise) with a deterministic workload on a 100-cluster Table 2 grid:
+//!
+//! * a **cold fill** of `FILL` distinct base problems (roots × payloads),
+//!   populating the cache and its warm-start commit logs;
+//! * a **sustained mix** of `MIX` requests in batches of `BATCH`:
+//!   80% exact repeats (cache hits), 15% fresh single-link perturbations of
+//!   the bases (warm-start replays — every factor is unique, so none is ever
+//!   cached), 5% never-seen payloads (cold runs).
+//!
+//! It is also the **check mode** CI runs, asserting on every invocation:
+//!
+//! * the full response transcript is bit-identical between a 1-worker and a
+//!   multi-worker engine pool;
+//! * every cache hit's response is byte-identical to the cold response that
+//!   filled its entry (modulo the `"cache"` label);
+//! * sampled warm-start responses are byte-identical to the same request
+//!   served cold by a fresh daemon (modulo the label);
+//! * the mix produced the intended hit/warm/cold traffic and zero errors.
+//!
+//! With `SERVING_GATE` set in the environment (as in CI), the sustained
+//! multi-worker throughput must clear `SERVING_FLOOR` (default 1000
+//! requests/s). Throughput and the p50/p99 per-request latency (batch
+//! admission to response render, from the daemon's own histogram) land in
+//! `BENCH_serving.json` at the workspace root, written atomically.
+
+use gridcast_serve::{Server, ServerConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Cluster count of the benched grid (the scale the acceptance gate names).
+const CLUSTERS: usize = 100;
+
+/// Distinct base problems in the cold fill (4 roots × 4 payloads).
+const FILL: usize = 16;
+
+/// Requests in the sustained mix.
+const MIX: usize = 2000;
+
+/// Requests dispatched per batch in the sustained mix.
+const BATCH: usize = 32;
+
+/// Grid spec shared by every request; the seed pins the generated topology.
+fn grid_spec() -> String {
+    format!(r#""grid":{{"table2":{{"clusters":{CLUSTERS},"seed":17,"cluster_size":16}}}}"#)
+}
+
+/// One of the `FILL` base requests: distinct (root, payload) combinations.
+fn base_line(b: usize) -> String {
+    let root = b % 4;
+    let payload = (1 + b / 4) * 1_048_576;
+    format!(
+        r#"{{{},"root":{root},"payload_bytes":{payload}}}"#,
+        grid_spec()
+    )
+}
+
+/// The sustained mix: ~80% hits, ~15% warm-start perturbations, ~5% colds.
+fn mix_line(i: usize) -> String {
+    match i % 20 {
+        // A payload nobody asked for before (never a whole number of MiB,
+        // so it cannot collide with a fill base): a guaranteed cold run.
+        0 => format!(
+            r#"{{{},"root":0,"payload_bytes":{}}}"#,
+            grid_spec(),
+            3_000_001 + i
+        ),
+        // A fresh single-link perturbation of a cached base: the factor is
+        // unique per request, so this problem is never cached — it must
+        // warm-start from the base's commit logs every time.
+        1..=3 => {
+            let b = i % FILL;
+            let from = i % CLUSTERS;
+            let to = (from + 1 + i % 7) % CLUSTERS;
+            format!(
+                r#"{{{},"root":{},"payload_bytes":{},"perturbations":[{{"kind":"degrade_link","from":{from},"to":{to},"factor":{}}}]}}"#,
+                grid_spec(),
+                b % 4,
+                (1 + b / 4) * 1_048_576,
+                1.5 + 0.001 * i as f64,
+            )
+        }
+        // An exact repeat of a filled base: a cache hit.
+        _ => base_line(i % FILL),
+    }
+}
+
+struct WorkloadResult {
+    fill_responses: Vec<String>,
+    mix_responses: Vec<String>,
+    mix_elapsed: f64,
+    hits: u64,
+    warms: u64,
+    colds: u64,
+    errors: u64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn run_workload(workers: usize) -> WorkloadResult {
+    let mut server = Server::new(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    });
+
+    let fill: Vec<String> = (0..FILL).map(base_line).collect();
+    let (fill_responses, _) = server.handle_batch(&fill);
+
+    let lines: Vec<String> = (0..MIX).map(mix_line).collect();
+    let mut mix_responses = Vec::with_capacity(MIX);
+    let start = Instant::now();
+    for batch in lines.chunks(BATCH) {
+        let (responses, _) = server.handle_batch(batch);
+        mix_responses.extend(responses);
+    }
+    let mix_elapsed = start.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    WorkloadResult {
+        fill_responses,
+        mix_responses,
+        mix_elapsed,
+        hits: stats.cache_hits,
+        warms: stats.warm_starts,
+        colds: stats.cold_runs,
+        errors: stats.errors,
+        p50_us: stats.latency.quantile_upper_micros(0.50),
+        p99_us: stats.latency.quantile_upper_micros(0.99),
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+
+    let single = run_workload(1);
+    let parallel = run_workload(threads);
+
+    // Check mode, part one: the transcript is bit-identical for any pool size.
+    assert_eq!(single.fill_responses, parallel.fill_responses);
+    assert_eq!(
+        single.mix_responses, parallel.mix_responses,
+        "responses diverge between 1 and {threads} workers"
+    );
+
+    // Check mode, part two: every hit reproduces its cold fill response
+    // byte for byte (modulo the cache label).
+    let mut checked_hits = 0usize;
+    for (i, response) in parallel.mix_responses.iter().enumerate() {
+        if i % 20 >= 4 {
+            let cold = &parallel.fill_responses[i % FILL];
+            assert_eq!(
+                response,
+                &cold.replace(r#""cache":"cold""#, r#""cache":"hit""#),
+                "hit at mix index {i} diverges from its cold fill"
+            );
+            checked_hits += 1;
+        }
+    }
+
+    // Check mode, part three: sampled warm responses match a fresh daemon
+    // serving the identical request cold.
+    let mut checked_warms = 0usize;
+    for i in [1usize, 2, 3, 21, 42, 63, 101] {
+        let line = mix_line(i);
+        let warm = &parallel.mix_responses[i];
+        assert!(
+            warm.contains(r#""cache":"warm""#),
+            "mix index {i} was expected to warm-start: {warm}"
+        );
+        let mut fresh = Server::new(ServerConfig::default());
+        let (cold, _) = fresh.handle_batch(std::slice::from_ref(&line));
+        assert_eq!(
+            warm,
+            &cold[0].replace(r#""cache":"cold""#, r#""cache":"warm""#),
+            "warm response at mix index {i} diverges from a cold run"
+        );
+        checked_warms += 1;
+    }
+
+    // Check mode, part four: the mix produced the traffic it advertises.
+    assert_eq!(parallel.errors, 0);
+    assert_eq!(parallel.hits as usize, MIX - MIX / 20 - 3 * (MIX / 20));
+    assert_eq!(parallel.warms as usize, 3 * (MIX / 20));
+    assert_eq!(parallel.colds as usize, FILL + MIX / 20);
+
+    let rate = MIX as f64 / parallel.mix_elapsed;
+    let single_rate = MIX as f64 / single.mix_elapsed;
+    println!(
+        "serving: {MIX} mixed requests on {CLUSTERS} clusters (batch {BATCH}) -> \
+         {rate:.0}/s on {threads} workers ({single_rate:.0}/s on 1), \
+         p50 <= {}us, p99 <= {}us; verified {checked_hits} hits + {checked_warms} warm \
+         starts bit-identical to cold",
+        parallel.p50_us, parallel.p99_us
+    );
+
+    if std::env::var_os("SERVING_GATE").is_some() {
+        let floor: f64 = std::env::var("SERVING_FLOOR")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1000.0);
+        assert!(
+            rate >= floor,
+            "sustained serving throughput {rate:.0} req/s is below the {floor:.0} req/s floor"
+        );
+    }
+
+    write_report(&parallel, &single, threads, rate, single_rate);
+}
+
+/// Path of the JSON report, anchored at the workspace root regardless of the
+/// bench invocation directory.
+fn report_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json")
+}
+
+fn write_report(
+    parallel: &WorkloadResult,
+    single: &WorkloadResult,
+    threads: usize,
+    rate: f64,
+    single_rate: f64,
+) {
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"serving\",\n");
+    json.push_str(
+        "  \"unit\": \"requests per second (sustained hit/warm/cold mix, engine-pool daemon)\",\n",
+    );
+    let _ = writeln!(json, "  \"clusters\": {CLUSTERS},");
+    let _ = writeln!(json, "  \"fill_requests\": {FILL},");
+    let _ = writeln!(json, "  \"mix_requests\": {MIX},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let leg = |r: &WorkloadResult, workers: usize, rate: f64| {
+        format!(
+            "{{\"workers\": {workers}, \"mix_elapsed_s\": {:.3}, \"requests_per_sec\": {rate:.1}, \
+             \"p50_us\": {}, \"p99_us\": {}}}",
+            r.mix_elapsed, r.p50_us, r.p99_us
+        )
+    };
+    let _ = writeln!(
+        json,
+        "  \"single_thread\": {},",
+        leg(single, 1, single_rate)
+    );
+    let _ = writeln!(json, "  \"parallel\": {},", leg(parallel, threads, rate));
+    let _ = writeln!(
+        json,
+        "  \"traffic\": {{\"cache_hits\": {}, \"warm_starts\": {}, \"cold_runs\": {}, \
+         \"errors\": {}}},",
+        parallel.hits, parallel.warms, parallel.colds, parallel.errors
+    );
+    let _ = writeln!(json, "  \"bit_identical_across_worker_counts\": true,");
+    let _ = writeln!(json, "  \"cached_bit_identical_to_cold\": true,");
+    let _ = writeln!(json, "  \"warm_start_bit_identical_to_cold\": true");
+    json.push_str("}\n");
+
+    // Atomic replace: write a sibling tmp file, then rename into place, so an
+    // interrupted bench never leaves a torn report.
+    let path = report_path();
+    let tmp = format!("{path}.tmp");
+    let result = std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        eprintln!("serving: could not write {path}: {e}");
+    }
+}

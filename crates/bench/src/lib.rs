@@ -52,6 +52,25 @@
 //! bench aborts otherwise) and `winners` (how often each heuristic won the
 //! what-if, keyed by display name — the quickest check that perturbations
 //! actually move the decision).
+//!
+//! # `BENCH_serving.json` schema
+//!
+//! `benches/serving.rs` drives the [`gridcast_serve`] daemon's batch loop
+//! with a sustained request mix (80% cache hits / 15% warm starts / 5%
+//! cold runs) on a 100-cluster Table 2 grid, once with one worker and once
+//! with every available core, asserting the transcripts bit-identical and
+//! every cached/warm response byte-identical to a cold run of the same
+//! request (CI's check mode; the assertions run on every invocation).
+//! Keys: `clusters`, `fill_requests`, `mix_requests`, `batch`,
+//! `single_thread` / `parallel` (`workers`, `mix_elapsed_s`,
+//! `requests_per_sec`, and `p50_us` / `p99_us` — upper bounds of the
+//! daemon's log₂ latency histogram, measured batch admission to response
+//! render), `traffic` (`cache_hits` / `warm_starts` / `cold_runs` /
+//! `errors` counters) and the three always-`true` consistency flags
+//! (`bit_identical_across_worker_counts`, `cached_bit_identical_to_cold`,
+//! `warm_start_bit_identical_to_cold` — the bench aborts otherwise).
+//! With `SERVING_GATE` set (as in CI) the sustained multi-worker
+//! throughput must clear `SERVING_FLOOR` (default 1000 requests/s).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

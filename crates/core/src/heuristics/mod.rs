@@ -85,6 +85,14 @@ impl HeuristicKind {
         }
     }
 
+    /// Parses a display name (the exact strings [`HeuristicKind::name`]
+    /// produces) back into a kind. Case-sensitive by necessity: the paper's
+    /// own "ECEF-LAt" (min lookahead) and "ECEF-LAT" (max lookahead) differ
+    /// only in the case of the final letter.
+    pub fn from_name(name: &str) -> Option<HeuristicKind> {
+        HeuristicKind::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// Schedules `problem` with this heuristic, through the thread's shared
     /// [`crate::ScheduleEngine`] (buffer reuse without explicit engine
     /// management; sweeps should hold their own engine and call
@@ -171,6 +179,24 @@ mod tests {
             ]
         );
         assert_eq!(HeuristicKind::BottomUp.to_string(), "BottomUp");
+    }
+
+    #[test]
+    fn from_name_round_trips_and_stays_case_sensitive() {
+        for kind in HeuristicKind::all() {
+            assert_eq!(HeuristicKind::from_name(kind.name()), Some(kind));
+        }
+        // The two paper variants differ only by case — no fuzzy matching.
+        assert_eq!(
+            HeuristicKind::from_name("ECEF-LAt"),
+            Some(HeuristicKind::EcefLaMin)
+        );
+        assert_eq!(
+            HeuristicKind::from_name("ECEF-LAT"),
+            Some(HeuristicKind::EcefLaMax)
+        );
+        assert_eq!(HeuristicKind::from_name("ecef-lat"), None);
+        assert_eq!(HeuristicKind::from_name("nope"), None);
     }
 
     #[test]

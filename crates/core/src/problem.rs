@@ -1,7 +1,7 @@
 //! The broadcast problem instance handed to the scheduling heuristics.
 
 use gridcast_collectives::intra_broadcast_time;
-use gridcast_plogp::{MessageSize, Time};
+use gridcast_plogp::{Fnv1a, MessageSize, Time};
 use gridcast_topology::{ClusterId, Grid, SquareMatrix};
 use serde::{Deserialize, Serialize};
 
@@ -141,6 +141,34 @@ impl BroadcastProblem {
         (0..self.num_clusters()).map(ClusterId)
     }
 
+    /// A 64-bit content digest of the **full problem identity**: root, payload
+    /// size, dimension, and the IEEE-754 bit pattern of every evaluated
+    /// latency, gap and intra-cluster time.
+    ///
+    /// Two problems digest equal iff every parameter is bit-identical, so the
+    /// digest distinguishes two grids that differ in a single link value as
+    /// well as the same grid asked with a different root or payload. It is the
+    /// schedule cache key of the serving layer — which, since 64 bits are an
+    /// index and not a proof, pairs each digest hit with a full `==` check
+    /// before reusing a cached schedule.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        let n = self.num_clusters();
+        h.write_u64(self.root.index() as u64)
+            .write_u64(self.message.as_bytes())
+            .write_u64(n as u64);
+        for i in 0..n {
+            for j in 0..n {
+                h.write_f64(self.latency[(i, j)].as_secs())
+                    .write_f64(self.gap[(i, j)].as_secs());
+            }
+        }
+        for t in &self.intra_time {
+            h.write_f64(t.as_secs());
+        }
+        h.finish()
+    }
+
     /// A simple lower bound on the achievable makespan: every non-root cluster
     /// must receive the message over at least one inter-cluster transfer from
     /// somewhere and then run its own internal broadcast, and the root must run
@@ -244,6 +272,28 @@ mod tests {
         // Cluster 2: cheapest incoming is 202 ms (from 0), plus 20 ms.
         // Root intra: 50 ms. Max = 601 ms.
         assert_eq!(p.lower_bound(), Time::from_millis(601.0));
+    }
+
+    #[test]
+    fn content_digest_separates_problem_identities() {
+        let grid = grid5000_table3();
+        let base = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1));
+        // Deterministic across rebuilds.
+        assert_eq!(
+            base.content_digest(),
+            BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1))
+                .content_digest()
+        );
+        // Same grid, different root or payload: different identity.
+        let other_root = BroadcastProblem::from_grid(&grid, ClusterId(2), MessageSize::from_mib(1));
+        assert_ne!(base.content_digest(), other_root.content_digest());
+        let other_size = BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_kib(4));
+        assert_ne!(base.content_digest(), other_size.content_digest());
+        // One evaluated link nudged by one ULP: different identity.
+        let mut nudged = base.clone();
+        let idx = (0usize, 1usize);
+        nudged.gap[idx] = Time::from_secs(nudged.gap[idx].as_secs() + f64::EPSILON);
+        assert_ne!(base.content_digest(), nudged.content_digest());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Content digests: a tiny, dependency-free FNV-1a hasher for *identity by
+//! value* of model parameters.
+//!
+//! The serving layer caches schedules by the **full problem identity** — the
+//! exact bits of every link parameter, every intra-cluster time, the root and
+//! the payload — never by a name or a shape alone. That calls for a stable,
+//! platform-independent content hash over floating-point parameters, which
+//! `std::hash` does not promise (and `f64` does not implement). [`Fnv1a`]
+//! hashes the IEEE-754 bit patterns directly, so two models hash equal iff
+//! their parameters are bit-identical (NaN payloads included), and a single
+//! changed link changes the digest.
+//!
+//! A 64-bit digest is an index, not a proof: callers that must *never*
+//! conflate two distinct problems (the schedule cache) follow the digest
+//! lookup with a full equality check of the keyed value.
+
+/// FNV-1a, 64-bit. Deterministic across platforms and runs; not
+/// collision-resistant against adversaries (pair it with an equality check
+/// when identity matters).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+/// The FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Absorbs an unsigned integer (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a float by its IEEE-754 bit pattern. `0.0` and `-0.0` hash
+    /// differently — bit identity is the contract, not numeric equality.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Absorbs a UTF-8 string, length-prefixed so `("ab", "c")` and
+    /// `("a", "bc")` cannot collide by concatenation.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64).write_bytes(s.as_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c — the published test vector.
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn one_bit_flips_the_digest() {
+        let digest = |x: f64| {
+            let mut h = Fnv1a::new();
+            h.write_f64(x);
+            h.finish()
+        };
+        assert_ne!(digest(1.0), digest(1.0 + f64::EPSILON));
+        assert_ne!(digest(0.0), digest(-0.0));
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let digest = |parts: &[&str]| {
+            let mut h = Fnv1a::new();
+            for p in parts {
+                h.write_str(p);
+            }
+            h.finish()
+        };
+        assert_ne!(digest(&["ab", "c"]), digest(&["a", "bc"]));
+    }
+}

@@ -15,7 +15,7 @@
 //!   (a handful of message sizes are benchmarked and intermediate sizes are
 //!   interpolated).
 
-use crate::{MessageSize, PLogPError, Time};
+use crate::{Fnv1a, MessageSize, PLogPError, Time};
 use serde::{Deserialize, Serialize};
 
 /// A single measured (message size, gap) sample.
@@ -145,6 +145,26 @@ impl GapFunction {
                     })
                     .collect(),
             },
+        }
+    }
+
+    /// Absorbs this gap function into a content digest. The variant is tagged
+    /// so an `Affine` and a `Constant` that happen to share parameter bits
+    /// cannot collide, and table samples are length-prefixed.
+    pub fn digest_into(&self, h: &mut Fnv1a) {
+        match self {
+            GapFunction::Affine { g0, bandwidth } => {
+                h.write_u64(0).write_f64(g0.as_secs()).write_f64(*bandwidth);
+            }
+            GapFunction::Table { samples } => {
+                h.write_u64(1).write_u64(samples.len() as u64);
+                for s in samples {
+                    h.write_u64(s.size.as_bytes()).write_f64(s.gap.as_secs());
+                }
+            }
+            GapFunction::Constant { gap } => {
+                h.write_u64(2).write_f64(gap.as_secs());
+            }
         }
     }
 

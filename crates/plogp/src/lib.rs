@@ -27,7 +27,9 @@
 //! * [`PLogP`] — a full per-link parameter set with cost helpers,
 //! * [`measurement`] — a simulated reproduction of the RTT-saturation measurement
 //!   procedure used to obtain pLogP parameters on a real platform,
-//! * [`MessageSize`] — byte counts with convenience constructors.
+//! * [`MessageSize`] — byte counts with convenience constructors,
+//! * [`Fnv1a`] — a tiny content-digest hasher over IEEE-754 bit patterns, the
+//!   substrate of the grid/problem identity hashes the schedule cache keys on.
 //!
 //! ## Quick example
 //!
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod digest;
 pub mod error;
 pub mod gap;
 pub mod measurement;
@@ -51,6 +54,7 @@ pub mod message;
 pub mod model;
 pub mod time;
 
+pub use digest::Fnv1a;
 pub use error::PLogPError;
 pub use gap::GapFunction;
 pub use measurement::{estimate_from_rtt, MeasurementConfig, MeasurementRun};

@@ -1,6 +1,6 @@
 //! The pLogP parameter set and point-to-point cost model.
 
-use crate::{GapFunction, MessageSize, PLogPError, Time};
+use crate::{Fnv1a, GapFunction, MessageSize, PLogPError, Time};
 use serde::{Deserialize, Serialize};
 
 /// Full pLogP parameter set describing one directed link (or one homogeneous
@@ -145,6 +145,15 @@ impl PLogP {
             return Time::ZERO;
         }
         self.gap(m) * k + self.latency
+    }
+
+    /// Absorbs the full parameter set into a content digest: latency bits, the
+    /// (variant-tagged) gap function, and both overhead fractions. Two links
+    /// digest equal iff every parameter is bit-identical.
+    pub fn digest_into(&self, h: &mut Fnv1a) {
+        h.write_f64(self.latency.as_secs());
+        self.gap.digest_into(h);
+        h.write_f64(self.os_fraction).write_f64(self.or_fraction);
     }
 
     /// This link with its gap scaled by `factor` (latency and overhead

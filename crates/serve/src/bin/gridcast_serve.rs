@@ -1,0 +1,116 @@
+//! `gridcast-serve` — the scheduling daemon's CLI entry point.
+//!
+//! By default the daemon reads line-delimited JSON requests from stdin and
+//! writes one response line per request to stdout:
+//!
+//! ```text
+//! printf '%s\n' '{"grid":"grid5000_table3","payload_bytes":1048576}' | gridcast-serve
+//! ```
+//!
+//! With `--socket PATH` (Unix only) it listens on a Unix domain socket
+//! instead, serving one connection at a time with the same protocol — the
+//! engine pool and schedule cache persist across connections.
+//!
+//! Options:
+//!
+//! * `--workers N` — engine-pool size (default: available parallelism)
+//! * `--cache-capacity N` — schedule-cache entries (default 4096, 0 disables)
+//! * `--max-batch N` — max requests dispatched per batch (default 64)
+//! * `--socket PATH` — serve a Unix domain socket instead of stdin/stdout
+
+use gridcast_serve::{Server, ServerConfig};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: gridcast-serve [--workers N] [--cache-capacity N] [--max-batch N] [--socket PATH]"
+}
+
+struct Options {
+    config: ServerConfig,
+    socket: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut config = ServerConfig::default();
+    let mut socket = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("invalid --workers: {e}"))?;
+                if config.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("invalid --cache-capacity: {e}"))?;
+            }
+            "--max-batch" => {
+                config.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("invalid --max-batch: {e}"))?;
+                if config.max_batch == 0 {
+                    return Err("--max-batch must be at least 1".into());
+                }
+            }
+            "--socket" => socket = Some(value("--socket")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Options { config, socket })
+}
+
+#[cfg(unix)]
+fn serve_socket(server: &mut Server, path: &str) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous run would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("gridcast-serve: listening on {path}");
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let writer = stream.try_clone()?;
+        server.serve(stream, writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_server: &mut Server, _path: &str) -> std::io::Result<()> {
+    Err(std::io::Error::other(
+        "--socket is only supported on Unix platforms",
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut server = Server::new(options.config);
+    let result = match &options.socket {
+        Some(path) => serve_socket(&mut server, path),
+        None => server.serve(std::io::stdin(), std::io::stdout().lock()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gridcast-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

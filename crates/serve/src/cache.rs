@@ -1,0 +1,236 @@
+//! The schedule cache: full-problem identity in, scheduling work out.
+//!
+//! The cache key is the [`BroadcastProblem::content_digest`] — a 64-bit FNV
+//! over the root, the payload and every entry of the latency/gap/intra
+//! matrices. The grid alone is **not** a key: the same topology broadcast
+//! from a different root or with a different payload is a different problem
+//! and caching it under the grid would serve wrong answers. And because a
+//! 64-bit digest is an index rather than a proof, every lookup re-verifies
+//! **full problem equality** against the stored problem before serving;
+//! distinct problems that happen to collide coexist in one bucket.
+//!
+//! Cold runs store their per-heuristic [`CommitLog`]s. A later request for a
+//! *perturbed neighbour* of a cached problem (one degraded link, a slowed
+//! site) finds the baseline through the unperturbed problem's digest and
+//! warm-replays the logs under the perturbation delta instead of scheduling
+//! from scratch — the serving counterpart of the what-if runner's warm
+//! sweep, with the engine's bit-identity invariant carrying over unchanged.
+
+use gridcast_core::{BroadcastProblem, CommitLog, HeuristicKind, ScheduleEvent};
+use gridcast_plogp::Time;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// How a response was produced, as reported on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served entirely from the cache.
+    Hit,
+    /// Scheduled by warm-replaying a cached neighbour's commit logs.
+    Warm,
+    /// Scheduled from scratch.
+    Cold,
+}
+
+impl CacheOutcome {
+    /// The wire label (`"hit"`, `"warm"`, `"cold"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Warm => "warm",
+            CacheOutcome::Cold => "cold",
+        }
+    }
+}
+
+/// One materialised schedule of a cached problem: the chosen heuristic's
+/// events plus, when a request asked for execution, the simulated completion
+/// and event count.
+#[derive(Debug, Clone)]
+pub struct ScheduleRecord {
+    /// Inter-cluster transfer events, in commit order.
+    pub events: Vec<ScheduleEvent>,
+    /// Simulated `(completion, events_processed)`, filled on first execute.
+    pub simulated: Option<(Time, usize)>,
+}
+
+/// Everything cached for one problem identity.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The full problem, kept for digest-collision verification.
+    pub problem: BroadcastProblem,
+    /// Predicted makespans, one per [`HeuristicKind::all`] slot.
+    pub makespans: Vec<Time>,
+    /// Materialised schedules per heuristic slot (filled on demand).
+    pub records: Vec<Option<ScheduleRecord>>,
+    /// Commit logs per slot from a cold run — the warm-start baseline for
+    /// perturbed neighbours. `None` when the entry was itself produced by a
+    /// warm replay (its baseline lives elsewhere).
+    pub logs: Option<Arc<Vec<CommitLog>>>,
+}
+
+impl CacheEntry {
+    /// An entry with predicted makespans and no materialised schedules yet.
+    pub fn new(
+        problem: BroadcastProblem,
+        makespans: Vec<Time>,
+        logs: Option<Arc<Vec<CommitLog>>>,
+    ) -> Self {
+        assert_eq!(makespans.len(), HeuristicKind::COUNT);
+        let records = (0..HeuristicKind::COUNT).map(|_| None).collect();
+        CacheEntry {
+            problem,
+            makespans,
+            records,
+            logs,
+        }
+    }
+}
+
+/// A bounded FIFO cache from problem identity to [`CacheEntry`].
+///
+/// Eviction is insertion-order FIFO: the serving loop's working sets are
+/// dominated by repeated identical problems and fresh perturbations of them,
+/// so recency tracking buys little over the much simpler arrival order, and
+/// FIFO keeps the insert path allocation-free beyond the entry itself.
+#[derive(Debug)]
+pub struct ScheduleCache {
+    capacity: usize,
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    order: VecDeque<u64>,
+    len: usize,
+}
+
+impl ScheduleCache {
+    /// An empty cache holding at most `capacity` entries (capacity 0 caches
+    /// nothing and every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        ScheduleCache {
+            capacity,
+            buckets: HashMap::new(),
+            order: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the entry for `problem`, verifying full equality — a digest
+    /// collision between distinct problems misses (or finds its own
+    /// co-resident entry) instead of serving the wrong schedule.
+    pub fn get_mut(&mut self, digest: u64, problem: &BroadcastProblem) -> Option<&mut CacheEntry> {
+        self.buckets
+            .get_mut(&digest)?
+            .iter_mut()
+            .find(|e| e.problem == *problem)
+    }
+
+    /// Inserts an entry under `digest`, evicting the oldest insertion once
+    /// over capacity. The caller has already checked no equal entry exists.
+    pub fn insert(&mut self, digest: u64, entry: CacheEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.buckets.entry(digest).or_default().push(entry);
+        self.order.push_back(digest);
+        self.len += 1;
+        while self.len > self.capacity {
+            let oldest = self
+                .order
+                .pop_front()
+                .expect("cache length and order queue stay in sync");
+            if let Some(bucket) = self.buckets.get_mut(&oldest) {
+                if !bucket.is_empty() {
+                    bucket.remove(0);
+                }
+                if bucket.is_empty() {
+                    self.buckets.remove(&oldest);
+                }
+            }
+            self.len -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridcast_plogp::MessageSize;
+    use gridcast_topology::{ClusterId, GridGenerator};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn problem(seed: u64) -> BroadcastProblem {
+        let grid = GridGenerator::table2()
+            .cluster_size(4)
+            .generate(5, &mut ChaCha8Rng::seed_from_u64(seed));
+        BroadcastProblem::from_grid(&grid, ClusterId(0), MessageSize::from_mib(1))
+    }
+
+    fn entry(p: &BroadcastProblem) -> CacheEntry {
+        CacheEntry::new(
+            p.clone(),
+            vec![Time::from_millis(1.0); HeuristicKind::COUNT],
+            None,
+        )
+    }
+
+    #[test]
+    fn lookup_verifies_full_equality_not_just_the_digest() {
+        let a = problem(1);
+        let b = problem(2);
+        assert_ne!(a.content_digest(), b.content_digest());
+
+        let mut cache = ScheduleCache::new(8);
+        let digest = a.content_digest();
+        cache.insert(digest, entry(&a));
+
+        assert!(cache.get_mut(digest, &a).is_some());
+        // Simulate a digest collision: probe `a`'s digest with problem `b`.
+        // Equality verification must refuse to serve `a`'s entry for `b`.
+        assert!(cache.get_mut(digest, &b).is_none());
+
+        // Colliding distinct problems coexist in one bucket.
+        cache.insert(digest, entry(&b));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get_mut(digest, &a).is_some());
+        assert!(cache.get_mut(digest, &b).is_some());
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let mut cache = ScheduleCache::new(2);
+        let problems: Vec<_> = (0..3).map(problem).collect();
+        for p in &problems {
+            cache.insert(p.content_digest(), entry(p));
+        }
+        assert_eq!(cache.len(), 2);
+        // The first insertion is gone, the two youngest remain.
+        assert!(cache
+            .get_mut(problems[0].content_digest(), &problems[0])
+            .is_none());
+        assert!(cache
+            .get_mut(problems[1].content_digest(), &problems[1])
+            .is_some());
+        assert!(cache
+            .get_mut(problems[2].content_digest(), &problems[2])
+            .is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ScheduleCache::new(0);
+        let p = problem(3);
+        cache.insert(p.content_digest(), entry(&p));
+        assert!(cache.is_empty());
+        assert!(cache.get_mut(p.content_digest(), &p).is_none());
+    }
+}

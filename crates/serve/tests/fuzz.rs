@@ -1,0 +1,117 @@
+//! Fuzz-style property tests: no request line — however mangled — may panic
+//! the daemon. Every line gets exactly one response, and every response is
+//! well-formed JSON with a `status` field.
+
+use gridcast_serve::{wire, Server, ServerConfig};
+use proptest::prelude::*;
+use serde::Value;
+
+/// Seed templates covering every request shape the protocol knows, plus a
+/// few already-broken ones so mangling explores both sides of validity.
+const TEMPLATES: &[&str] = &[
+    r#"{"grid":"grid5000_table3"}"#,
+    r#"{"id":7,"grid":{"table2":{"clusters":4,"seed":3,"cluster_size":2}},"root":1,"payload_bytes":4096}"#,
+    r#"{"grid":{"table2":{"clusters":5,"cluster_size":2}},"heuristic":"ECEF-LAt","include_schedule":true}"#,
+    r#"{"grid":{"table2":{"clusters":3,"cluster_size":2}},"perturbations":[{"kind":"degrade_link","from":0,"to":1,"factor":2.5}],"execute":true}"#,
+    r#"{"grid":{"table2":{"clusters":3,"cluster_size":2}},"perturbations":[{"kind":"alternate_root","root":2},{"kind":"drop_relay","cluster":0}]}"#,
+    r#"{"cmd":"stats"}"#,
+    r#"{"cmd":"shutdown"}"#,
+    r#"{"grid":{"inline":{"clusters":[{"id":0,"name":"a","size":2,"intra":{"Fixed":{"broadcast_time":0.1}}}],"inter":{"n":1,"data":[]}}}}"#,
+    r#"{"grid":[],"root":null}"#,
+    "",
+];
+
+/// Deterministically mangles `template` with `ops` editing operations chosen
+/// by `seed`: truncations, byte flips, insertions and deletions, all applied
+/// on the byte level and then reinterpreted as (lossy) UTF-8.
+fn mangle(template: &str, seed: u64, ops: usize) -> String {
+    let mut bytes = template.as_bytes().to_vec();
+    let mut state = seed | 1;
+    let mut next = || {
+        // SplitMix64: cheap, deterministic, good enough for fuzz steering.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for _ in 0..ops {
+        match next() % 4 {
+            0 if !bytes.is_empty() => {
+                let at = (next() as usize) % bytes.len();
+                bytes.truncate(at);
+            }
+            1 if !bytes.is_empty() => {
+                let at = (next() as usize) % bytes.len();
+                bytes[at] = (next() % 256) as u8;
+            }
+            2 => {
+                let at = (next() as usize) % (bytes.len() + 1);
+                bytes.insert(at, (next() % 256) as u8);
+            }
+            3 if !bytes.is_empty() => {
+                let at = (next() as usize) % bytes.len();
+                bytes.remove(at);
+            }
+            _ => {}
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser alone: any mangled line parses to Ok or Err, never panics.
+    #[test]
+    fn parse_line_never_panics(
+        template in 0usize..10,
+        seed in any::<u64>(),
+        ops in 0usize..8,
+    ) {
+        let line = mangle(TEMPLATES[template], seed, ops);
+        let _ = wire::parse_line(&line);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The full daemon: a batch of mangled lines produces exactly one
+    /// well-formed JSON response per line, and the server keeps answering
+    /// valid requests afterwards.
+    #[test]
+    fn server_survives_mangled_batches(
+        seed in any::<u64>(),
+        ops in 0usize..6,
+        batch_len in 1usize..5,
+    ) {
+        let mut server = Server::new(ServerConfig {
+            workers: 2,
+            max_clusters: 64,
+            max_nodes: 4096,
+            ..ServerConfig::default()
+        });
+        let lines: Vec<String> = (0..batch_len)
+            .map(|i| {
+                let template = TEMPLATES[(seed as usize + i) % TEMPLATES.len()];
+                mangle(template, seed.wrapping_add(i as u64), ops)
+            })
+            .collect();
+        let (responses, _) = server.handle_batch(&lines);
+        prop_assert_eq!(responses.len(), lines.len());
+        for response in &responses {
+            let doc: Value = serde_json::from_str(response)
+                .map_err(|e| TestCaseError::fail(format!("unparseable response {response:?}: {e}")))?;
+            prop_assert!(
+                matches!(doc.field("status"), Some(Value::Str(_))),
+                "response without status: {}", response
+            );
+        }
+        // Still alive: a known-good request round-trips.
+        let (check, _) = server.handle_batch(&[
+            r#"{"grid":{"table2":{"clusters":3,"cluster_size":2}}}"#.to_string(),
+        ]);
+        prop_assert!(check[0].contains(r#""status":"ok""#), "server wedged: {}", &check[0]);
+    }
+}

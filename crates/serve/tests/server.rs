@@ -1,0 +1,302 @@
+//! End-to-end tests of the serving daemon: golden transcripts, worker-count
+//! bit-identity, cache/warm-start consistency and graceful rejection.
+
+use gridcast_core::BroadcastProblem;
+use gridcast_plogp::MessageSize;
+use gridcast_serve::{Server, ServerConfig};
+use gridcast_topology::{ClusterId, GridGenerator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Serialize as _, Value};
+use std::io::Cursor;
+
+fn config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    }
+}
+
+fn batch(server: &mut Server, lines: &[&str]) -> Vec<String> {
+    let lines: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    let (responses, _) = server.handle_batch(&lines);
+    responses
+}
+
+fn one(server: &mut Server, line: &str) -> String {
+    batch(server, &[line]).remove(0)
+}
+
+const TABLE2_5: &str = r#""grid":{"table2":{"clusters":5,"seed":11,"cluster_size":4}}"#;
+
+#[test]
+fn golden_transcript_control_and_error_lines() {
+    let mut server = Server::new(config(2));
+    // Control lines and rejections have fully deterministic response bytes.
+    assert_eq!(
+        one(&mut server, r#"{"cmd":"shutdown"}"#),
+        r#"{"status":"ok","msg":"shutting down"}"#
+    );
+    assert_eq!(
+        one(&mut server, r#"{"grid":"atlantis_cluster"}"#),
+        r#"{"status":"error","error":"unknown topology `atlantis_cluster` (the daemon knows \"grid5000_table3\")"}"#
+    );
+    assert_eq!(
+        one(
+            &mut server,
+            r#"{"id":3,"grid":"grid5000_table3","root":99}"#
+        ),
+        r#"{"id":3,"status":"error","error":"root 99 out of range for a grid of 6 clusters"}"#
+    );
+    let truncated = one(&mut server, "{");
+    assert!(
+        truncated.starts_with(r#"{"status":"error","error":"invalid JSON: json error:"#),
+        "unexpected rejection shape: {truncated}"
+    );
+    let stats = one(&mut server, r#"{"cmd":"stats"}"#);
+    assert!(stats.starts_with(r#"{"status":"ok","stats":{"requests":5,"ok":0,"errors":3"#));
+}
+
+#[test]
+fn scheduling_responses_have_the_documented_shape() {
+    let mut server = Server::new(config(2));
+    let line = format!(
+        r#"{{"id":1,{TABLE2_5},"heuristic":"ECEF","include_schedule":true,"execute":true}}"#
+    );
+    let response = one(&mut server, &line);
+    assert!(response.starts_with(r#"{"id":1,"status":"ok","heuristic":"ECEF","predicted_secs":"#));
+    assert!(response.contains(r#""cache":"cold""#));
+    assert!(response.contains(r#""schedule":[{"sender":"#));
+    assert!(response.contains(r#""simulated_secs":"#));
+    assert!(response.contains(r#""sim_events":"#));
+    // 5 clusters → 4 inter-cluster transfers.
+    assert_eq!(response.matches(r#""sender":"#).count(), 4);
+}
+
+#[test]
+fn transcripts_are_deterministic_across_fresh_servers() {
+    let lines: Vec<String> = vec![
+        format!(r#"{{"id":1,{TABLE2_5},"include_schedule":true}}"#),
+        format!(r#"{{"id":2,{TABLE2_5},"heuristic":"FEF"}}"#),
+        format!(
+            r#"{{"id":3,{TABLE2_5},"perturbations":[{{"kind":"degrade_link","from":0,"to":1,"factor":4.0}}],"include_schedule":true,"execute":true}}"#
+        ),
+        r#"{"id":4,"grid":"grid5000_table3","payload_bytes":65536}"#.to_string(),
+    ];
+    let run = |workers: usize| -> Vec<String> {
+        let mut server = Server::new(config(workers));
+        let (responses, _) = server.handle_batch(&lines);
+        responses
+    };
+    let reference = run(1);
+    for workers in [2, 3, 8] {
+        assert_eq!(run(workers), reference, "worker count {workers} diverged");
+    }
+}
+
+#[test]
+fn serve_loop_batches_answers_in_order_and_honours_shutdown() {
+    let request = format!(r#"{{"id":10,{TABLE2_5}}}"#);
+    let input = format!(
+        "{request}\n{}\n{}\n{}\n",
+        r#"{"cmd":"stats"}"#, r#"{"id":11,"grid":"grid5000_table3"}"#, r#"{"cmd":"shutdown"}"#,
+    );
+    let mut server = Server::new(config(2));
+    let mut output = Vec::new();
+    server
+        .serve(Cursor::new(input.into_bytes()), &mut output)
+        .unwrap();
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4, "one response per pre-shutdown line: {text}");
+    assert!(lines[0].starts_with(r#"{"id":10,"status":"ok""#));
+    assert!(lines[1].starts_with(r#"{"status":"ok","stats":"#));
+    assert!(lines[2].starts_with(r#"{"id":11,"status":"ok""#));
+    assert_eq!(lines[3], r#"{"status":"ok","msg":"shutting down"}"#);
+}
+
+#[test]
+fn cached_response_is_bit_identical_to_the_cold_run() {
+    let mut server = Server::new(config(3));
+    let line = format!(r#"{{{TABLE2_5},"include_schedule":true,"execute":true}}"#);
+    let cold = one(&mut server, &line);
+    let hit = one(&mut server, &line);
+    assert!(cold.contains(r#""cache":"cold""#));
+    assert!(hit.contains(r#""cache":"hit""#));
+    assert_eq!(hit, cold.replace(r#""cache":"cold""#, r#""cache":"hit""#));
+    assert_eq!(server.stats().cache_hits, 1);
+    assert_eq!(server.stats().cold_runs, 1);
+}
+
+#[test]
+fn warm_start_response_is_bit_identical_to_a_cold_run() {
+    let perturbed = format!(
+        r#"{{{TABLE2_5},"perturbations":[{{"kind":"degrade_link","from":0,"to":2,"factor":3.0}}],"include_schedule":true,"execute":true}}"#
+    );
+
+    // Server A: populate the cache with the unperturbed baseline, then ask
+    // for the perturbed neighbour — it must warm-start from the logs.
+    let mut warm_server = Server::new(config(2));
+    let base = format!(r#"{{{TABLE2_5}}}"#);
+    one(&mut warm_server, &base);
+    let warm = one(&mut warm_server, &perturbed);
+    assert!(warm.contains(r#""cache":"warm""#), "expected warm: {warm}");
+    assert_eq!(warm_server.stats().warm_starts, 1);
+
+    // Server B: the same perturbed request cold, from scratch.
+    let mut cold_server = Server::new(config(2));
+    let cold = one(&mut cold_server, &perturbed);
+    assert!(cold.contains(r#""cache":"cold""#));
+
+    assert_eq!(warm, cold.replace(r#""cache":"cold""#, r#""cache":"warm""#));
+}
+
+#[test]
+fn pinned_heuristic_is_honoured_on_every_path() {
+    let mut server = Server::new(config(2));
+    for expected in ["Flat Tree", "BottomUp", "ECEF-LAt"] {
+        let line = format!(
+            r#"{{{TABLE2_5},"heuristic":{}}}"#,
+            serde_json::to_string(&Value::Str(expected.into())).unwrap()
+        );
+        let response = one(&mut server, &line);
+        assert!(
+            response.contains(&format!(r#""heuristic":"{expected}""#)),
+            "pin {expected} ignored: {response}"
+        );
+    }
+    // The unpinned answer picks the best predicted makespan and also caches.
+    let free = one(&mut server, &format!(r#"{{{TABLE2_5}}}"#));
+    assert!(free.contains(r#""status":"ok""#));
+}
+
+#[test]
+fn inline_grids_differing_in_one_link_never_share_a_cache_entry() {
+    let base = GridGenerator::table2()
+        .cluster_size(4)
+        .generate(5, &mut ChaCha8Rng::seed_from_u64(7));
+    // Identical grid except one directed link's gap nudged by one part in 2^40.
+    let nudged = base.map_links(|from, to, link| {
+        if from == ClusterId(1) && to == ClusterId(3) {
+            link.with_scaled_gap(1.0 + 1.0 / (1u64 << 40) as f64)
+        } else {
+            link.clone()
+        }
+    });
+    assert_ne!(base, nudged);
+
+    // The cache key must separate them (content digest + full equality).
+    let pa = BroadcastProblem::from_grid(&base, ClusterId(0), MessageSize::from_mib(1));
+    let pb = BroadcastProblem::from_grid(&nudged, ClusterId(0), MessageSize::from_mib(1));
+    assert_ne!(pa.content_digest(), pb.content_digest());
+
+    let request = |grid: &gridcast_topology::Grid| {
+        serde_json::to_string(&Value::Map(vec![
+            (
+                "grid".into(),
+                Value::Map(vec![("inline".into(), grid.to_value())]),
+            ),
+            ("include_schedule".into(), Value::Bool(true)),
+        ]))
+        .unwrap()
+    };
+
+    let mut server = Server::new(config(2));
+    let ra1 = one(&mut server, &request(&base));
+    let rb = one(&mut server, &request(&nudged));
+    let ra2 = one(&mut server, &request(&base));
+    // Both problems ran cold (no false sharing), and the repeat of the first
+    // is a genuine hit that reproduces its cold answer.
+    assert!(ra1.contains(r#""cache":"cold""#));
+    assert!(
+        rb.contains(r#""cache":"cold""#),
+        "nudged grid hit the cache of the base grid"
+    );
+    assert_eq!(server.stats().cold_runs, 2);
+    assert_eq!(server.stats().cache_hits, 1);
+    assert_eq!(ra2, ra1.replace(r#""cache":"cold""#, r#""cache":"hit""#));
+}
+
+#[test]
+fn oversized_and_inadmissible_requests_are_rejected_gracefully() {
+    let mut server = Server::new(ServerConfig {
+        workers: 2,
+        max_line_bytes: 256,
+        max_clusters: 32,
+        max_nodes: 100,
+        ..ServerConfig::default()
+    });
+
+    // Oversized line.
+    let huge = format!(r#"{{"grid":"{}"}}"#, "x".repeat(1024));
+    let response = one(&mut server, &huge);
+    assert!(response.contains(r#""status":"error""#));
+    assert!(response.contains("exceeds the limit"));
+
+    // Too many clusters.
+    let response = one(&mut server, r#"{"grid":{"table2":{"clusters":1000}}}"#);
+    assert!(response.contains("exceeds the admission limit"));
+
+    // Cluster count admitted, node count not (20 × 16 = 320 > 100).
+    let response = one(&mut server, r#"{"grid":{"table2":{"clusters":20}}}"#);
+    assert!(response.contains("machines exceeds the admission limit"));
+
+    // Inline grid with forged matrix dimensions.
+    let response = one(
+        &mut server,
+        r#"{"grid":{"inline":{"clusters":[{"id":0,"name":"a","size":2,"intra":{"Fixed":{"broadcast_time":0.1}}}],"inter":{"n":5,"data":[]}}}}"#,
+    );
+    assert!(
+        response.contains(r#""status":"error""#),
+        "forged inline grid accepted: {response}"
+    );
+
+    // The server still works after every rejection.
+    let ok = one(
+        &mut server,
+        r#"{"grid":{"table2":{"clusters":4,"cluster_size":4}}}"#,
+    );
+    assert!(ok.contains(r#""status":"ok""#));
+    assert_eq!(server.stats().errors, 4);
+}
+
+#[test]
+fn stats_count_hits_warms_and_colds() {
+    let mut server = Server::new(config(2));
+    let base = format!(r#"{{{TABLE2_5}}}"#);
+    let perturbed = format!(
+        r#"{{{TABLE2_5},"perturbations":[{{"kind":"degrade_uplink","cluster":1,"factor":2.0}}]}}"#
+    );
+    one(&mut server, &base); // cold
+    one(&mut server, &base); // hit
+    one(&mut server, &perturbed); // warm
+    one(&mut server, &perturbed); // hit
+    let stats = server.stats();
+    assert_eq!(stats.cold_runs, 1);
+    assert_eq!(stats.warm_starts, 1);
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.ok, 4);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.batches, 4);
+    assert!(stats.latency.count() >= 4);
+
+    let rendered = one(&mut server, r#"{"cmd":"stats"}"#);
+    assert!(rendered.contains(r#""cache_hits":2,"warm_starts":1,"cold_runs":1"#));
+}
+
+#[test]
+fn batched_duplicates_and_mixed_lines_answer_in_order() {
+    let mut server = Server::new(config(4));
+    let good = format!(r#"{{"id":1,{TABLE2_5}}}"#);
+    let responses = batch(
+        &mut server,
+        &[&good, "garbage", &good, r#"{"cmd":"stats"}"#],
+    );
+    assert_eq!(responses.len(), 4);
+    assert!(responses[0].starts_with(r#"{"id":1,"status":"ok""#));
+    assert!(responses[1].starts_with(r#"{"status":"error""#));
+    // Same problem, same batch: classified before the first result landed,
+    // so both are cold — but bit-identical.
+    assert_eq!(responses[2], responses[0]);
+    assert!(responses[3].starts_with(r#"{"status":"ok","stats":"#));
+}

@@ -30,6 +30,12 @@ pub enum SimError {
     /// The trace sink's writer failed; the first I/O error is carried here
     /// (see [`TraceSink::take_error`](crate::TraceSink::take_error)).
     Trace(std::io::Error),
+    /// A what-if evaluation had an empty candidate set to pick a winner from
+    /// (no heuristics configured), so "the best makespan" does not exist.
+    /// Surfaced by the fallible runner entry points
+    /// ([`WhatIfRunner::try_run`](crate::WhatIfRunner::try_run) and friends)
+    /// instead of the `min().unwrap()` panic this class of bug used to be.
+    NoCandidates,
 }
 
 impl fmt::Display for SimError {
@@ -41,6 +47,11 @@ impl fmt::Display for SimError {
                  the clock never runs backwards"
             ),
             SimError::Trace(e) => write!(f, "trace sink write failed: {e}"),
+            SimError::NoCandidates => write!(
+                f,
+                "no candidate heuristics to choose a winner from — the evaluation \
+                 needs at least one"
+            ),
         }
     }
 }
@@ -48,7 +59,7 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SimError::ClockRegression { .. } => None,
+            SimError::ClockRegression { .. } | SimError::NoCandidates => None,
             SimError::Trace(e) => Some(e),
         }
     }
@@ -67,6 +78,13 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("1.000ms"));
         assert!(text.contains("2.000ms"));
+    }
+
+    #[test]
+    fn no_candidates_is_self_explanatory() {
+        let e = SimError::NoCandidates;
+        assert!(e.to_string().contains("no candidate heuristics"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

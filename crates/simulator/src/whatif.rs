@@ -39,6 +39,7 @@
 //!    builds the loss-rate × crash-set grid of such scenarios.
 
 use crate::engine::execute_plan_with_sink;
+use crate::error::SimError;
 use crate::faults::{execute_plan_under_faults, CapacityWindow, FaultPlan, NodeCrash, RetryPolicy};
 use crate::network::NodeNetwork;
 use crate::outcome::{Outcome, SimulationOutcome};
@@ -187,6 +188,18 @@ struct WarmState {
     patched: Vec<(ClusterId, ClusterId)>,
 }
 
+/// The winning slot of a candidate-makespan vector: smallest makespan, ties
+/// to the earlier slot. An empty candidate set has no winner — that is a
+/// structured [`SimError::NoCandidates`], not a `min().unwrap()` panic.
+fn best_candidate(makespans: &[Time]) -> Result<(usize, Time), SimError> {
+    makespans
+        .iter()
+        .copied()
+        .enumerate()
+        .min_by(|(i, a), (j, b)| a.cmp(b).then(i.cmp(j)))
+        .ok_or(SimError::NoCandidates)
+}
+
 /// Whether the warm evaluation path handles this scenario. Grid-wide scaling
 /// dirties every sender row *and* patches `O(n²)` links (the bookkeeping
 /// costs more than the replay saves), and an alternate root makes the
@@ -243,10 +256,11 @@ impl<'a> WhatIfRunner<'a> {
         self
     }
 
-    /// Overrides the candidate heuristics (at least one; order defines the
-    /// tie-break and the [`WhatIfReport::makespans`] layout).
+    /// Overrides the candidate heuristics (order defines the tie-break and
+    /// the [`WhatIfReport::makespans`] layout). An empty list is accepted
+    /// here but cannot be evaluated: the fallible entry points return
+    /// [`SimError::NoCandidates`] and the infallible ones panic with it.
     pub fn with_kinds(mut self, kinds: &[HeuristicKind]) -> Self {
-        assert!(!kinds.is_empty(), "the runner needs at least one heuristic");
         self.kinds = kinds.to_vec();
         self
     }
@@ -264,6 +278,14 @@ impl<'a> WhatIfRunner<'a> {
         self.run_with_telemetry(scenarios).0
     }
 
+    /// Fallible twin of [`WhatIfRunner::run`]: a mis-configured sweep (no
+    /// candidate heuristics) comes back as a structured [`SimError`] instead
+    /// of a panic — the entry point for long-running callers such as the
+    /// serving daemon, which must reject a bad request and keep serving.
+    pub fn try_run(&self, scenarios: &[Scenario]) -> Result<Vec<WhatIfReport>, SimError> {
+        Ok(self.try_run_with_telemetry(scenarios)?.0)
+    }
+
     /// Like [`WhatIfRunner::run`], additionally returning the summed
     /// warm-start telemetry of every worker engine (all zeros when the
     /// runner is cold or the core's `telemetry` feature is off).
@@ -271,9 +293,21 @@ impl<'a> WhatIfRunner<'a> {
         &self,
         scenarios: &[Scenario],
     ) -> (Vec<WhatIfReport>, WarmStartTelemetry) {
-        let mut out: Vec<Option<WhatIfReport>> = (0..scenarios.len()).map(|_| None).collect();
+        self.try_run_with_telemetry(scenarios)
+            .unwrap_or_else(|e| panic!("what-if sweep failed: {e}"))
+    }
+
+    /// Fallible twin of [`WhatIfRunner::run_with_telemetry`]. On error the
+    /// remaining scenarios of each shard are skipped and the first error in
+    /// scenario order is returned.
+    pub fn try_run_with_telemetry(
+        &self,
+        scenarios: &[Scenario],
+    ) -> Result<(Vec<WhatIfReport>, WarmStartTelemetry), SimError> {
+        let mut out: Vec<Option<Result<WhatIfReport, SimError>>> =
+            (0..scenarios.len()).map(|_| None).collect();
         if scenarios.is_empty() {
-            return (Vec::new(), WarmStartTelemetry::default());
+            return Ok((Vec::new(), WarmStartTelemetry::default()));
         }
         let chunk = scenarios.len().div_ceil(self.threads.min(scenarios.len()));
         let mut counters = vec![WarmStartTelemetry::default(); scenarios.len().div_ceil(chunk)];
@@ -298,16 +332,23 @@ impl<'a> WhatIfRunner<'a> {
                     for (i, (scenario, slot)) in
                         scenario_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
                     {
-                        *slot = Some(match warm.as_mut() {
-                            Some(w) if warm_eligible(scenario) => self.evaluate_warm(
+                        let report = match warm.as_mut() {
+                            Some(w) if warm_eligible(scenario) => self.try_evaluate_warm(
                                 &mut engine,
                                 w,
                                 &mut makespans,
                                 base + i,
                                 scenario,
                             ),
-                            _ => self.evaluate(&mut engine, &mut makespans, base + i, scenario),
-                        });
+                            _ => self.try_evaluate(&mut engine, &mut makespans, base + i, scenario),
+                        };
+                        let failed = report.is_err();
+                        *slot = Some(report);
+                        if failed {
+                            // Skip the rest of the shard: the caller gets the
+                            // first error in scenario order, not a panic.
+                            break;
+                        }
                     }
                     let t = engine.take_telemetry();
                     *counter = WarmStartTelemetry {
@@ -321,15 +362,23 @@ impl<'a> WhatIfRunner<'a> {
         let telemetry = counters
             .into_iter()
             .fold(WarmStartTelemetry::default(), WarmStartTelemetry::merge);
-        let reports = out
-            .into_iter()
-            .map(|r| r.expect("every scenario was evaluated by its shard"))
-            .collect();
-        (reports, telemetry)
+        let mut reports = Vec::with_capacity(out.len());
+        for slot in out {
+            match slot {
+                Some(Ok(report)) => reports.push(report),
+                Some(Err(e)) => return Err(e),
+                // Only reachable behind an erroring slot of the same shard,
+                // and the error above returns first.
+                None => return Err(SimError::NoCandidates),
+            }
+        }
+        Ok((reports, telemetry))
     }
 
     /// Evaluates one scenario with a caller-owned engine (the worker loop;
     /// also the convenient sequential entry point for tests and figures).
+    /// Panics on a mis-configured runner — [`WhatIfRunner::try_evaluate`] is
+    /// the fallible twin.
     pub fn evaluate(
         &self,
         engine: &mut ScheduleEngine,
@@ -337,15 +386,22 @@ impl<'a> WhatIfRunner<'a> {
         index: usize,
         scenario: &Scenario,
     ) -> WhatIfReport {
+        self.try_evaluate(engine, makespans, index, scenario)
+            .unwrap_or_else(|e| panic!("what-if evaluation failed: {e}"))
+    }
+
+    /// Fallible twin of [`WhatIfRunner::evaluate`].
+    pub fn try_evaluate(
+        &self,
+        engine: &mut ScheduleEngine,
+        makespans: &mut Vec<Time>,
+        index: usize,
+        scenario: &Scenario,
+    ) -> Result<WhatIfReport, SimError> {
         let (grid, root) = scenario.apply(self.grid, self.root);
         let problem = BroadcastProblem::from_grid(&grid, root, self.message);
         engine.makespans_into(&problem, &self.kinds, makespans);
-        let (best_slot, predicted) = makespans
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by(|(i, a), (j, b)| a.cmp(b).then(i.cmp(j)))
-            .expect("at least one heuristic");
+        let (best_slot, predicted) = best_candidate(makespans)?;
         let best = self.kinds[best_slot];
         let schedule = engine.schedule(&problem, best);
         let (outcome, retries, undelivered) = match self.effective_faults(scenario) {
@@ -356,7 +412,7 @@ impl<'a> WhatIfRunner<'a> {
                 self.execute_faulty(&network, &plan, &faults)
             }
         };
-        WhatIfReport {
+        Ok(WhatIfReport {
             scenario: index,
             makespans: makespans.clone(),
             best,
@@ -365,7 +421,7 @@ impl<'a> WhatIfRunner<'a> {
             events: outcome.events_processed,
             retries,
             undelivered,
-        }
+        })
     }
 
     /// Builds this worker's warm-start state: the baseline problem, one
@@ -388,14 +444,14 @@ impl<'a> WhatIfRunner<'a> {
     /// every baseline log under the scenario's delta, re-run only the
     /// divergent suffix of the winner, execute on the long-lived network.
     /// Bit-identical to [`WhatIfRunner::evaluate`] on the same scenario.
-    fn evaluate_warm(
+    fn try_evaluate_warm(
         &self,
         engine: &mut ScheduleEngine,
         warm: &mut WarmState,
         makespans: &mut Vec<Time>,
         index: usize,
         scenario: &Scenario,
-    ) -> WhatIfReport {
+    ) -> Result<WhatIfReport, SimError> {
         // Undo the previous scenario's patches from the baseline, then patch
         // this scenario's perturbation chain in — both `O(touched links)`.
         for &(f, t) in &warm.patched {
@@ -415,12 +471,7 @@ impl<'a> WhatIfRunner<'a> {
         let delta =
             ReplayDelta::from_perturbations(warm.problem.num_clusters(), &scenario.perturbations);
         engine.warm_makespans_into(&warm.problem, &warm.logs, &delta, makespans);
-        let (best_slot, predicted) = makespans
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by(|(i, a), (j, b)| a.cmp(b).then(i.cmp(j)))
-            .expect("at least one heuristic");
+        let (best_slot, predicted) = best_candidate(makespans)?;
         let best = self.kinds[best_slot];
         engine.warm_run(&warm.problem, &warm.logs[best_slot], &delta);
         let plan =
@@ -439,7 +490,7 @@ impl<'a> WhatIfRunner<'a> {
             ),
             Some(faults) => self.execute_faulty(&warm.network, &plan, &faults),
         };
-        WhatIfReport {
+        Ok(WhatIfReport {
             scenario: index,
             makespans: makespans.clone(),
             best,
@@ -448,7 +499,7 @@ impl<'a> WhatIfRunner<'a> {
             events: outcome.events_processed,
             retries,
             undelivered,
-        }
+        })
     }
 
     /// The fault plan the execution leg actually runs under: the scenario's
@@ -616,7 +667,13 @@ mod tests {
         let report = &reports[0];
         assert_eq!(report.scenario, 0);
         assert_eq!(report.makespans.len(), runner_kinds_len());
-        let min = report.makespans.iter().copied().min().unwrap();
+        // Fold from INFINITY instead of `min().unwrap()`: an empty makespan
+        // set must never be able to panic this path.
+        let min = report
+            .makespans
+            .iter()
+            .copied()
+            .fold(Time::INFINITY, std::cmp::min);
         assert_eq!(report.predicted, min);
         assert!(report.simulated.is_finite());
         assert_eq!(report.events, 87);
@@ -624,6 +681,63 @@ mod tests {
 
     fn runner_kinds_len() -> usize {
         HeuristicKind::all().len()
+    }
+
+    #[test]
+    fn empty_candidate_set_is_a_structured_error_not_a_panic() {
+        let grid = grid5000_table3();
+        let runner = WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0))
+            .with_kinds(&[])
+            .with_threads(2);
+        // Cold, warm, and the sequential entry point all surface the error.
+        for r in [
+            runner.try_run(&[Scenario::baseline(), Scenario::baseline()]),
+            runner
+                .clone()
+                .with_warm_start(true)
+                .try_run(&[Scenario::baseline()]),
+        ] {
+            assert!(matches!(r, Err(SimError::NoCandidates)), "got {r:?}");
+        }
+        let mut engine = ScheduleEngine::new();
+        let mut makespans = Vec::new();
+        let r = runner.try_evaluate(&mut engine, &mut makespans, 0, &Scenario::baseline());
+        assert!(matches!(r, Err(SimError::NoCandidates)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate heuristics")]
+    fn infallible_run_panics_loudly_on_empty_candidates() {
+        let grid = grid5000_table3();
+        WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0))
+            .with_kinds(&[])
+            .run(&[Scenario::baseline()]);
+    }
+
+    #[test]
+    fn all_heuristics_incomplete_scenario_reports_instead_of_panicking() {
+        // Total loss with a single delivery attempt: every heuristic's
+        // schedule comes back Incomplete, every simulated completion is
+        // infinite — the report must say so loudly, not panic anywhere
+        // downstream (this is the empty-finite-makespan shape that used to
+        // trip `min().unwrap()` consumers).
+        let grid = grid5000_table3();
+        let runner = WhatIfRunner::new(&grid, MessageSize::from_mib(1), ClusterId(0))
+            .with_threads(2)
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            });
+        let scenarios =
+            vec![Scenario::baseline().with_faults(FaultPlan::new(0xDEAD).with_loss(1.0))];
+        let reports = runner
+            .try_run(&scenarios)
+            .expect("a loud report, not an error");
+        let report = &reports[0];
+        assert!(!report.simulated.is_finite());
+        assert!(report.undelivered > 0, "incomplete runs name their edges");
+        // The prediction leg is fault-free and stays finite.
+        assert!(report.predicted.is_finite());
     }
 
     /// A scenario mix with fault plans interleaved: perturbed grids, lossy

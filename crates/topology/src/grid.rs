@@ -1,7 +1,7 @@
 //! The [`Grid`]: a set of clusters plus inter-cluster link parameters.
 
-use crate::{Cluster, ClusterId, Node, NodeId, SquareMatrix};
-use gridcast_plogp::{MessageSize, PLogP, Time};
+use crate::{Cluster, ClusterId, IntraClusterParams, Node, NodeId, SquareMatrix};
+use gridcast_plogp::{Fnv1a, MessageSize, PLogP, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -27,6 +27,13 @@ pub enum GridError {
         /// The offending identifier.
         cluster: ClusterId,
     },
+    /// A structural invariant every constructor guarantees was violated — only
+    /// reachable through deserialized grids, whose fields are decoded
+    /// independently (see [`Grid::check_consistency`]).
+    Inconsistent {
+        /// The violated invariant, human-readable.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for GridError {
@@ -41,6 +48,9 @@ impl fmt::Display for GridError {
             }
             GridError::EmptyCluster { cluster } => {
                 write!(f, "cluster {cluster} has no machines")
+            }
+            GridError::Inconsistent { detail } => {
+                write!(f, "inconsistent grid: {detail}")
             }
         }
     }
@@ -204,6 +214,40 @@ impl Grid {
         }
     }
 
+    /// A 64-bit content digest of the grid's **full parameter set**: cluster
+    /// count, every cluster's name/size/intra model, and every directed link's
+    /// pLogP parameters, hashed by IEEE-754 bit pattern.
+    ///
+    /// Two grids digest equal iff their parameters are bit-identical — the
+    /// same shape with one link changed by one ULP digests differently. This
+    /// is the grid half of the schedule cache key (the serving layer combines
+    /// it with root and payload identity); being a 64-bit hash it is an index,
+    /// not a proof, so cache lookups pair it with a full equality check.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        let n = self.clusters.len();
+        h.write_u64(n as u64);
+        for c in &self.clusters {
+            h.write_str(&c.name).write_u64(u64::from(c.size));
+            match &c.intra {
+                IntraClusterParams::Fixed { broadcast_time } => {
+                    h.write_u64(0).write_f64(broadcast_time.as_secs());
+                }
+                IntraClusterParams::Modelled { plogp } => {
+                    h.write_u64(1);
+                    plogp.digest_into(&mut h);
+                }
+            }
+        }
+        // The whole matrix, diagonal included (it mirrors the intra model).
+        for i in 0..n {
+            for j in 0..n {
+                self.inter[(i, j)].digest_into(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Replaces one directed inter-cluster link in place.
     ///
     /// This is the incremental counterpart of [`Grid::map_links`]: a warm
@@ -214,6 +258,45 @@ impl Grid {
     pub fn set_link(&mut self, from: ClusterId, to: ClusterId, link: PLogP) {
         assert_ne!(from, to, "the diagonal carries no inter-cluster link");
         self.inter[(from.index(), to.index())] = link;
+    }
+
+    /// Validates the structural invariants every constructor guarantees but a
+    /// `Deserialize`d grid may silently violate, because derived
+    /// deserialization decodes fields independently: the link matrix must
+    /// actually hold `n × n` entries for its claimed dimension, that dimension
+    /// must match the cluster count, cluster ids must be the dense `0..n`
+    /// sequence, and the usual build-time checks (at least one cluster, no
+    /// empty cluster) must hold. Accepting a grid from the wire without this
+    /// check turns a malformed document into an out-of-bounds panic deep in
+    /// the scheduler.
+    pub fn check_consistency(&self) -> Result<(), GridError> {
+        if self.clusters.is_empty() {
+            return Err(GridError::NoClusters);
+        }
+        if !self.inter.is_consistent() {
+            return Err(GridError::Inconsistent {
+                detail: "link matrix storage does not hold n × n entries for its claimed dimension",
+            });
+        }
+        if self.inter.dim() != self.clusters.len() {
+            return Err(GridError::Inconsistent {
+                detail: "link matrix dimension does not match the cluster count",
+            });
+        }
+        if self
+            .clusters
+            .iter()
+            .enumerate()
+            .any(|(i, c)| c.id.index() != i)
+        {
+            return Err(GridError::Inconsistent {
+                detail: "cluster ids are not the dense 0..n sequence",
+            });
+        }
+        if let Some(empty) = self.clusters.iter().find(|c| c.size == 0) {
+            return Err(GridError::EmptyCluster { cluster: empty.id });
+        }
+        Ok(())
     }
 }
 
@@ -468,6 +551,73 @@ mod tests {
         // Symmetric grids are their own transpose.
         let sym = toy_grid(4);
         assert_eq!(sym.transposed(), sym);
+    }
+
+    #[test]
+    fn check_consistency_accepts_round_trips_and_rejects_forged_documents() {
+        use serde::{Deserialize as _, Serialize as _, Value};
+
+        let grid = toy_grid(3);
+        assert!(grid.check_consistency().is_ok());
+        let back = Grid::from_value(&grid.to_value()).unwrap();
+        assert!(back.check_consistency().is_ok());
+        assert_eq!(back, grid);
+
+        // Forge a document whose matrix claims a bigger dimension than its
+        // storage: derived deserialization accepts it, the guard must not.
+        let mut doc = grid.to_value();
+        if let Value::Map(fields) = &mut doc {
+            let inter = fields.iter_mut().find(|(k, _)| k == "inter").unwrap();
+            if let Value::Map(m) = &mut inter.1 {
+                for (k, v) in m.iter_mut() {
+                    if k == "n" {
+                        *v = Value::U64(64);
+                    }
+                }
+            }
+        }
+        let forged = Grid::from_value(&doc).unwrap();
+        assert!(matches!(
+            forged.check_consistency(),
+            Err(GridError::Inconsistent { .. })
+        ));
+
+        // Dimension/cluster-count mismatch is caught even with a self-
+        // consistent matrix.
+        let mut doc = grid.to_value();
+        if let Value::Map(fields) = &mut doc {
+            let clusters = fields.iter_mut().find(|(k, _)| k == "clusters").unwrap();
+            if let Value::Seq(list) = &mut clusters.1 {
+                list.pop();
+            }
+        }
+        let truncated = Grid::from_value(&doc).unwrap();
+        assert!(matches!(
+            truncated.check_consistency(),
+            Err(GridError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn content_digest_tracks_every_parameter() {
+        let grid = toy_grid(4);
+        // Deterministic: same construction, same digest.
+        assert_eq!(grid.content_digest(), toy_grid(4).content_digest());
+        // One directed link changed by a tiny amount flips the digest.
+        let mut nudged = grid.clone();
+        let link = nudged.link(ClusterId(1), ClusterId(2)).clone();
+        let bumped = PLogP::constant(
+            link.latency() + Time::from_micros(1.0),
+            link.gap(MessageSize::from_mib(1)),
+        );
+        nudged.set_link(ClusterId(1), ClusterId(2), bumped);
+        assert_ne!(grid.content_digest(), nudged.content_digest());
+        // Cluster metadata (a renamed site) also flips it.
+        let mut renamed = grid.clone();
+        renamed.clusters[0].name = "other".to_string();
+        assert_ne!(grid.content_digest(), renamed.content_digest());
+        // Different shape, trivially different.
+        assert_ne!(grid.content_digest(), toy_grid(5).content_digest());
     }
 
     #[test]

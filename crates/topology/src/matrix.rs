@@ -44,6 +44,19 @@ impl<T> SquareMatrix<T> {
         self.n
     }
 
+    /// Whether the backing storage actually holds `n × n` entries.
+    ///
+    /// Every constructor guarantees this, but `Deserialize` is derived
+    /// field-by-field, so a hand-written (or adversarial) document can claim
+    /// one dimension and ship another — indexing such a matrix panics.
+    /// Callers accepting matrices from the wire must check this first
+    /// (see `Grid::check_consistency` in this crate).
+    pub fn is_consistent(&self) -> bool {
+        self.n
+            .checked_mul(self.n)
+            .is_some_and(|len| self.data.len() == len)
+    }
+
     /// Immutable access with bounds checking, returning `None` out of range.
     pub fn get(&self, row: usize, col: usize) -> Option<&T> {
         if row < self.n && col < self.n {
@@ -175,5 +188,26 @@ mod tests {
     fn out_of_bounds_index_panics() {
         let m = SquareMatrix::filled(2, 0u8);
         let _ = m[(0, 2)];
+    }
+
+    #[test]
+    fn consistency_survives_round_trip_and_catches_forged_dimensions() {
+        use serde::{Deserialize as _, Serialize as _};
+        let m = SquareMatrix::from_rows(2, vec![1u32, 2, 3, 4]);
+        assert!(m.is_consistent());
+        let back = SquareMatrix::<u32>::from_value(&m.to_value()).unwrap();
+        assert!(back.is_consistent());
+        assert_eq!(back, m);
+        // A document claiming a larger dimension than its data deserializes
+        // fine (derived impl checks fields independently) but must be caught.
+        let forged = serde::Value::Map(vec![
+            ("n".into(), serde::Value::U64(3)),
+            (
+                "data".into(),
+                serde::Value::Seq(vec![serde::Value::U64(1); 4]),
+            ),
+        ]);
+        let bad = SquareMatrix::<u32>::from_value(&forged).unwrap();
+        assert!(!bad.is_consistent());
     }
 }

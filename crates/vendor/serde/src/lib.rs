@@ -119,6 +119,18 @@ macro_rules! impl_signed {
 impl_unsigned!(u8, u16, u32, u64, usize);
 impl_signed!(i8, i16, i32, i64, isize);
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::F64(*self)

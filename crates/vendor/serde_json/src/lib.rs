@@ -48,6 +48,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut parser = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     parser.skip_ws();
     let value = parser.parse_value()?;
@@ -120,9 +121,16 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. The parser is recursive
+/// descent, so unbounded nesting is a stack-overflow abort — a crash, not an
+/// `Err` — on hostile input like `"[[[[…"`. 128 levels is far beyond any
+/// document the workspace produces and keeps worst-case stack usage small.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -152,11 +160,33 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn descend(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(Error::new(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
     fn parse_value(&mut self) -> Result<Value, Error> {
         self.skip_ws();
         match self.peek() {
-            Some(b'{') => self.parse_map(),
-            Some(b'[') => self.parse_seq(),
+            Some(b'{') => {
+                self.descend()?;
+                let v = self.parse_map();
+                self.depth -= 1;
+                v
+            }
+            Some(b'[') => {
+                self.descend()?;
+                let v = self.parse_seq();
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(Value::Str(self.parse_string()?)),
             Some(b't') => self.parse_literal("true", Value::Bool(true)),
             Some(b'f') => self.parse_literal("false", Value::Bool(false)),
@@ -316,6 +346,12 @@ impl<'a> Parser<'a> {
             if let Ok(n) = text.parse::<i64>() {
                 return Ok(Value::I64(n));
             }
+            // An integer literal that fits neither u64 nor i64 must not be
+            // silently rounded through f64 — a cache key or byte count losing
+            // low bits is corruption, not convenience. (Out-of-range *float*
+            // literals like `1e999` still parse to the IEEE infinities; that
+            // is this crate's documented infinity encoding.)
+            return Err(Error::new(format!("integer literal `{text}` out of range")));
         }
         text.parse::<f64>()
             .map(Value::F64)
@@ -357,5 +393,81 @@ mod tests {
     fn rejects_garbage() {
         assert!(from_str::<f64>("nope").is_err());
         assert!(from_str::<f64>("1.5 extra").is_err());
+    }
+
+    #[test]
+    fn truncated_documents_error_cleanly() {
+        for doc in [
+            "",
+            "{",
+            "[",
+            "{\"a\"",
+            "{\"a\":",
+            "{\"a\":1",
+            "{\"a\":1,",
+            "[1,2",
+            "[1,",
+            "\"unterminated",
+            "\"ends in backslash\\",
+            "tru",
+            "nul",
+            "-",
+        ] {
+            assert!(from_str::<Value>(doc).is_err(), "accepted {doc:?}");
+        }
+    }
+
+    #[test]
+    fn bad_escapes_error_cleanly() {
+        for doc in [
+            r#""\x""#,
+            r#""\u""#,
+            r#""\u12""#,
+            r#""\uzzzz""#,
+            r#""\ud800""#, // lone surrogate: not a char
+        ] {
+            assert!(from_str::<Value>(doc).is_err(), "accepted {doc:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_integers_error_instead_of_rounding() {
+        // One past u64::MAX / i64::MIN: would lose bits through f64.
+        assert!(from_str::<Value>("18446744073709551616").is_err());
+        assert!(from_str::<Value>("-9223372036854775809").is_err());
+        // The extremes themselves are fine.
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>("-9223372036854775808").unwrap(), i64::MIN);
+        // Out-of-range *float* literals stay the documented infinity encoding.
+        assert_eq!(from_str::<f64>("1e999").unwrap(), f64::INFINITY);
+        assert_eq!(from_str::<f64>("-1e999").unwrap(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_a_stack_overflow() {
+        // Just inside the limit parses.
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str::<Value>(&deep_ok).is_ok());
+        // One past the limit is a clean error; 100k past it must not abort.
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(from_str::<Value>(&too_deep).is_err());
+        let hostile = "[".repeat(100_000);
+        assert!(from_str::<Value>(&hostile).is_err());
+        let hostile_maps = "{\"a\":".repeat(100_000);
+        assert!(from_str::<Value>(&hostile_maps).is_err());
+        // Depth is nesting, not sibling count: wide documents are fine.
+        let wide = format!("[{}1]", "1,".repeat(10_000));
+        assert!(from_str::<Value>(&wide).is_ok());
+    }
+
+    #[test]
+    fn value_round_trips_arbitrary_documents() {
+        let doc = r#"{"id":7,"name":"grid","links":[1.5,2.25,null,true],"meta":{"k":"v"}}"#;
+        let v: Value = from_str(doc).unwrap();
+        assert_eq!(to_string(&v).unwrap(), doc);
     }
 }
