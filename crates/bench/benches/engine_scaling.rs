@@ -9,10 +9,12 @@
 //! `gridcast_bench`'s crate docs) with batch and per-heuristic medians, the
 //! heuristic-sharded timings at 500+ clusters, the engine's cache telemetry,
 //! and the least-squares growth exponent — and fails loudly if that exponent
-//! leaves the sub-`n^2.1` envelope, if the sharded batch is slower than the
-//! serial one by more than 5% at 500+ clusters, or (under
-//! `ENGINE_SCALING_BASELINE_GATE=1`) if the 200-cluster median regresses
-//! >15% against the committed report.
+//! leaves the `n^2.08` envelope, if the sharded batch is slower than the
+//! serial one by more than 5% at 500+ clusters, (under
+//! `ENGINE_SCALING_BASELINE_GATE=1`) if the 200-cluster median regresses more
+//! than 15% against the committed report, or (under `ENGINE_BATCH_GATE=1`, or
+//! `=<millis>` for a custom floor) if the 1000-cluster seven-heuristic batch
+//! median exceeds the 100 ms absolute-time floor.
 //!
 //! The report also carries the **adaptive-K probe**: the candidate-row width
 //! K is a pure performance knob (schedules are byte-identical for any K ≥ 1,
@@ -21,7 +23,9 @@
 //! at 500 and 1000 clusters and records each configuration's repair rate,
 //! rescan count and wall time under `k_best_probe`, plus the width
 //! `adaptive_k_best(n)` actually picks per sweep size — the evidence behind
-//! the adaptive default (2 up to 256 clusters, 4 above).
+//! the per-policy width tables (`adaptive_k_best_for`: static rows stay at
+//! K=1, gradually decaying policies step 2 → 4 → 6, steeply decaying ones
+//! 2 → 4 → 8).
 //!
 //! Under `ENGINE_SCALING_FRONTIER=1` the report additionally measures a
 //! 10 000-cluster frontier point (grid generation plus one seven-heuristic
@@ -45,10 +49,22 @@ const SIZES: [usize; 6] = [10, 50, 100, 200, 500, 1000];
 const SHARDED_FROM: usize = 500;
 
 /// The exponent gate: a least-squares fit of `log t` over `log n` must stay
-/// below this for the full sweep. The adaptive-K engine with the
-/// receiver-major twin fits ~1.95 on these sizes; 2.1 leaves noise headroom
-/// while still failing any reintroduced super-quadratic rescan term.
-const MAX_FITTED_EXPONENT: f64 = 2.1;
+/// below this for the full sweep. The per-policy K tables plus the bucketed
+/// rescan index measure ~2.04 on these sizes (the tail's remaining walk is
+/// memory-bound, so the fit sits just above 2 even with the rescan counts
+/// down ~37%); 2.08 leaves noise headroom while still failing any
+/// reintroduced super-quadratic rescan term, which lands ≥2.15.
+const MAX_FITTED_EXPONENT: f64 = 2.08;
+
+/// Absolute-time floor (milliseconds) for the 1000-cluster seven-heuristic
+/// batch median when `ENGINE_BATCH_GATE` is armed without a custom value.
+/// Wall-clock floors are machine-dependent, so the gate stays env-armed like
+/// the baseline gate instead of running unconditionally. 100 ms is the
+/// target the raw-speed ladder is driving towards; the dev container
+/// currently measures ~130–150 ms (the remaining cost is the rescan walk's
+/// memory-bound edge pricing, not bookkeeping), so CI arms the gate with an
+/// explicit calibrated value instead of the default.
+const DEFAULT_BATCH_GATE_MILLIS: f64 = 100.0;
 
 /// Maximum tolerated ratio of the sharded batch median to the serial batch
 /// median at `SHARDED_FROM`+ clusters. The sharded path short-circuits to
@@ -259,6 +275,29 @@ fn report_scaling() {
             );
         }
     }
+    if let Some(armed) = std::env::var("ENGINE_BATCH_GATE").ok().filter(|v| v != "0") {
+        // `ENGINE_BATCH_GATE=1` arms the default floor; any other value is a
+        // custom floor in milliseconds.
+        let gate_ms: f64 = match armed.parse() {
+            Ok(ms) if armed != "1" => ms,
+            _ => DEFAULT_BATCH_GATE_MILLIS,
+        };
+        let current_ms = points
+            .iter()
+            .find(|p| p.clusters == 1000)
+            .expect("1000-cluster point is always measured")
+            .median_ns
+            / 1e6;
+        println!(
+            "engine_scaling: 1000-cluster batch median {current_ms:.1} ms \
+             (gate: {gate_ms:.0} ms)"
+        );
+        assert!(
+            current_ms <= gate_ms,
+            "1000-cluster seven-heuristic batch median {current_ms:.1} ms \
+             exceeds the {gate_ms:.0} ms ENGINE_BATCH_GATE floor"
+        );
+    }
     if std::env::var_os("ENGINE_SCALING_BASELINE_GATE").is_some() {
         let current = points
             .iter()
@@ -405,8 +444,11 @@ fn measure_frontier() -> String {
     );
     let _ = writeln!(
         block,
-        "    \"rescans\": {}, \"repair_rate\": {:.3},",
+        "    \"rescans\": {}, \"walked_senders\": {}, \"bucket_skips\": {}, \
+         \"repair_rate\": {:.3},",
         telemetry.rescans,
+        telemetry.walked_senders,
+        telemetry.bucket_skips,
         telemetry.repair_rate()
     );
     block.push_str("    \"predicted_makespan_secs\": {");
@@ -478,13 +520,14 @@ fn write_report(points: &[Point], exponent: f64, probe: &[KProbePoint], frontier
             json,
             "     \"telemetry\": {{\"rounds\": {}, \"invalidations\": {}, \
              \"second_best_hits\": {}, \"promotions\": {}, \"rescans\": {}, \
-             \"heap_pops\": {}, \"repair_rate\": {:.3}}}}}{}",
+             \"walked_senders\": {}, \"bucket_skips\": {}, \"repair_rate\": {:.3}}}}}{}",
             t.rounds,
             t.invalidations,
             t.second_best_hits,
             t.promotions,
             t.rescans,
-            t.heap_pops,
+            t.walked_senders,
+            t.bucket_skips,
             t.repair_rate(),
             if i + 1 == points.len() { "" } else { "," }
         );
@@ -499,13 +542,15 @@ fn write_report(points: &[Point], exponent: f64, probe: &[KProbePoint], frontier
         let _ = writeln!(
             json,
             "    {{\"clusters\": {}, \"k\": {}, \"batch_ns\": {:.0}, \
-             \"repair_rate\": {:.3}, \"rescans\": {}, \"heap_pops\": {}}}{}",
+             \"repair_rate\": {:.3}, \"rescans\": {}, \"walked_senders\": {}, \
+             \"bucket_skips\": {}}}{}",
             p.clusters,
             p.k,
             p.batch_ns,
             p.telemetry.repair_rate(),
             p.telemetry.rescans,
-            p.telemetry.heap_pops,
+            p.telemetry.walked_senders,
+            p.telemetry.bucket_skips,
             if i + 1 == probe.len() { "" } else { "," }
         );
     }

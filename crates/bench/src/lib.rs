@@ -26,19 +26,27 @@
 //!     median `ScheduleEngine::makespan` wall time each;
 //!   * `telemetry` — [`gridcast_core::EngineTelemetry`] deltas of one
 //!     batch: `rounds`, `invalidations`, `second_best_hits`, `promotions`,
-//!     `rescans`, `heap_pops` (senders examined by rescan walks) and the
-//!     derived `repair_rate` (repaired-from-runner-up / invalidations);
+//!     `rescans`, `walked_senders` (senders actually examined by rescan
+//!     walks), `bucket_skips` (ready-order buckets the walk retired
+//!     wholesale via their cached lower bound) and the derived
+//!     `repair_rate` (repaired-from-runner-up / invalidations);
 //! * `k_best_probe` — the adaptive-K telemetry: one object per
-//!   (cluster count, K) pair for K ∈ {8, 16, 32} at 500/1000 clusters, with
-//!   the warmed batch wall time (`batch_ns`), `repair_rate`, `rescans` and
-//!   `heap_pops` of a [`ScheduleEngine::with_k_best`](gridcast_core::ScheduleEngine::with_k_best)
+//!   (cluster count, K) pair for K ∈ {2, 4, 8, 16, 32} at 500/1000
+//!   clusters, with the warmed batch wall time (`batch_ns`), `repair_rate`,
+//!   `rescans`, `walked_senders` and `bucket_skips` of a
+//!   [`ScheduleEngine::with_k_best`](gridcast_core::ScheduleEngine::with_k_best)
 //!   engine. Schedules are byte-identical across K (pinned by the core's
 //!   parity test), so the probe isolates the pure performance trade-off.
 //!
-//! The bench fails when `fitted_exponent` exceeds 2.3 (the engine's
-//! `O(n² log n)` target leaves comfortable headroom) and — with
-//! `ENGINE_SCALING_BASELINE_GATE=1`, as set in CI — when the 200-cluster
-//! `median_ns` regresses more than 15% against the committed report.
+//! The bench fails when `fitted_exponent` exceeds 2.08 (the sweep measures
+//! ~2.04 — the tail's remaining rescan walk is memory-bound — while a
+//! reintroduced super-quadratic rescan term lands ≥2.15), with
+//! `ENGINE_SCALING_BASELINE_GATE=1` (as set in CI) when the 200-cluster
+//! `median_ns` regresses more than 15% against the committed report, and
+//! with `ENGINE_BATCH_GATE=1` when the 1000-cluster seven-heuristic batch
+//! median exceeds its 100 ms absolute-time floor — the raw-speed ladder's
+//! target; CI arms a calibrated `ENGINE_BATCH_GATE=200` instead, the
+//! current dev-container median (~130–150 ms) plus runner noise.
 //!
 //! # `BENCH_whatif.json` schema
 //!

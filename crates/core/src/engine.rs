@@ -122,32 +122,90 @@ const NO_SENDER: u32 = u32::MAX;
 /// rates plus the adaptive choice per size in `BENCH_engine_scaling.json`.
 pub const DEFAULT_K_BEST: usize = 16;
 
-/// The adaptive candidate-row width: the `K` a default-constructed
-/// [`ScheduleEngine`] uses for an `n`-cluster problem.
+/// Senders per bucket of the ready-order index: each bucket of the sorted
+/// sender array carries a cached minimum of `fl(ready + r_s)` (the per-sender
+/// score bound of [`SelectionPolicy::sender_score_offset`]) so the shared
+/// rescan walk can retire a whole bucket with one comparison. 32 keeps a
+/// bucket's ready times inside four cache lines and the per-commit dirty
+/// marking cheap; the minima are recomputed lazily, only when a walk actually
+/// reaches a dirty bucket.
+const WALK_BUCKET: usize = 32;
+
+/// The adaptive candidate-row width for the steepest-decay policy class: the
+/// **widest** `K` a default-constructed [`ScheduleEngine`] uses for an
+/// `n`-cluster problem.
 ///
-/// Because schedules are byte-identical for any `K ≥ 1`, this is pure tuning,
-/// calibrated from the `k_best_probe` section of `BENCH_engine_scaling.json`
-/// (min-of-repeats batch time over K ∈ {1, 2, 4, 6, 8, 12, 16} at 200, 500,
-/// 1000 and 2000 clusters): narrow rows win almost everywhere now that the
-/// pruned per-receiver rescan made row misses cheap — the old wide default
-/// (`K = 16`) pays ~20% over `K = 4` at 1000 clusters in insertion shuffles
-/// alone. A couple of runners-up per row still absorb the common
-/// single-invalidation case; mid-sized problems keep one notch more depth
-/// because their repair rate is higher. [`ScheduleEngine::with_k_best`]
-/// overrides the adaptive choice with a fixed width (the probe itself is
+/// Because schedules are byte-identical for any `K ≥ 1`, this is pure tuning.
+/// The width table is now **per policy** ([`adaptive_k_best_for`], keyed by
+/// [`SelectionPolicy::row_decay`]): Flat Tree and FEF never invalidate a
+/// cached score and run width 1, plain ECEF gets the moderate table, and the
+/// lookahead family plus BottomUp — whose repair rate decays hardest with n —
+/// get this, the [`RowDecay::Steep`] column. [`ScheduleEngine::with_k_best`]
+/// overrides every class with one fixed width (the `engine_scaling` probe is
 /// built on that override).
 pub fn adaptive_k_best(n: usize) -> usize {
-    match n {
-        0..=256 => 2,
-        _ => 4,
+    adaptive_k_best_for(RowDecay::Steep, n)
+}
+
+/// How fast a policy's repair rate decays with the problem size — the class
+/// a [`SelectionPolicy`] reports via [`SelectionPolicy::row_decay`] so the
+/// adaptive width table ([`adaptive_k_best_for`]) can size candidate rows
+/// per policy instead of one-width-fits-all.
+///
+/// The classes come straight from the telemetry sweep in
+/// `BENCH_engine_scaling.json`:
+///
+/// - [`RowDecay::Static`] — policies whose scores never change once cached
+///   (Flat Tree and FEF commit **zero** invalidations at every size), so any
+///   runner-up slot is pure insertion-shuffle overhead. Width 1.
+/// - [`RowDecay::Gradual`] — sender-time-sensitive policies without
+///   lookahead bias (plain ECEF): invalidations grow with n but most repairs
+///   land in the first runner-up slots.
+/// - [`RowDecay::Steep`] — the lookahead family and BottomUp, whose repair
+///   rate at a fixed width falls hardest with n (0.67 at 1000 clusters at
+///   K = 4; K = 8 recovers 0.80): rows widen one notch earlier and one notch
+///   further.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowDecay {
+    /// Cached scores never invalidate: width 1 at every size.
+    Static,
+    /// Invalidations grow with n but repairs stay shallow.
+    #[default]
+    Gradual,
+    /// Repair rate decays fastest with n; widen early and far.
+    Steep,
+}
+
+/// The per-policy size-aware candidate-row width table: the `K` a
+/// default-constructed [`ScheduleEngine`] uses for an `n`-cluster problem
+/// under a policy of the given [`RowDecay`] class.
+///
+/// Like [`adaptive_k_best`] (which is now the [`RowDecay::Steep`] column,
+/// the widest), this is pure tuning — schedules are byte-identical for any
+/// `K ≥ 1` — calibrated from the `k_best_probe` repair rates in
+/// `BENCH_engine_scaling.json`.
+pub fn adaptive_k_best_for(decay: RowDecay, n: usize) -> usize {
+    match decay {
+        RowDecay::Static => 1,
+        RowDecay::Gradual => match n {
+            0..=256 => 2,
+            257..=768 => 4,
+            _ => 6,
+        },
+        RowDecay::Steep => match n {
+            0..=192 => 2,
+            193..=512 => 4,
+            _ => 8,
+        },
     }
 }
 
-/// Runtime candidate-row width: adaptive per problem size by default, fixed
-/// when overridden via [`ScheduleEngine::with_k_best`].
+/// Runtime candidate-row width: adaptive per problem size and policy class
+/// by default, fixed when overridden via [`ScheduleEngine::with_k_best`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 enum KBest {
-    /// Resolve to [`adaptive_k_best`] of the problem size at each run.
+    /// Resolve to [`adaptive_k_best_for`] of the policy's [`RowDecay`] class
+    /// and the problem size at each run.
     #[default]
     Adaptive,
     /// Always use this width.
@@ -156,9 +214,9 @@ enum KBest {
 
 impl KBest {
     #[inline]
-    fn resolve(self, n: usize) -> usize {
+    fn resolve_for(self, decay: RowDecay, n: usize) -> usize {
         match self {
-            KBest::Adaptive => adaptive_k_best(n),
+            KBest::Adaptive => adaptive_k_best_for(decay, n),
             KBest::Fixed(k) => k,
         }
     }
@@ -658,9 +716,14 @@ pub struct EngineTelemetry {
     pub promotions: u64,
     /// Invalidations that fell back to a pruned ready-order rescan.
     pub rescans: u64,
-    /// Senders examined by the shared rescan walks (the dominant rescan cost;
-    /// the name survives from the binary-heap implementation this replaced).
-    pub heap_pops: u64,
+    /// Senders examined by the shared rescan walks — the dominant rescan
+    /// cost (previously exported as `heap_pops`, a name that survived from
+    /// the binary-heap implementation the sorted walk replaced).
+    pub walked_senders: u64,
+    /// Whole buckets of the ready-order index the shared rescan walks skipped
+    /// with a single bound comparison instead of walking their senders
+    /// individually.
+    pub bucket_skips: u64,
     /// Transfers committed by the exchange scheduler
     /// ([`ScheduleEngine::schedule_transfers`]).
     pub exchange_commits: u64,
@@ -676,8 +739,8 @@ pub struct EngineTelemetry {
     pub exchange_oracle_scans: u64,
     /// Heads the batch-shift exchange scheduler stepped past because their
     /// cluster was not the governing (later) endpoint — deferred to the
-    /// partner's queue, or (when both queues had already passed them)
-    /// re-homed into the now-governing partner's queue at its sorted slot
+    /// partner's queue, or (when both static copies had already been passed)
+    /// adopted by the now-governing partner's side min-heap
     /// (`ScheduleEngine::schedule_transfers_batch_shift`; stays zero
     /// without the `fast-math` feature).
     pub exchange_migrations: u64,
@@ -755,10 +818,18 @@ impl EngineTelemetry {
     }
 
     #[inline]
-    fn heap_pop(&mut self) {
+    fn walked_sender(&mut self) {
         #[cfg(feature = "telemetry")]
         {
-            self.heap_pops += 1;
+            self.walked_senders += 1;
+        }
+    }
+
+    #[inline]
+    fn bucket_skip(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.bucket_skips += 1;
         }
     }
 
@@ -958,6 +1029,22 @@ pub trait SelectionPolicy: Send {
         true
     }
 
+    /// Which column of the size-aware width table ([`adaptive_k_best_for`])
+    /// sizes this policy's candidate rows. Pure tuning — schedules are
+    /// byte-identical for any width — so the default is derived from
+    /// [`SelectionPolicy::sender_time_sensitive`]: insensitive policies never
+    /// invalidate a cached score ([`RowDecay::Static`], width 1), sensitive
+    /// ones get the moderate [`RowDecay::Gradual`] table. Policies whose
+    /// telemetry shows the repair rate decaying hard with problem size (the
+    /// lookahead family, BottomUp) override this to [`RowDecay::Steep`].
+    fn row_decay(&self) -> RowDecay {
+        if self.sender_time_sensitive() {
+            RowDecay::Gradual
+        } else {
+            RowDecay::Static
+        }
+    }
+
     /// A static per-receiver bound `c_j` tightening the generic
     /// `edge_score(s, r) >= ready_time(s)` contract to
     /// `edge_score(s, r) >= ready_time(s) + c_j` for **every** possible sender
@@ -999,6 +1086,37 @@ pub trait SelectionPolicy: Send {
     /// times the engine walks).
     fn edge_score_post_offset(&self, problem: &BroadcastProblem, receiver: ClusterId) -> Time {
         let _ = (problem, receiver);
+        Time::ZERO
+    }
+
+    /// A static per-**sender** bound `r_s`, the dual of
+    /// [`SelectionPolicy::edge_score_offset`]: for every receiver `j` the
+    /// policy must guarantee `edge_score(s, j) >= fl(fl(t + r_s) + d_j)`
+    /// where `t` is the sender's ready time and `d_j` the post-rounding
+    /// receiver bound. The bucketed ready-order index aggregates
+    /// `fl(ready(s) + r_s)` into per-bucket minima so the shared rescan walk
+    /// can skip a whole bucket of senders with one comparison instead of
+    /// walking them individually.
+    ///
+    /// `min_outgoing_transfer` is `min_{k != sender} (g_sk + L_sk)` — the
+    /// sender's cheapest outgoing transfer, precomputed by the engine row-wise
+    /// alongside the receiver column minima. Completion-estimate scores
+    /// (`fl(t + (g+L))` with `g+L >= min_outgoing`) can return it directly:
+    /// rounded addition is monotone in each operand, so
+    /// `fl(t + x) >= fl(t + r_s)` whenever `x >= r_s`. As with the receiver
+    /// bounds, the inequality must hold under *rounded* arithmetic evaluated
+    /// exactly as written — a bound that is itself a rounded sum of score
+    /// parts is not automatically safe. Only consulted for time-sensitive
+    /// policies; defaults to zero (bucket minima degrade to plain ready
+    /// times, which the generic `edge_score(s, r) >= ready_time(s)` contract
+    /// already guarantees).
+    fn sender_score_offset(
+        &self,
+        problem: &BroadcastProblem,
+        sender: ClusterId,
+        min_outgoing_transfer: Time,
+    ) -> Time {
+        let _ = (problem, sender, min_outgoing_transfer);
         Time::ZERO
     }
 
@@ -1244,6 +1362,21 @@ struct EngineState {
     /// Per-receiver column minima of `tx` (cheapest incoming transfer),
     /// handed to [`SelectionPolicy::edge_score_offset`].
     min_in: Vec<Time>,
+    /// Per-sender row minima of `tx` (cheapest outgoing transfer, diagonal
+    /// excluded), handed to [`SelectionPolicy::sender_score_offset`].
+    min_out: Vec<Time>,
+    /// Per-sender static score bounds `r_s`
+    /// ([`SelectionPolicy::sender_score_offset`]) aggregated into the
+    /// bucketed ready-order index.
+    sender_offset: Vec<Time>,
+    /// Per-bucket minima of `fl(ready + r_s)` over [`WALK_BUCKET`]-sized
+    /// slices of `order` — the one-comparison bucket-skip bound of the
+    /// shared rescan walk. Only valid where `bucket_dirty` is clear.
+    bucket_min: Vec<Time>,
+    /// Buckets whose cached minimum is stale (a member's ready time or
+    /// position changed); recomputed lazily by the next walk that reaches
+    /// them.
+    bucket_dirty: Vec<bool>,
     /// Candidate-row width policy: [`adaptive_k_best`] of the problem size
     /// unless fixed via [`ScheduleEngine::with_k_best`]; a pure performance
     /// knob — schedules stay byte-identical for any `K ≥ 1`.
@@ -1262,7 +1395,7 @@ struct EngineState {
 }
 
 impl EngineState {
-    fn reset(&mut self, problem: &BroadcastProblem) {
+    fn reset(&mut self, problem: &BroadcastProblem, decay: RowDecay) {
         let n = problem.num_clusters();
         let root = problem.root.index();
         self.in_a.clear();
@@ -1281,7 +1414,7 @@ impl EngineState {
                 self.receivers.push(c as u32);
             }
         }
-        let k = self.k_best.resolve(n);
+        let k = self.k_best.resolve_for(decay, n);
         self.k_run = k;
         self.cand_score.clear();
         self.cand_score.resize(n * k, Time::INFINITY);
@@ -1323,6 +1456,11 @@ impl EngineState {
         self.tops.reserve(n * (k + 1));
         self.topn.clear();
         self.topn.reserve(n);
+        let buckets = n.div_ceil(WALK_BUCKET);
+        self.bucket_min.clear();
+        self.bucket_min.resize(buckets, Time::INFINITY);
+        self.bucket_dirty.clear();
+        self.bucket_dirty.resize(buckets, true);
     }
 
     fn init_caches<P: SelectionPolicy + ?Sized>(
@@ -1359,6 +1497,9 @@ impl EngineState {
         self.score_offset.resize(problem.num_clusters(), Time::ZERO);
         self.score_post.clear();
         self.score_post.resize(problem.num_clusters(), Time::ZERO);
+        self.sender_offset.clear();
+        self.sender_offset
+            .resize(problem.num_clusters(), Time::ZERO);
         if policy.sender_time_sensitive() {
             for &r in &self.receivers {
                 self.score_offset[r as usize] = policy.edge_score_offset(
@@ -1368,6 +1509,12 @@ impl EngineState {
                 );
                 self.score_post[r as usize] =
                     policy.edge_score_post_offset(problem, ClusterId(r as usize));
+            }
+            // Every cluster eventually sends: fill the per-sender bounds for
+            // all of them up front (the root is a sender from round one).
+            for c in 0..problem.num_clusters() {
+                self.sender_offset[c] =
+                    policy.sender_score_offset(problem, ClusterId(c), self.min_out[c]);
             }
         }
     }
@@ -1453,6 +1600,17 @@ impl EngineState {
     /// the loop), the top buffer in L1 and the scores streaming from the
     /// receiver's contiguous `rx` row — an order of magnitude less per-visit
     /// overhead than the shared walk's pending-indexed inner loop.
+    ///
+    /// The walk itself is **bucketed**: `order` is viewed as
+    /// [`WALK_BUCKET`]-sized slices, each carrying a lazily-maintained
+    /// minimum of `fl(ready + r_s)` (the per-sender bound of
+    /// [`SelectionPolicy::sender_score_offset`]). A full row compares that
+    /// minimum against its provisional floor and retires whole buckets —
+    /// typically the long already-busy prefix of A — without re-walking
+    /// their senders, which is what breaks the `O(|A|)` re-walk per rescan
+    /// at the tail sizes. Skips use a strict `>` on bounds that hold under
+    /// rounded arithmetic, so the produced rows are bit-identical to the
+    /// plain walk's.
     fn rescan_pending<P: SelectionPolicy + ?Sized>(
         &mut self,
         problem: &BroadcastProblem,
@@ -1475,6 +1633,9 @@ impl EngineState {
             pending,
             score_offset,
             score_post,
+            sender_offset,
+            bucket_min,
+            bucket_dirty,
             tops,
             rx,
             receivers,
@@ -1505,37 +1666,77 @@ impl EngineState {
             let off2 = score_post[j];
             let row = &mut tops[..stride];
             let mut filled = 0usize;
-            for &s in order.iter() {
-                let t = ready[s as usize];
-                // Any unwalked sender scores at least `fl(fl(t + c_j) + d_j)`
-                // (rounded float addition is monotone in each operand): stop
-                // once that strictly exceeds the provisional floor. The sums
-                // must be computed exactly as written, left to right — a
-                // rearranged `t > floor - c_j` is not float-equivalent and
-                // could cut the walk one sender too early.
-                if filled == stride && t + off1 + off2 > row[k].0 {
+            let len = order.len();
+            let mut lo = 0usize;
+            'walk: while lo < len {
+                let hi = (lo + WALK_BUCKET).min(len);
+                let b = lo / WALK_BUCKET;
+                // The bucket's first sender has the smallest ready time of
+                // every sender left (the order is sorted): this is the
+                // per-sender retirement bound applied at bucket granularity,
+                // and it runs *before* any dirty-minimum recompute so
+                // unreachable buckets never pay one.
+                let t0 = ready[order[lo] as usize];
+                if filled == stride && t0 + off1 + off2 > row[k].0 {
                     break;
                 }
-                telemetry.heap_pop();
-                let score = policy.edge_score(&view, ClusterId(s as usize), ClusterId(j));
-                debug_assert_score_not_nan(score);
-                let entry = (score, s);
-                if filled < stride {
-                    let mut slot = filled;
-                    while slot > 0 && row[slot - 1] > entry {
-                        row[slot] = row[slot - 1];
-                        slot -= 1;
+                if bucket_dirty[b] {
+                    let mut m = Time::INFINITY;
+                    for &s in &order[lo..hi] {
+                        let v = ready[s as usize] + sender_offset[s as usize];
+                        if v < m {
+                            m = v;
+                        }
                     }
-                    row[slot] = entry;
-                    filled += 1;
-                } else if entry < row[k] {
-                    let mut slot = k;
-                    while slot > 0 && row[slot - 1] > entry {
-                        row[slot] = row[slot - 1];
-                        slot -= 1;
-                    }
-                    row[slot] = entry;
+                    bucket_min[b] = m;
+                    bucket_dirty[b] = false;
                 }
+                // Bucket skip: every sender in the bucket scores at least
+                // `fl(fl(ready + r_s) + d_j) >= fl(bucket_min + d_j)`
+                // (rounded float addition is monotone in each operand) —
+                // strictly above the provisional floor means no member can
+                // enter the row or lower it, so the whole bucket retires on
+                // one comparison. The sums must be computed exactly as
+                // written; ties (`==`) are never skipped, preserving the lex
+                // `(score, sender)` order bit for bit.
+                if filled == stride && bucket_min[b] + off2 > row[k].0 {
+                    telemetry.bucket_skip();
+                    lo = hi;
+                    continue;
+                }
+                for &s in &order[lo..hi] {
+                    let t = ready[s as usize];
+                    // Any unwalked sender scores at least
+                    // `fl(fl(t + c_j) + d_j)`: stop once that strictly
+                    // exceeds the provisional floor. The sums must be
+                    // computed exactly as written, left to right — a
+                    // rearranged `t > floor - c_j` is not float-equivalent
+                    // and could cut the walk one sender too early.
+                    if filled == stride && t + off1 + off2 > row[k].0 {
+                        break 'walk;
+                    }
+                    telemetry.walked_sender();
+                    let score = policy.edge_score(&view, ClusterId(s as usize), ClusterId(j));
+                    debug_assert_score_not_nan(score);
+                    let entry = (score, s);
+                    if filled < stride {
+                        let mut slot = filled;
+                        while slot > 0 && row[slot - 1] > entry {
+                            row[slot] = row[slot - 1];
+                            slot -= 1;
+                        }
+                        row[slot] = entry;
+                        filled += 1;
+                    } else if entry < row[k] {
+                        let mut slot = k;
+                        while slot > 0 && row[slot - 1] > entry {
+                            row[slot] = row[slot - 1];
+                            slot -= 1;
+                        }
+                        row[slot] = entry;
+                    }
+                }
+                lo = hi;
             }
             debug_assert!(filled > 0, "set A is never empty");
             let keep = filled.min(k);
@@ -1731,6 +1932,110 @@ impl EngineState {
         self.refresh_gate(j);
     }
 
+    /// Offers the freshly-joined sender to the contiguous run
+    /// `receivers[from..to]` — the stretches between invalidated receivers in
+    /// the commit loop. Semantically identical to calling
+    /// [`EngineState::offer`] once per receiver (same order, same arithmetic,
+    /// byte-identical rows); fusing the run hoists the view construction and
+    /// the borrow plumbing out of the per-receiver work, so the dominant fast
+    /// path (score strictly above the gate) compiles to one dense row read
+    /// and a compare. With ~`|B|` offers per commit this loop is the engine's
+    /// single hottest stretch at the large sizes.
+    fn offer_run<P: SelectionPolicy + ?Sized>(
+        &mut self,
+        problem: &BroadcastProblem,
+        policy: &P,
+        from: usize,
+        to: usize,
+        new_sender: u32,
+    ) {
+        let k = self.k_run;
+        let EngineState {
+            in_a,
+            ready,
+            tx,
+            receivers,
+            cand_score,
+            cand_sender,
+            cand_len,
+            best_score,
+            best_sender,
+            floor_score,
+            floor_sender,
+            gate,
+            ..
+        } = self;
+        // Sender-major view, exactly like `offer`'s: the run streams one
+        // fresh sender's `tx` row across many receivers.
+        let view = EngineView {
+            problem,
+            in_a,
+            ready,
+            mat: tx,
+            receiver_major: false,
+            receivers,
+            n: problem.num_clusters(),
+        };
+        for &jr in &receivers[from..to] {
+            let j = jr as usize;
+            let score = policy.edge_score(&view, ClusterId(new_sender as usize), ClusterId(j));
+            debug_assert_score_not_nan(score);
+            if score > gate[j] {
+                continue;
+            }
+            let entry = (score, new_sender);
+            let len = cand_len[j] as usize;
+            let row = &mut cand_score[j * k..(j + 1) * k];
+            let senders = &mut cand_sender[j * k..(j + 1) * k];
+            if len < k {
+                // Room in the row: plain sorted insert.
+                let mut slot = len;
+                while slot > 0 && (row[slot - 1], senders[slot - 1]) > entry {
+                    row[slot] = row[slot - 1];
+                    senders[slot] = senders[slot - 1];
+                    slot -= 1;
+                }
+                row[slot] = entry.0;
+                senders[slot] = entry.1;
+                cand_len[j] = (len + 1) as u32;
+                if slot == 0 {
+                    best_score[j] = entry.0;
+                    best_sender[j] = entry.1;
+                }
+            } else if entry < (row[k - 1], senders[k - 1]) {
+                // Displace the last entry; its cached score is a valid lower
+                // bound for its sender, so folding it into the floor keeps
+                // invariant 3.
+                let dropped = (row[k - 1], senders[k - 1]);
+                let mut slot = k - 1;
+                while slot > 0 && (row[slot - 1], senders[slot - 1]) > entry {
+                    row[slot] = row[slot - 1];
+                    senders[slot] = senders[slot - 1];
+                    slot -= 1;
+                }
+                row[slot] = entry.0;
+                senders[slot] = entry.1;
+                if slot == 0 {
+                    best_score[j] = entry.0;
+                    best_sender[j] = entry.1;
+                }
+                if dropped < (floor_score[j], floor_sender[j]) {
+                    floor_score[j] = dropped.0;
+                    floor_sender[j] = dropped.1;
+                }
+            } else if entry < (floor_score[j], floor_sender[j]) {
+                // Outside the row: the floor must keep bounding it.
+                floor_score[j] = entry.0;
+                floor_sender[j] = entry.1;
+            }
+            gate[j] = if cand_len[j] as usize == k {
+                cand_score[j * k + k - 1].max(floor_score[j])
+            } else {
+                Time::INFINITY
+            };
+        }
+    }
+
     /// Restores `order` after `s`'s ready time grew: bubble it right past the
     /// senders that now sort before it. The walked distance is the number of
     /// overtaken senders — typically a handful, and each step is one `u32`
@@ -1738,7 +2043,8 @@ impl EngineState {
     #[inline]
     fn reposition_sender(&mut self, s: usize) {
         let key = (self.ready[s], s as u32);
-        let mut pos = self.order_pos[s] as usize;
+        let start = self.order_pos[s] as usize;
+        let mut pos = start;
         debug_assert_eq!(self.order[pos], s as u32);
         while pos + 1 < self.order.len() {
             let next = self.order[pos + 1];
@@ -1752,6 +2058,9 @@ impl EngineState {
         }
         self.order[pos] = s as u32;
         self.order_pos[s] = pos as u32;
+        // Everything between the old and new position moved (and the
+        // sender's ready time grew): their buckets' cached minima are stale.
+        self.mark_buckets_dirty(start, pos);
     }
 
     /// Inserts the freshly-joined sender `r` into `order` at its sorted
@@ -1767,6 +2076,17 @@ impl EngineState {
         self.order.insert(idx, r as u32);
         for pos in idx..self.order.len() {
             self.order_pos[self.order[pos] as usize] = pos as u32;
+        }
+        // The insert shifted every later sender one slot (possibly across a
+        // bucket boundary) and added a member to the tail bucket.
+        self.mark_buckets_dirty(idx, self.order.len() - 1);
+    }
+
+    /// Marks the ready-order buckets covering positions `from ..= to` stale.
+    #[inline]
+    fn mark_buckets_dirty(&mut self, from: usize, to: usize) {
+        for b in from / WALK_BUCKET..=to / WALK_BUCKET {
+            self.bucket_dirty[b] = true;
         }
     }
 
@@ -1834,7 +2154,14 @@ impl EngineState {
         // Everyone else is offered the new sender in O(K_BEST).
         let sensitive = policy.sender_time_sensitive();
         debug_assert!(self.pending.is_empty());
-        for i in 0..self.receivers.len() {
+        // Same per-receiver order and arithmetic as one `offer` call each;
+        // the stretches between invalidated receivers go through the fused
+        // `offer_run` (an offer only mutates its own receiver's state, so
+        // scanning a run's invalidation checks up front observes the same
+        // `best_sender` values the one-at-a-time loop would).
+        let mut i = 0;
+        let b_len = self.receivers.len();
+        while i < b_len {
             let j = self.receivers[i];
             if sensitive && self.best_sender[j as usize] == s as u32 {
                 self.telemetry.invalidation();
@@ -1843,8 +2170,15 @@ impl EngineState {
                 } else {
                     self.pending.push(j);
                 }
+                i += 1;
             } else {
-                self.offer(problem, policy, j, r as u32);
+                let from = i;
+                while i < b_len
+                    && !(sensitive && self.best_sender[self.receivers[i] as usize] == s as u32)
+                {
+                    i += 1;
+                }
+                self.offer_run(problem, policy, from, i, r as u32);
             }
         }
         if !self.pending.is_empty() {
@@ -1875,6 +2209,8 @@ impl EngineState {
         }
         self.min_in.clear();
         self.min_in.resize(n, Time::INFINITY);
+        self.min_out.clear();
+        self.min_out.resize(n, Time::INFINITY);
         for s in 0..n {
             for r in 0..n {
                 let (gap, latency) = edge(ClusterId(s), ClusterId(r));
@@ -1883,10 +2219,16 @@ impl EngineState {
                 if want_gp {
                     self.gp.push(gap);
                 }
-                // Column minima (diagonal excluded — a cluster never sends to
-                // itself) feed the policies' static score offsets.
-                if s != r && t < self.min_in[r] {
-                    self.min_in[r] = t;
+                // Column and row minima (diagonal excluded — a cluster never
+                // sends to itself) feed the policies' static score offsets:
+                // columns bound receivers, rows bound senders.
+                if s != r {
+                    if t < self.min_in[r] {
+                        self.min_in[r] = t;
+                    }
+                    if t < self.min_out[s] {
+                        self.min_out[s] = t;
+                    }
                 }
             }
         }
@@ -2003,7 +2345,7 @@ impl EngineState {
             let row = &mut tops[..stride];
             let mut filled = 0usize;
             for &s in order.iter() {
-                telemetry.heap_pop();
+                telemetry.walked_sender();
                 let score = policy.edge_score(&view, ClusterId(s as usize), ClusterId(j));
                 debug_assert_score_not_nan(score);
                 let entry = (score, s);
@@ -2066,7 +2408,7 @@ impl EngineState {
         committed: &[ScheduleEvent],
         resume_at: Time,
     ) {
-        self.reset(problem);
+        self.reset(problem, policy.row_decay());
         let n = problem.num_clusters();
         let f = failed.index();
         // Replay the committed prefix verbatim, with no policy involvement:
@@ -2157,6 +2499,10 @@ impl EngineState {
         for (pos, &c) in self.order.iter().enumerate() {
             self.order_pos[c as usize] = pos as u32;
         }
+        // The rebuilt order invalidates every cached bucket minimum.
+        for dirty in self.bucket_dirty.iter_mut() {
+            *dirty = true;
+        }
         // Policy reset runs *after* the replay so per-problem caches (the
         // ECEF bias/watch arrays are built over `view.receivers()`) see the
         // surviving B, exactly as a cold run on the reduced problem would.
@@ -2189,12 +2535,20 @@ impl EngineState {
         self.score_offset.resize(n, Time::ZERO);
         self.score_post.clear();
         self.score_post.resize(n, Time::ZERO);
+        self.sender_offset.clear();
+        self.sender_offset.resize(n, Time::ZERO);
         if policy.sender_time_sensitive() {
             for i in 0..self.receivers.len() {
                 let r = self.receivers[i] as usize;
                 self.score_offset[r] =
                     policy.edge_score_offset(problem, ClusterId(r), self.min_in[r]);
                 self.score_post[r] = policy.edge_score_post_offset(problem, ClusterId(r));
+            }
+            // As with `min_in`, a crash path's `min_out` still includes edges
+            // to the failed cluster — a looser but valid sender bound.
+            for c in 0..n {
+                self.sender_offset[c] =
+                    policy.sender_score_offset(problem, ClusterId(c), self.min_out[c]);
             }
         }
         // Seed every remaining receiver's candidate row from the multi-sender
@@ -2215,7 +2569,7 @@ impl EngineState {
     }
 
     fn run<P: SelectionPolicy + ?Sized>(&mut self, problem: &BroadcastProblem, policy: &mut P) {
-        self.reset(problem);
+        self.reset(problem, policy.row_decay());
         {
             // Sender-major view for the policy's per-problem rebuild: the
             // lookahead rows read `transfer(j, k)` for consecutive `k`, which
@@ -2257,7 +2611,7 @@ impl EngineState {
         commits: &mut Vec<LoggedCommit>,
     ) {
         commits.clear();
-        self.reset(problem);
+        self.reset(problem, policy.row_decay());
         {
             let EngineState {
                 in_a,
@@ -2419,7 +2773,7 @@ impl EngineState {
             self.telemetry.recomputed_many(events);
             return;
         }
-        self.reset(problem);
+        self.reset(problem, policy.row_decay());
         self.taint.clear();
         self.taint.resize(n, false);
         self.dirty_list.clear();
@@ -2763,7 +3117,7 @@ impl ScheduleEngine {
     }
 
     /// Creates an engine whose candidate rows hold a fixed `k` entries instead
-    /// of resolving [`adaptive_k_best`] per problem.
+    /// of resolving [`adaptive_k_best_for`] per problem and policy.
     ///
     /// The row width is a **pure performance knob**: the head invariant and
     /// the rescan fallback keep schedules byte-identical for any `k ≥ 1`
@@ -2778,11 +3132,14 @@ impl ScheduleEngine {
         engine
     }
 
-    /// The candidate-row width `K` this engine uses for an `n`-cluster
-    /// problem: the fixed override when constructed via
-    /// [`ScheduleEngine::with_k_best`], [`adaptive_k_best`]`(n)` otherwise.
+    /// The **widest** candidate-row width `K` this engine can use for an
+    /// `n`-cluster problem: the fixed override when constructed via
+    /// [`ScheduleEngine::with_k_best`], [`adaptive_k_best`]`(n)` (the
+    /// [`RowDecay::Steep`] column of the per-policy table) otherwise. Without
+    /// a fixed override the width actually used depends on the policy's
+    /// [`SelectionPolicy::row_decay`] class — see [`adaptive_k_best_for`].
     pub fn k_best_for(&self, n: usize) -> usize {
-        self.state.k_best.resolve(n)
+        self.state.k_best.resolve_for(RowDecay::Steep, n)
     }
 
     /// Schedules `problem` with the built-in policy for `kind`.
@@ -3308,19 +3665,25 @@ impl ScheduleEngine {
     /// the same transfer behind a bound that lower-bounds it, so this queue
     /// simply steps past it — no per-transfer heap entry at all. When
     /// governance *flipped* between the two queues' encounters (both have
-    /// stepped past it, neither may commit it) the transfer is **re-homed**
-    /// into the now-governing partner's queue at its sorted slot, where it
-    /// behaves like any other member. Deferrals and re-homings are counted
-    /// together by `EngineTelemetry::exchange_migrations`; each extra hop of
-    /// one transfer requires an intervening governance flip (i.e. a commit
+    /// stepped past it, neither may commit it) the transfer is **adopted**
+    /// by the now-governing partner: pushed onto that cluster's side
+    /// min-heap of adopted transfers, keyed by the same `(g + L, idx)` the
+    /// static queues sort by. A cluster's head is the lexicographic minimum
+    /// over its static-queue suffix and its adopted heap — exactly the head
+    /// a sorted re-insertion would have produced, so the commit order is
+    /// unchanged — but the hop costs `O(log)` instead of the `Θ(queue)`
+    /// memmove of a sorted `Vec::insert`. On dense sets governance flips
+    /// ~√n times per transfer, so that memmove was the `O(T^{1.3})` term of
+    /// the previous implementation; the flip-free bound family retires it.
+    /// Deferrals and adoptions are counted together by
+    /// `EngineTelemetry::exchange_migrations`; each extra hop of one
+    /// transfer requires an intervening governance flip (i.e. a commit
     /// touching its endpoints), which bounds hops by incident commits.
     /// Cluster entries are **versioned** instead of re-keyed: every event
     /// that can move a cluster's bound pushes a fresh entry and bumps the
     /// version, and a popped superseded entry dies in `O(1)` — no re-key
-    /// traffic at all. On dense all-to-alls the measured total heap work
-    /// grows as `~O(T^{1.3})` (hops per transfer grow slowly with `n`),
-    /// against the lazy heap's `O(T^{3/2})` — a 2.7× pop advantage at 64
-    /// clusters widening to 5.4× at 400, pinned by
+    /// traffic at all. The pop counts stay 2.7× below the lazy heap at 64
+    /// clusters widening to 5.4× at 400, pinned exactly by
     /// `crates/bench/tests/exchange_regression.rs`.
     ///
     /// **Why this is `fast-math`:** the cluster bound rounds as
@@ -3382,10 +3745,17 @@ impl ScheduleEngine {
         let mut cursor = vec![0u32; n];
         let mut done = vec![false; transfers.len()];
         // Set once a queue first steps past this transfer: exactly one live
-        // queue copy remains from then on (the partner's, or wherever it was
-        // last re-homed), so a later non-governing encounter must re-home it
-        // rather than defer again.
+        // copy remains from then on (the partner's static slot, or whichever
+        // adopted heap it last hopped to), so a later non-governing
+        // encounter must move it rather than defer again.
         let mut deferred = vec![false; transfers.len()];
+        // Per-cluster min-heaps of adopted transfers — heads whose governance
+        // flipped to this cluster after both static copies were stepped
+        // past — keyed by the static queues' own `(g + L, idx)` order, so
+        // merging with the static suffix reproduces the sorted-queue head
+        // exactly while an adoption costs `O(log)` instead of a `Θ(queue)`
+        // sorted insert.
+        let mut adopted: Vec<BinaryHeap<Reverse<(Time, u32)>>> = vec![BinaryHeap::new(); n];
 
         // One *live* heap entry per non-drained cluster, keyed by the exact
         // current bound `fl(free[c] + (g+L)_head)`. Every event that can move
@@ -3397,18 +3767,39 @@ impl ScheduleEngine {
         let mut version = vec![0u32; n];
         let mut heap: BinaryHeap<Reverse<(Time, u32, u32)>> =
             BinaryHeap::with_capacity(n + transfers.len() / 4 + 1);
-        // Skips committed heads and returns the cluster's current head slot.
-        let head_of = |queues: &[Vec<(Time, u32)>], cursor: &mut [u32], done: &[bool], c: usize| {
+        // Skips committed heads and returns the cluster's current head —
+        // the `(g + L, idx)` minimum over the static-queue suffix and the
+        // adopted heap — plus whether it lives in the adopted heap (the
+        // caller needs to know which side to step past).
+        let head_of = |queues: &[Vec<(Time, u32)>],
+                       cursor: &mut [u32],
+                       adopted: &mut [BinaryHeap<Reverse<(Time, u32)>>],
+                       done: &[bool],
+                       c: usize| {
             let queue = &queues[c];
             let mut at = cursor[c] as usize;
             while at < queue.len() && done[queue[at].1 as usize] {
                 at += 1;
             }
             cursor[c] = at as u32;
-            (at < queue.len()).then(|| queue[at])
+            while let Some(&Reverse(e)) = adopted[c].peek() {
+                if done[e.1 as usize] {
+                    adopted[c].pop();
+                } else {
+                    break;
+                }
+            }
+            let fixed = (at < queue.len()).then(|| queue[at]);
+            let extra = adopted[c].peek().map(|&Reverse(e)| e);
+            match (fixed, extra) {
+                (Some(f), Some(e)) if e < f => Some((e.0, e.1, true)),
+                (Some(f), _) => Some((f.0, f.1, false)),
+                (None, Some(e)) => Some((e.0, e.1, true)),
+                (None, None) => None,
+            }
         };
         for (c, &free_c) in free.iter().enumerate() {
-            if let Some((gl, _)) = head_of(&queues, &mut cursor, &done, c) {
+            if let Some((gl, _, _)) = head_of(&queues, &mut cursor, &mut adopted, &done, c) {
                 heap.push(Reverse((free_c + gl, c as u32, 0)));
             }
         }
@@ -3424,7 +3815,9 @@ impl ScheduleEngine {
                 // Superseded by a fresher bound for this cluster.
                 continue;
             }
-            let Some((gl, idx)) = head_of(&queues, &mut cursor, &done, c) else {
+            let Some((gl, idx, from_adopted)) =
+                head_of(&queues, &mut cursor, &mut adopted, &done, c)
+            else {
                 // Queue drained by the partners' commits: entry retires.
                 continue;
             };
@@ -3437,28 +3830,32 @@ impl ScheduleEngine {
             let o = other.index();
             if free[c] < free[o] {
                 // Not the governing endpoint: the head's completion is set by
-                // `other`, so this queue steps past it. First encounter: the
-                // partner's queue still holds it behind a valid lower bound —
-                // defer, no heap traffic for the transfer itself. Later
-                // encounters (single live copy): re-home it into the
-                // now-governing partner's queue at its sorted slot.
+                // `other`, so this cluster steps past it. First encounter:
+                // the partner's queue still holds it behind a valid lower
+                // bound — defer, no traffic for the transfer itself. Later
+                // encounters (single live copy): the now-governing partner
+                // adopts it — an `O(log)` heap push in place of the old
+                // sorted `Vec::insert`.
                 telemetry.exchange_migration();
-                cursor[c] += 1;
+                if from_adopted {
+                    adopted[c].pop();
+                } else {
+                    cursor[c] += 1;
+                }
                 if deferred[idx as usize] {
-                    // `deferred` stays set: the re-homed copy is the only
-                    // live one, so any further flip must re-home again.
-                    let at = cursor[o] as usize;
-                    let pos = at + queues[o][at..].partition_point(|&e| e < (gl, idx));
-                    queues[o].insert(pos, (gl, idx));
+                    // `deferred` stays set: the adopted copy is the only
+                    // live one, so any further flip must move it again.
+                    adopted[o].push(Reverse((gl, idx)));
                     version[o] += 1;
-                    if let Some((gl, _)) = head_of(&queues, &mut cursor, &done, o) {
+                    if let Some((gl, _, _)) = head_of(&queues, &mut cursor, &mut adopted, &done, o)
+                    {
                         heap.push(Reverse((free[o] + gl, o as u32, version[o])));
                     }
                 } else {
                     deferred[idx as usize] = true;
                 }
                 version[c] += 1;
-                if let Some((gl, _)) = head_of(&queues, &mut cursor, &done, c) {
+                if let Some((gl, _, _)) = head_of(&queues, &mut cursor, &mut adopted, &done, c) {
                     heap.push(Reverse((free[c] + gl, c as u32, version[c])));
                 }
                 continue;
@@ -3467,7 +3864,11 @@ impl ScheduleEngine {
             // every other pending transfer sits behind a bound no smaller —
             // commit it. Committed timings use the oracle's arithmetic
             // verbatim.
-            cursor[c] += 1;
+            if from_adopted {
+                adopted[c].pop();
+            } else {
+                cursor[c] += 1;
+            }
             telemetry.exchange_commit();
             done[idx as usize] = true;
             let start = free[t.from.index()].max(free[t.to.index()]);
@@ -3485,7 +3886,7 @@ impl ScheduleEngine {
             });
             for e in [t.from.index(), t.to.index()] {
                 version[e] += 1;
-                if let Some((gl, _)) = head_of(&queues, &mut cursor, &done, e) {
+                if let Some((gl, _, _)) = head_of(&queues, &mut cursor, &mut adopted, &done, e) {
                     heap.push(Reverse((free[e] + gl, e as u32, version[e])));
                 }
             }
@@ -4068,8 +4469,19 @@ mod tests {
         // rescans. This is what licenses the engine_scaling K sweep.
         let mut reference = ScheduleEngine::new();
         assert_eq!(reference.k_best_for(64), adaptive_k_best(64));
-        assert_eq!(adaptive_k_best(100_000), 4);
+        assert_eq!(adaptive_k_best(100_000), 8);
         assert!(adaptive_k_best(100_000) <= DEFAULT_K_BEST);
+        // The per-policy table is ordered: Static ≤ Gradual ≤ Steep at every
+        // size, and the Steep column is `adaptive_k_best` itself.
+        for n in [1usize, 100, 193, 257, 513, 769, 1000, 100_000] {
+            let widths = [
+                adaptive_k_best_for(RowDecay::Static, n),
+                adaptive_k_best_for(RowDecay::Gradual, n),
+                adaptive_k_best_for(RowDecay::Steep, n),
+            ];
+            assert!(widths[0] >= 1 && widths[0] <= widths[1] && widths[1] <= widths[2]);
+            assert_eq!(widths[2], adaptive_k_best(n));
+        }
         for clusters in [2usize, 13, 48, 96] {
             let p = random_problem(clusters, 7000 + clusters as u64);
             for k in [1usize, 2, 8, 32] {

@@ -1,6 +1,8 @@
 //! The BottomUp heuristic (Section 5.3).
 
-use crate::engine::{with_shared_engine, EngineView, Objective, ReplayTraits, SelectionPolicy};
+use crate::engine::{
+    with_shared_engine, EngineView, Objective, ReplayTraits, RowDecay, SelectionPolicy,
+};
 use crate::heuristics::Heuristic;
 use crate::{BroadcastProblem, Schedule};
 use gridcast_plogp::Time;
@@ -72,6 +74,26 @@ impl SelectionPolicy for BottomUpPolicy {
         // post-rounding component it tightens the rescan walk's retirement
         // bound by the full intra time.
         problem.intra_time(receiver)
+    }
+
+    fn sender_score_offset(
+        &self,
+        _problem: &BroadcastProblem,
+        _sender: ClusterId,
+        min_outgoing_transfer: Time,
+    ) -> Time {
+        // The completion estimate is `fl(RT_i + (g + L))` with
+        // `g + L >= min_outgoing`, and the intra time is added after that
+        // rounding — exactly the engine's two-step sender bound
+        // `fl(fl(t + r_s) + d_j)`.
+        min_outgoing_transfer
+    }
+
+    fn row_decay(&self) -> RowDecay {
+        // The max-min objective chases the *worst*-served receiver, whose
+        // repairs bottom out deepest: the telemetry sweep shows BottomUp's
+        // repair rate decaying hardest of all policies with problem size.
+        RowDecay::Steep
     }
 
     fn objective(&self) -> Objective {

@@ -18,7 +18,7 @@
 
 use gridcast_core::{BroadcastProblem, CommitLog, HeuristicKind, ScheduleEvent};
 use gridcast_plogp::Time;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// How a response was produced, as reported on the wire.
@@ -67,6 +67,9 @@ pub struct CacheEntry {
     /// perturbed neighbours. `None` when the entry was itself produced by a
     /// warm replay (its baseline lives elsewhere).
     pub logs: Option<Arc<Vec<CommitLog>>>,
+    /// Recency stamp maintained by [`ScheduleCache`]: the cache's logical
+    /// clock at the entry's last insert or lookup.
+    last_used: u64,
 }
 
 impl CacheEntry {
@@ -83,21 +86,35 @@ impl CacheEntry {
             makespans,
             records,
             logs,
+            last_used: 0,
         }
     }
 }
 
-/// A bounded FIFO cache from problem identity to [`CacheEntry`].
+/// A bounded LRU cache from problem identity to [`CacheEntry`], with
+/// warm-start bases pinned.
 ///
-/// Eviction is insertion-order FIFO: the serving loop's working sets are
-/// dominated by repeated identical problems and fresh perturbations of them,
-/// so recency tracking buys little over the much simpler arrival order, and
-/// FIFO keeps the insert path allocation-free beyond the entry itself.
+/// Every lookup and insert stamps the entry with a logical clock, and
+/// eviction removes the least-recently-used entry — but in two tiers:
+/// entries **without** commit logs (produced by a warm replay; cheap to
+/// recompute, never warm-started from) are evicted first, and entries
+/// **holding** cold-run [`CommitLog`]s — the warm-start bases every perturbed
+/// neighbour replays from, each such replay re-stamping the base through its
+/// lookup — only start competing (by recency, among themselves) once no
+/// unpinned entry is left. A flood of replay-produced entries therefore can
+/// never push out a warm base, and a flood of fresh cold problems only
+/// displaces bases that stopped being used.
+///
+/// The victim scan is `O(len)`, paid only on insertions past capacity;
+/// serving-cache capacities are small enough (hundreds) that the scan is
+/// noise next to the scheduling work an eviction implies, and the choice is
+/// deterministic (stamps are unique), preserving the daemon's bit-identical
+/// transcript invariant.
 #[derive(Debug)]
 pub struct ScheduleCache {
     capacity: usize,
     buckets: HashMap<u64, Vec<CacheEntry>>,
-    order: VecDeque<u64>,
+    tick: u64,
     len: usize,
 }
 
@@ -108,7 +125,7 @@ impl ScheduleCache {
         ScheduleCache {
             capacity,
             buckets: HashMap::new(),
-            order: VecDeque::new(),
+            tick: 0,
             len: 0,
         }
     }
@@ -125,38 +142,58 @@ impl ScheduleCache {
 
     /// Looks up the entry for `problem`, verifying full equality — a digest
     /// collision between distinct problems misses (or finds its own
-    /// co-resident entry) instead of serving the wrong schedule.
+    /// co-resident entry) instead of serving the wrong schedule. A hit
+    /// refreshes the entry's recency stamp (warm-starting from a base goes
+    /// through here, which is what keeps hot bases resident).
     pub fn get_mut(&mut self, digest: u64, problem: &BroadcastProblem) -> Option<&mut CacheEntry> {
-        self.buckets
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self
+            .buckets
             .get_mut(&digest)?
             .iter_mut()
-            .find(|e| e.problem == *problem)
+            .find(|e| e.problem == *problem)?;
+        entry.last_used = tick;
+        Some(entry)
     }
 
-    /// Inserts an entry under `digest`, evicting the oldest insertion once
-    /// over capacity. The caller has already checked no equal entry exists.
-    pub fn insert(&mut self, digest: u64, entry: CacheEntry) {
+    /// Inserts an entry under `digest`, evicting per the two-tier LRU rule
+    /// once over capacity. The caller has already checked no equal entry
+    /// exists.
+    pub fn insert(&mut self, digest: u64, mut entry: CacheEntry) {
         if self.capacity == 0 {
             return;
         }
+        self.tick += 1;
+        entry.last_used = self.tick;
         self.buckets.entry(digest).or_default().push(entry);
-        self.order.push_back(digest);
         self.len += 1;
         while self.len > self.capacity {
-            let oldest = self
-                .order
-                .pop_front()
-                .expect("cache length and order queue stay in sync");
-            if let Some(bucket) = self.buckets.get_mut(&oldest) {
-                if !bucket.is_empty() {
-                    bucket.remove(0);
-                }
-                if bucket.is_empty() {
-                    self.buckets.remove(&oldest);
+            self.evict_one();
+        }
+    }
+
+    /// Removes the least-recently-used entry, preferring unpinned (log-less)
+    /// entries over warm-start bases: lexicographic minimum of
+    /// `(holds_logs, last_used)`. Stamps are unique, so the victim is
+    /// deterministic regardless of bucket iteration order.
+    fn evict_one(&mut self) {
+        let mut victim: Option<(u64, usize, (bool, u64))> = None;
+        for (&digest, bucket) in &self.buckets {
+            for (i, e) in bucket.iter().enumerate() {
+                let rank = (e.logs.is_some(), e.last_used);
+                if victim.is_none_or(|(_, _, best)| rank < best) {
+                    victim = Some((digest, i, rank));
                 }
             }
-            self.len -= 1;
         }
+        let (digest, slot, _) = victim.expect("eviction runs only on a non-empty cache");
+        let bucket = self.buckets.get_mut(&digest).expect("victim bucket exists");
+        bucket.remove(slot);
+        if bucket.is_empty() {
+            self.buckets.remove(&digest);
+        }
+        self.len -= 1;
     }
 }
 
@@ -183,6 +220,16 @@ mod tests {
         )
     }
 
+    /// An entry as a cold run produces it: commit logs attached, making it a
+    /// warm-start base.
+    fn base_entry(p: &BroadcastProblem) -> CacheEntry {
+        CacheEntry::new(
+            p.clone(),
+            vec![Time::from_millis(1.0); HeuristicKind::COUNT],
+            Some(Arc::new(Vec::new())),
+        )
+    }
+
     #[test]
     fn lookup_verifies_full_equality_not_just_the_digest() {
         let a = problem(1);
@@ -206,22 +253,74 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_bounds_the_cache() {
+    fn lru_eviction_removes_the_least_recently_used() {
         let mut cache = ScheduleCache::new(2);
         let problems: Vec<_> = (0..3).map(problem).collect();
-        for p in &problems {
+        cache.insert(problems[0].content_digest(), entry(&problems[0]));
+        cache.insert(problems[1].content_digest(), entry(&problems[1]));
+        // Touch the older entry so the younger one becomes the LRU victim —
+        // exactly where FIFO would have evicted `problems[0]`.
+        assert!(cache
+            .get_mut(problems[0].content_digest(), &problems[0])
+            .is_some());
+        cache.insert(problems[2].content_digest(), entry(&problems[2]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache
+            .get_mut(problems[0].content_digest(), &problems[0])
+            .is_some());
+        assert!(cache
+            .get_mut(problems[1].content_digest(), &problems[1])
+            .is_none());
+        assert!(cache
+            .get_mut(problems[2].content_digest(), &problems[2])
+            .is_some());
+    }
+
+    #[test]
+    fn hot_warm_base_survives_a_cold_entry_flood() {
+        // A warm-start base that keeps getting replayed from (every warm run
+        // looks it up, refreshing its stamp) must stay resident through an
+        // arbitrarily long flood of fresh entries — both replay-produced ones
+        // (unpinned, evicted first regardless of age) and new cold bases
+        // (older stamps lose, and the hot base's stamp is always fresher).
+        let mut cache = ScheduleCache::new(3);
+        let hot = problem(100);
+        cache.insert(hot.content_digest(), base_entry(&hot));
+
+        for seed in 0..16 {
+            let warm_result = problem(seed);
+            cache.insert(warm_result.content_digest(), entry(&warm_result));
+            // The hot base is warm-started from between insertions.
+            assert!(
+                cache.get_mut(hot.content_digest(), &hot).is_some(),
+                "hot warm base evicted by replay-produced entry {seed}"
+            );
+            let cold = problem(1000 + seed);
+            cache.insert(cold.content_digest(), base_entry(&cold));
+            assert!(
+                cache.get_mut(hot.content_digest(), &hot).is_some(),
+                "hot warm base evicted by cold base {seed}"
+            );
+        }
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn unpinned_entries_are_evicted_before_stale_warm_bases() {
+        // Even a *stale* warm base outranks a freshly inserted replay-produced
+        // entry: the log-less tier empties first.
+        let mut cache = ScheduleCache::new(2);
+        let base = problem(200);
+        cache.insert(base.content_digest(), base_entry(&base));
+        let fresh: Vec<_> = (0..3).map(problem).collect();
+        for p in &fresh {
             cache.insert(p.content_digest(), entry(p));
         }
         assert_eq!(cache.len(), 2);
-        // The first insertion is gone, the two youngest remain.
+        assert!(cache.get_mut(base.content_digest(), &base).is_some());
+        // Only the newest unpinned entry shares the cache with the base.
         assert!(cache
-            .get_mut(problems[0].content_digest(), &problems[0])
-            .is_none());
-        assert!(cache
-            .get_mut(problems[1].content_digest(), &problems[1])
-            .is_some());
-        assert!(cache
-            .get_mut(problems[2].content_digest(), &problems[2])
+            .get_mut(fresh[2].content_digest(), &fresh[2])
             .is_some());
     }
 

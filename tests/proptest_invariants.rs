@@ -434,3 +434,74 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case sweeps all eight straddle sizes and up to three widths per
+    // policy at up to 769 clusters, so a handful of random grids is already
+    // several hundred engine runs; more cases buy little beyond wall clock.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The per-policy K schedule ([`gridcast::core::adaptive_k_best_for`])
+    /// steps its candidate-row widths at 192/193, 256/257, 512/513 and
+    /// 768/769 clusters, and different policies resolve to different widths
+    /// at the same size (static rows stay at K = 1, gradually decaying
+    /// policies step 2 → 4 → 6, steeply decaying ones 2 → 4 → 8). K must
+    /// remain a pure performance knob through all of that: at every size
+    /// straddling a breakpoint, every policy's adaptive schedule is
+    /// **byte-identical** to a fixed [`ScheduleEngine::with_k_best`] run at
+    /// the width the table resolves to — and at the width the old flat
+    /// schedule (2 up to 256 clusters, 4 above) would have picked, so the
+    /// table migration itself is pinned as answer-preserving.
+    #[test]
+    fn per_policy_k_schedule_is_byte_identical_at_every_breakpoint(
+        seed in any::<u64>(),
+        root_idx in 0usize..192,
+    ) {
+        use gridcast::core::{adaptive_k_best_for, RowDecay};
+
+        // The decay class each heuristic's policy declares (`row_decay`),
+        // restated here so the sweep exercises the exact widths the engine
+        // resolves — byte-identity holds for *any* K, so a policy changing
+        // class later cannot break this test, only shift which widths it
+        // happens to cover.
+        let decay_of = |kind: HeuristicKind| match kind {
+            HeuristicKind::FlatTree | HeuristicKind::Fef => RowDecay::Static,
+            HeuristicKind::Ecef => RowDecay::Gradual,
+            _ => RowDecay::Steep,
+        };
+
+        let mut adaptive = ScheduleEngine::new();
+        for clusters in [192usize, 193, 256, 257, 512, 513, 768, 769] {
+            let grid = GridGenerator::table2()
+                .generate(clusters, &mut ChaCha8Rng::seed_from_u64(seed));
+            let root = ClusterId(root_idx % clusters);
+            let problem = BroadcastProblem::from_grid(&grid, root, MessageSize::from_mib(1));
+            for kind in HeuristicKind::all() {
+                let baseline = adaptive.schedule(&problem, kind);
+                let new_k = adaptive_k_best_for(decay_of(kind), clusters);
+                let old_k = if clusters <= 256 { 2 } else { 4 };
+                let mut widths = vec![new_k];
+                if old_k != new_k {
+                    widths.push(old_k);
+                }
+                for k in widths {
+                    let fixed = ScheduleEngine::with_k_best(k).schedule(&problem, kind);
+                    prop_assert_eq!(
+                        baseline.events.len(), fixed.events.len(),
+                        "{} event count differs at K={} on {} clusters", kind, k, clusters
+                    );
+                    for (i, (a, b)) in baseline.events.iter().zip(&fixed.events).enumerate() {
+                        prop_assert!(
+                            a.sender == b.sender
+                                && a.receiver == b.receiver
+                                && a.start.as_secs().to_bits() == b.start.as_secs().to_bits()
+                                && a.arrival.as_secs().to_bits() == b.arrival.as_secs().to_bits(),
+                            "{} diverges from K={} at event {} ({:?} vs {:?}) on {} clusters",
+                            kind, k, i, a, b, clusters
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
